@@ -1,0 +1,87 @@
+"""The offload argument, directly: network throughput while the host
+runs a compute job.
+
+The paper's motivation (§1, §2.2): host-based stacks "incur
+non-negligible overhead on the host processors that impact latency and
+other computation".  Here a 60%-duty-cycle compute job shares the
+receiving host with a ttcp transfer.  The host stack and the compute job
+fight for the same CPU; QPIP's stack lives on the NIC, so the transfer
+barely notices and the compute job keeps its cycles.
+"""
+
+from conftest import save_report
+
+from repro.apps.ttcp import qpip_ttcp, socket_ttcp
+from repro.bench.configs import build_gige_pair, build_qpip_pair
+from repro.bench.report import render_table
+from repro.sim import Simulator
+from repro.units import MB
+
+HOG_BUSY = 600.0     # µs of compute ...
+HOG_IDLE = 400.0     # ... per 1 ms period = 60% duty cycle
+
+
+def _with_hog(sim, node):
+    ticks = []
+
+    def hog():
+        while True:
+            yield node.host.cpu.submit(HOG_BUSY, category="app-compute")
+            ticks.append(sim.now)
+            yield sim.timeout(HOG_IDLE)
+
+    sim.process(hog())
+    return ticks
+
+
+def _compute_share(ticks, r) -> float:
+    done_in_window = sum(1 for t in ticks if r.t_start <= t <= r.t_end)
+    return done_in_window * HOG_BUSY / max(1.0, r.elapsed_us)
+
+
+def _gige(load: bool):
+    sim = Simulator()
+    a, b, _f = build_gige_pair(sim)
+    ticks = _with_hog(sim, b) if load else []
+    r = socket_ttcp(sim, a, b, total_bytes=4 * MB)
+    return r.mb_per_sec, _compute_share(ticks, r)
+
+
+def _qpip(load: bool):
+    sim = Simulator()
+    a, b, _f = build_qpip_pair(sim)
+    ticks = _with_hog(sim, b) if load else []
+    r = qpip_ttcp(sim, a, b, total_bytes=4 * MB)
+    return r.mb_per_sec, _compute_share(ticks, r)
+
+
+def _run():
+    return (_gige(False), _gige(True), _qpip(False), _qpip(True))
+
+
+def test_compute_load_ablation(benchmark):
+    ((g_clean, _), (g_load, g_compute),
+     (q_clean, _), (q_load, q_compute)) = benchmark.pedantic(
+        _run, rounds=1, iterations=1)
+    rows = [
+        ("IP/GigE, idle host", f"{g_clean:5.1f} MB/s", "-"),
+        ("IP/GigE, 60% compute load", f"{g_load:5.1f} MB/s",
+         f"compute got {g_compute * 100:.0f}%"),
+        ("QPIP, idle host", f"{q_clean:5.1f} MB/s", "-"),
+        ("QPIP, 60% compute load", f"{q_load:5.1f} MB/s",
+         f"compute got {q_compute * 100:.0f}%"),
+    ]
+    save_report("ablation_compute_load",
+                render_table("Throughput under receiver compute load",
+                             ["configuration", "throughput", "compute share"],
+                             rows))
+
+    # The host stack loses a large fraction of its bandwidth to the
+    # compute job (they share the CPU)...
+    assert g_load < g_clean * 0.8
+    # ...while QPIP keeps nearly all of it (stack runs on the NIC).
+    assert q_load > q_clean * 0.95
+    # And the compute job keeps nearly its full 60% share beside QPIP,
+    # while beside the host stack it gets squeezed.
+    assert q_compute > 0.55
+    assert g_compute < 0.55

@@ -1,0 +1,94 @@
+"""Protocol design-choice ablations (DESIGN.md §5).
+
+* Out-of-order reassembly — the prototype omits it and accepts the
+  recovery penalty under loss ("performance could suffer if subsequent
+  IP fragments are lost", §4.1).  We quantify that penalty.
+* Posted-receive credit — §5.1: "the more receive buffer space posted,
+  the larger the TCP receive window the sender can utilize".
+* Delayed ACKs — ACK-per-segment doubles interface ACK processing.
+"""
+
+import random
+
+from conftest import save_report
+
+from repro.apps.ttcp import qpip_ttcp
+from repro.bench.configs import build_qpip_pair
+from repro.bench.report import render_table
+from repro.core import default_qpip_tcp_config
+from repro.sim import Simulator
+from repro.units import MB
+
+import dataclasses
+
+
+def _lossy_transfer(reassembly: bool, loss_rate: float = 0.02,
+                    total=2 * MB, use_sack: bool = False) -> float:
+    sim = Simulator()
+    cfg = dataclasses.replace(default_qpip_tcp_config(16384),
+                              reassembly=reassembly, use_sack=use_sack)
+    a, b, fabric = build_qpip_pair(sim, tcp_config=cfg)
+    rng = random.Random(7)
+    link = fabric.host_link("h0")
+    link.set_loss(a.nic.attachment,
+                  lambda pkt: pkt.payload.length > 0 and rng.random() < loss_rate)
+    r = qpip_ttcp(sim, a, b, total_bytes=total)
+    return r.mb_per_sec
+
+
+def _credit_transfer(recv_buffers: int, total=4 * MB) -> float:
+    sim = Simulator()
+    a, b, _f = build_qpip_pair(sim)
+    r = qpip_ttcp(sim, a, b, total_bytes=total, recv_buffers=recv_buffers,
+                  queue_depth=min(8, recv_buffers))
+    return r.mb_per_sec
+
+
+def _delack_transfer(delack_segments: int, total=4 * MB) -> tuple:
+    sim = Simulator()
+    cfg = dataclasses.replace(default_qpip_tcp_config(16384),
+                              delack_segments=delack_segments)
+    a, b, _f = build_qpip_pair(sim, tcp_config=cfg)
+    r = qpip_ttcp(sim, a, b, total_bytes=total)
+    acks = sum(c.stats.acks_out
+               for c in b.firmware.stack.tcp.connections.values())
+    return r.mb_per_sec, acks
+
+
+def _run():
+    with_r = _lossy_transfer(reassembly=True)
+    without_r = _lossy_transfer(reassembly=False)
+    with_sack = _lossy_transfer(reassembly=True, use_sack=True)
+    credit = {n: _credit_transfer(n) for n in (1, 4, 16)}
+    ack_every = _delack_transfer(1)
+    ack_second = _delack_transfer(2)
+    return with_r, without_r, with_sack, credit, ack_every, ack_second
+
+
+def test_protocol_ablations(benchmark):
+    (with_r, without_r, with_sack, credit, ack_every,
+     ack_second) = benchmark.pedantic(_run, rounds=1, iterations=1)
+    rows = [
+        ("reassembly on, 2% loss", f"{with_r:.1f} MB/s"),
+        ("reassembly off, 2% loss", f"{without_r:.1f} MB/s"),
+        ("reassembly + SACK, 2% loss", f"{with_sack:.1f} MB/s"),
+        ("1 recv WR posted", f"{credit[1]:.1f} MB/s"),
+        ("4 recv WRs posted", f"{credit[4]:.1f} MB/s"),
+        ("16 recv WRs posted", f"{credit[16]:.1f} MB/s"),
+        ("ACK every segment", f"{ack_every[0]:.1f} MB/s ({ack_every[1]} ACKs)"),
+        ("ACK every 2nd segment", f"{ack_second[0]:.1f} MB/s ({ack_second[1]} ACKs)"),
+    ]
+    save_report("ablation_protocol",
+                render_table("Protocol design-choice ablations",
+                             ["configuration", "result"], rows))
+
+    # The prototype's no-reassembly choice costs real throughput under loss.
+    assert with_r > without_r * 1.5
+    assert with_sack >= with_r * 0.9     # SACK at least holds its own
+    # Posted receive credit is the window: more WRs, more throughput,
+    # saturating once the pipe is covered (§5.1).
+    assert credit[4] > credit[1] * 1.2
+    assert credit[16] >= credit[4] * 0.95
+    # ACK-per-segment roughly doubles ACK traffic for no bandwidth gain.
+    assert ack_every[1] > ack_second[1] * 1.5
+    assert ack_second[0] >= ack_every[0] * 0.95

@@ -1,0 +1,16 @@
+"""Benchmark harness support: src import path + report collection."""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+OUTPUT_DIR = os.path.join(os.path.dirname(__file__), "_output")
+
+
+def save_report(name: str, text: str) -> None:
+    """Persist a rendered table so EXPERIMENTS.md can quote real output."""
+    os.makedirs(OUTPUT_DIR, exist_ok=True)
+    with open(os.path.join(OUTPUT_DIR, f"{name}.txt"), "w") as f:
+        f.write(text + "\n")
+    print("\n" + text)

@@ -1,0 +1,6 @@
+"""Ensure src/ is importable even without an editable install."""
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "src"))
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "tests"))

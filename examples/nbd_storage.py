@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Network storage over QPIP vs sockets: the paper's NBD experiment
+(§4.2.3, Figure 7) on a reduced 32 MB working set.
+
+Run:  python examples/nbd_storage.py [MB]
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.apps.nbd import (DiskModel, NBD_PORT, NbdQpipClient,
+                            NbdSocketClient, qpip_nbd_server,
+                            socket_nbd_server)
+from repro.bench import build_gige_pair, build_qpip_pair
+from repro.sim import Simulator
+from repro.units import MB
+
+
+def run_system(name, total):
+    sim = Simulator()
+    if name == "QPIP":
+        client, server, _f = build_qpip_pair(sim, mtu=9000)
+        disk = DiskModel(sim)
+        sim.process(qpip_nbd_server(sim, server, disk))
+        nbd = NbdQpipClient(client, server.addr, NBD_PORT)
+    else:
+        client, server, _f = build_gige_pair(sim)
+        disk = DiskModel(sim)
+        sim.process(socket_nbd_server(sim, server, disk))
+        nbd = NbdSocketClient(client, server.addr, NBD_PORT)
+    results = {}
+
+    def run():
+        yield from nbd.connect()
+        results["write"] = yield from nbd.run_phase("write", total)
+        yield disk.sync()      # flush dirty pages, as the paper's 'sync'
+        results["read"] = yield from nbd.run_phase("read", total)
+        yield from nbd.disconnect()
+
+    proc = sim.process(run())
+    sim.run(until=3_600_000_000)
+    assert proc.triggered and proc.ok
+    return results
+
+
+def main():
+    total = int(sys.argv[1]) * MB if len(sys.argv) > 1 else 32 * MB
+    print(f"sequential write + sync + sequential read of "
+          f"{total // MB} MB through an NBD device\n")
+    print(f"{'system':10s} {'op':6s} {'MB/s':>7s} {'MB/CPU·s':>9s} {'client CPU':>11s}")
+    print("-" * 50)
+    for system in ("IP/GigE", "QPIP"):
+        results = run_system(system, total)
+        for op in ("write", "read"):
+            r = results[op]
+            print(f"{system:10s} {op:6s} {r.mb_per_sec:7.1f} "
+                  f"{r.cpu_effectiveness:9.0f} {r.cpu_utilization * 100:10.1f}%")
+    print("\nThe QP interface moves the whole TCP/IP stack off the client "
+          "CPU:\nsame disks, same wire protocol, several times the "
+          "per-CPU-second efficiency.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+#!/usr/bin/env python
+"""The paper's evaluation in miniature: RTT and throughput for all three
+systems, plus the QPIP MTU sweep (Figures 3 and 4).
+
+Run:  python examples/throughput_comparison.py
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.apps import qpip_tcp_rtt, qpip_ttcp, socket_tcp_rtt, socket_ttcp
+from repro.bench import build_gige_pair, build_gm_pair, build_qpip_pair
+from repro.sim import Simulator
+from repro.units import MB
+
+
+def main():
+    print("system       TCP RTT      ttcp 10MB      tx CPU")
+    print("-" * 55)
+    for name, builder in (("IP/GigE", build_gige_pair),
+                          ("IP/Myrinet", build_gm_pair)):
+        sim = Simulator()
+        a, b, _f = builder(sim)
+        rtt = socket_tcp_rtt(sim, a, b, iterations=50).mean
+        sim = Simulator()
+        a, b, _f = builder(sim)
+        thr = socket_ttcp(sim, a, b, total_bytes=10 * MB)
+        print(f"{name:12s} {rtt:6.1f} µs   {thr.mb_per_sec:6.1f} MB/s"
+              f"   {thr.tx_cpu_utilization * 100:5.1f}%")
+
+    sim = Simulator()
+    a, b, _f = build_qpip_pair(sim)
+    rtt = qpip_tcp_rtt(sim, a, b, iterations=50).mean
+    sim = Simulator()
+    a, b, _f = build_qpip_pair(sim)
+    thr = qpip_ttcp(sim, a, b, total_bytes=10 * MB)
+    print(f"{'QPIP':12s} {rtt:6.1f} µs   {thr.mb_per_sec:6.1f} MB/s"
+          f"   {thr.tx_cpu_utilization * 100:5.1f}%")
+
+    print("\nQPIP throughput vs MTU (the interface-occupancy crossover):")
+    for mtu in (1500, 4000, 9000, 16384):
+        sim = Simulator()
+        a, b, _f = build_qpip_pair(sim, mtu=mtu)
+        thr = qpip_ttcp(sim, a, b, total_bytes=10 * MB)
+        bar = "#" * int(thr.mb_per_sec / 2)
+        print(f"  MTU {mtu:6d}: {thr.mb_per_sec:6.1f} MB/s  {bar}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,20 @@
+"""QPIP: Queue Pair IP — a simulated, full-system reproduction of
+Buonadonna & Culler, "Queue Pair IP: A Hybrid Architecture for System
+Area Networks" (ISCA 2002).
+
+Public API tour:
+
+* :mod:`repro.core`      — the contribution: QPs/CQs/WRs over an offloaded
+  TCP/UDP/IPv6 stack in a programmable NIC.
+* :mod:`repro.net`       — the inter-network protocol suite itself.
+* :mod:`repro.hoststack` — the sockets baseline.
+* :mod:`repro.fabric`    — Myrinet / Ethernet switched fabrics.
+* :mod:`repro.hw`        — hosts, PCI, NICs, timing calibration.
+* :mod:`repro.apps`      — ping-pong, ttcp, NBD network storage.
+* :mod:`repro.bench`     — testbeds and experiment runners for every
+  table and figure in the paper.
+"""
+
+from ._version import __version__
+
+__all__ = ["__version__"]

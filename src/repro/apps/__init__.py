@@ -1,0 +1,14 @@
+"""Applications: ping-pong RTT, ttcp throughput, NBD network storage,
+an RDMA key-value store, and ring collectives."""
+
+from .collective import RingMember, build_ring
+from .kvstore import KvClient, KvServer
+from .pingpong import (RttResult, qpip_tcp_rtt, qpip_udp_rtt, socket_tcp_rtt,
+                       socket_udp_rtt)
+from .ttcp import ThroughputResult, qpip_ttcp, socket_ttcp
+
+__all__ = [
+    "RingMember", "build_ring", "KvClient", "KvServer",
+    "RttResult", "qpip_tcp_rtt", "qpip_udp_rtt", "socket_tcp_rtt",
+    "socket_udp_rtt", "ThroughputResult", "qpip_ttcp", "socket_ttcp",
+]

@@ -1,0 +1,291 @@
+"""A key-value store over QPIP — the classic one-sided-RDMA workload.
+
+The paper's introduction motivates "processor-to-processor" I/O over the
+SAN; this is the canonical modern instance.  The server exposes a
+registered slot table; clients can GET two ways:
+
+* **two-sided** — a SEND request, served by the server process
+  (consumes server CPU per request, like memcached over sockets);
+* **one-sided** — an RDMA READ of the hashed slot, "without involving
+  the target process" (paper §2.1) — the server's CPU stays idle.
+
+PUTs are always two-sided (the server owns index consistency).
+
+Wire/slot format: each slot is ``[key_len u16][val_len u16][key][value]``
+in a registered region of ``slot_count`` fixed-size slots; keys hash to a
+slot with bounded linear probing.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Generator, Optional, Tuple
+
+from ..core import QPTransport, WROpcode
+from ..errors import ReproError
+from ..mem import Access
+from ..net.addresses import Endpoint
+from ..sim import Event
+
+SLOT_HDR = 4
+PROBE_LIMIT = 4
+KV_PORT = 11211
+
+OP_PUT = 1
+OP_GET = 2
+OP_REPLY = 3
+REQ_HDR = 8          # op(1) pad(1) klen(2) vlen(2) pad(2)
+
+
+def _hash_key(key: bytes, slot_count: int) -> int:
+    h = 2166136261
+    for b in key:
+        h = ((h ^ b) * 16777619) & 0xFFFFFFFF
+    return h % slot_count
+
+
+def _encode_req(op: int, key: bytes, value: bytes = b"") -> bytes:
+    return struct.pack("!BxHHxx", op, len(key), len(value)) + key + value
+
+
+def _decode_req(data: bytes) -> Tuple[int, bytes, bytes]:
+    op, klen, vlen = struct.unpack_from("!BxHHxx", data, 0)
+    key = data[REQ_HDR:REQ_HDR + klen]
+    value = data[REQ_HDR + klen:REQ_HDR + klen + vlen]
+    return op, key, value
+
+
+class SlotTable:
+    """The registered server-side table (shared layout with clients)."""
+
+    def __init__(self, buf, slot_count: int, slot_size: int):
+        if slot_count <= 0 or slot_size <= SLOT_HDR:
+            raise ReproError("bad slot table geometry")
+        if buf.length < slot_count * slot_size:
+            raise ReproError("buffer too small for the slot table")
+        self.buf = buf
+        self.slot_count = slot_count
+        self.slot_size = slot_size
+
+    def slot_offset(self, index: int) -> int:
+        return index * self.slot_size
+
+    def capacity_for_value(self, key: bytes) -> int:
+        return self.slot_size - SLOT_HDR - len(key)
+
+    def write_slot(self, index: int, key: bytes, value: bytes) -> None:
+        record = struct.pack("!HH", len(key), len(value)) + key + value
+        if len(record) > self.slot_size:
+            raise ReproError("record exceeds slot size")
+        self.buf.write(record, offset=self.slot_offset(index))
+
+    def read_slot_bytes(self, raw: bytes) -> Optional[Tuple[bytes, bytes]]:
+        klen, vlen = struct.unpack_from("!HH", raw, 0)
+        if klen == 0 and vlen == 0:
+            return None
+        if SLOT_HDR + klen + vlen > len(raw):
+            return None
+        return (raw[SLOT_HDR:SLOT_HDR + klen],
+                raw[SLOT_HDR + klen:SLOT_HDR + klen + vlen])
+
+    def find_slot(self, key: bytes, for_insert: bool) -> Optional[int]:
+        base = _hash_key(key, self.slot_count)
+        for probe in range(PROBE_LIMIT):
+            index = (base + probe) % self.slot_count
+            raw = self.buf.read(self.slot_size, offset=self.slot_offset(index))
+            entry = self.read_slot_bytes(raw)
+            if entry is None:
+                return index if for_insert else None
+            if entry[0] == key:
+                return index
+        return None if not for_insert else None
+
+
+@dataclass
+class KvStats:
+    puts: int = 0
+    gets_two_sided: int = 0
+    gets_one_sided: int = 0
+    misses: int = 0
+
+
+class KvServer:
+    """Runs on the server node; owns the slot table."""
+
+    def __init__(self, node, slot_count: int = 256, slot_size: int = 256,
+                 port: int = KV_PORT):
+        self.node = node
+        self.iface = node.iface
+        self.host = node.host
+        self.slot_count = slot_count
+        self.slot_size = slot_size
+        self.port = port
+        self.stats = KvStats()
+        self.table: Optional[SlotTable] = None
+        self.table_rkey: Optional[int] = None
+        self.table_addr: Optional[int] = None
+        self.ready = Event(node.host.sim)
+
+    def run(self, max_clients: int = 1) -> Generator:
+        """Serve ``max_clients`` concurrent clients (one worker each)."""
+        iface = self.iface
+        table_buf = yield from iface.register_memory(
+            self.slot_count * self.slot_size,
+            access=Access.local() | Access.REMOTE_READ)
+        self.table = SlotTable(table_buf, self.slot_count, self.slot_size)
+        self.table_rkey = table_buf.lkey
+        self.table_addr = table_buf.addr
+        listener = yield from iface.listen(self.port)
+        self.ready.succeed((self.table_addr, self.table_rkey,
+                            self.slot_count, self.slot_size))
+        sim = self.host.sim
+        workers = []
+        for _ in range(max_clients):
+            workers.append(sim.process(self._serve_one(listener)))
+        for w in workers:
+            yield w
+
+    def _serve_one(self, listener) -> Generator:
+        """Accept one connection and serve it until it goes away."""
+        iface = self.iface
+        cq = yield from iface.create_cq()
+        qp = yield from iface.create_qp(QPTransport.TCP, cq, rdma=True,
+                                        max_recv_wr=64)
+        recv_bufs = []
+        for _ in range(16):
+            buf = yield from iface.register_memory(4096)
+            yield from iface.post_recv(qp, [buf.sge()])
+            recv_bufs.append(buf)
+        reply_buf = yield from iface.register_memory(4096)
+        yield from iface.accept(listener, qp)
+
+        from .nbd.server import _QpMessagePump
+        pump = _QpMessagePump(iface, qp, cq, recv_bufs, max_sends=16)
+        while True:
+            msg = yield from pump.get_message()
+            if msg is None:
+                return
+            cqe, buf = msg
+            op, key, value = _decode_req(buf.read(cqe.byte_len))
+            yield from pump.recycle(buf)
+            if op == OP_PUT:
+                # Index maintenance costs server CPU (the two-sided half).
+                yield self.host.cpu.submit(2.0, "kv-server")
+                slot = self.table.find_slot(key, for_insert=True)
+                if slot is None:
+                    reply = _encode_req(OP_REPLY, b"", b"ERR")
+                else:
+                    self.table.write_slot(slot, key, value)
+                    reply = _encode_req(OP_REPLY, b"", b"OK")
+                self.stats.puts += 1
+            elif op == OP_GET:
+                yield self.host.cpu.submit(2.0, "kv-server")
+                self.stats.gets_two_sided += 1
+                slot = self.table.find_slot(key, for_insert=False)
+                if slot is None:
+                    self.stats.misses += 1
+                    reply = _encode_req(OP_REPLY, b"", b"")
+                else:
+                    raw = self.table.buf.read(
+                        self.slot_size, offset=self.table.slot_offset(slot))
+                    _k, v = self.table.read_slot_bytes(raw)
+                    reply = _encode_req(OP_REPLY, b"", v)
+            else:
+                raise ReproError(f"bad kv opcode {op}")
+            reply_buf.write(reply)
+            yield from pump.send(reply_buf.sge(0, len(reply)))
+
+
+class KvClient:
+    """Client handle: two-sided PUT/GET plus one-sided RDMA GET."""
+
+    def __init__(self, node, server_addr, port: int = KV_PORT):
+        self.node = node
+        self.iface = node.iface
+        self.sim = node.host.sim
+        self.server = Endpoint(server_addr, port)
+        self.stats = KvStats()
+
+    def connect(self, table_info) -> Generator:
+        (self.table_addr, self.table_rkey, self.slot_count,
+         self.slot_size) = table_info
+        iface = self.iface
+        self.cq = yield from iface.create_cq()
+        self.qp = yield from iface.create_qp(QPTransport.TCP, self.cq,
+                                             rdma=True, max_recv_wr=32)
+        self.recv_bufs = []
+        for _ in range(8):
+            buf = yield from iface.register_memory(4096)
+            yield from iface.post_recv(self.qp, [buf.sge()])
+            self.recv_bufs.append(buf)
+        self.req_buf = yield from iface.register_memory(4096)
+        self.sink_buf = yield from iface.register_memory(
+            max(4096, self.slot_size))
+        yield from iface.connect(self.qp, self.server)
+        from .nbd.server import _QpMessagePump
+        self.pump = _QpMessagePump(iface, self.qp, self.cq, self.recv_bufs,
+                                   max_sends=8)
+
+    def _rpc(self, request: bytes) -> Generator:
+        self.req_buf.write(request)
+        yield from self.pump.send(self.req_buf.sge(0, len(request)))
+        msg = yield from self.pump.get_message()
+        if msg is None:
+            raise ReproError("kv server went away")
+        cqe, buf = msg
+        _op, _key, value = _decode_req(buf.read(cqe.byte_len))
+        yield from self.pump.recycle(buf)
+        return value
+
+    def put(self, key: bytes, value: bytes) -> Generator:
+        reply = yield from self._rpc(_encode_req(OP_PUT, key, value))
+        self.stats.puts += 1
+        if reply != b"OK":
+            raise ReproError(f"PUT failed: {reply!r}")
+
+    def get(self, key: bytes) -> Generator:
+        """Two-sided GET through the server process."""
+        value = yield from self._rpc(_encode_req(OP_GET, key))
+        self.stats.gets_two_sided += 1
+        if not value:
+            self.stats.misses += 1
+            return None
+        return value
+
+    def get_rdma(self, key: bytes) -> Generator:
+        """One-sided GET: read the hashed slots directly, probe locally.
+
+        The server process never runs — its CPU cost for this operation
+        is exactly zero.
+        """
+        table = SlotTable(self.sink_buf, 1, self.slot_size)  # reader helper
+        base = _hash_key(key, self.slot_count)
+        for probe in range(PROBE_LIMIT):
+            index = (base + probe) % self.slot_count
+            remote = self.table_addr + index * self.slot_size
+            yield from self.iface.post_rdma_read(
+                self.qp, self.sink_buf.sge(0, self.slot_size),
+                remote_addr=remote, rkey=self.table_rkey)
+            # Wait for the READ completion (reads complete on placement).
+            got = False
+            while not got:
+                cqes = yield from self.iface.wait(self.cq)
+                for cqe in cqes:
+                    if cqe.opcode is WROpcode.RDMA_READ:
+                        got = True
+                    elif cqe.opcode is WROpcode.RECV:
+                        self.pump.inbox.append(
+                            (cqe, self.pump.posted.popleft()))
+            raw = self.sink_buf.read(self.slot_size)
+            entry = table.read_slot_bytes(raw)
+            if entry is None:
+                break
+            if entry[0] == key:
+                self.stats.gets_one_sided += 1
+                return entry[1]
+        self.stats.misses += 1
+        return None
+
+    def disconnect(self) -> Generator:
+        yield from self.iface.disconnect(self.qp)

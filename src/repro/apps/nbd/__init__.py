@@ -1,0 +1,14 @@
+"""Network Block Device over sockets and QPIP (paper §4.2.3)."""
+
+from .client import (DEFAULT_REQUEST, DEFAULT_TOTAL, NbdPhaseResult,
+                     NbdQpipClient, NbdSocketClient)
+from .disk import DiskModel
+from .protocol import NBDCommand, NBDNegotiation, NBDReply, NBDRequest
+from .server import NBD_PORT, qpip_nbd_server, socket_nbd_server
+
+__all__ = [
+    "DEFAULT_REQUEST", "DEFAULT_TOTAL", "NbdPhaseResult", "NbdQpipClient",
+    "NbdSocketClient", "DiskModel", "NBDCommand", "NBDNegotiation",
+    "NBDReply", "NBDRequest",
+    "NBD_PORT", "qpip_nbd_server", "socket_nbd_server",
+]

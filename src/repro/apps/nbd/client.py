@@ -1,0 +1,264 @@
+"""NBD clients: the kernel block-device driver side.
+
+The benchmark workload is the paper's (§4.2.3): a 409 MB *sequential*
+read and write through an ext2-like block layer.  Filesystem costs
+(block mapping, page-cache management, bio completion) charge the client
+CPU per request and per byte — "the raw CPU utilization during the
+benchmark is at least 26% for filesystem processing" on every system.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from dataclasses import dataclass
+from typing import Generator, Optional
+
+from ...core import QPTransport, WROpcode
+from ...hoststack import TcpSocket
+from ...net.addresses import Endpoint
+from ...net.packet import BytesPayload, ZeroPayload, concat
+from ...units import MB, to_mb_per_sec
+from .protocol import (NBDCommand, NBDNegotiation, NBDReply, NBDRequest,
+                       NEGOTIATION_LEN, REPLY_LEN, REQUEST_LEN)
+
+DEFAULT_TOTAL = 409 * MB
+DEFAULT_REQUEST = 128 * 1024     # block-layer merge/readahead unit
+
+# Filesystem cost model (ext2 + buffer cache on the 550 MHz client).
+FS_PER_REQUEST = 20.0            # block mapping, request setup/completion
+FS_PER_BYTE = 1 / 250.0          # page-cache handling of the data
+
+
+@dataclass
+class NbdPhaseResult:
+    """One benchmark phase (sequential read or write)."""
+
+    op: str
+    bytes_moved: int
+    elapsed_us: float
+    client_cpu_busy_us: float
+    fs_cpu_busy_us: float
+
+    @property
+    def mb_per_sec(self) -> float:
+        return to_mb_per_sec(self.bytes_moved / self.elapsed_us)
+
+    @property
+    def cpu_effectiveness(self) -> float:
+        """MBytes transferred per CPU-second (Figure 7's second axis)."""
+        if self.client_cpu_busy_us <= 0:
+            return 0.0
+        return (self.bytes_moved / MB) / (self.client_cpu_busy_us / 1e6)
+
+    @property
+    def cpu_utilization(self) -> float:
+        return self.client_cpu_busy_us / self.elapsed_us if self.elapsed_us else 0.0
+
+
+class _PhaseClock:
+    """Shared CPU-accounting bracket for one phase."""
+
+    def __init__(self, node):
+        self.node = node
+
+    def start(self, sim):
+        self.node.host.reset_cpu_stats()
+        self.t0 = sim.now
+
+    def result(self, sim, op, nbytes) -> NbdPhaseResult:
+        busy = self.node.host.cpu.busy_time
+        fs = self.node.host.cpu.busy_by_category.get("fs", 0.0)
+        return NbdPhaseResult(op, nbytes, sim.now - self.t0, busy, fs)
+
+
+class NbdSocketClient:
+    """The in-kernel socket NBD driver (Figure 5's layering)."""
+
+    def __init__(self, node, server_addr, port: int):
+        self.node = node
+        self.sim = node.host.sim
+        self.host = node.host
+        self.server = Endpoint(server_addr, port)
+        self.sock: Optional[TcpSocket] = None
+        self._handles = itertools.count(1)
+
+    def connect(self) -> Generator:
+        self.sock = TcpSocket(self.node.kernel, self.node.addr, in_kernel=True)
+        yield from self.sock.connect(self.server)
+        raw = yield from self.sock.recv_exact(NEGOTIATION_LEN)
+        self.negotiation = NBDNegotiation.decode(raw.to_bytes())
+
+    def _fs_charge(self, nbytes: int) -> Generator:
+        yield self.host.cpu.submit(FS_PER_REQUEST + nbytes * FS_PER_BYTE, "fs")
+
+    def run_phase(self, op: str, total_bytes: int = DEFAULT_TOTAL,
+                  request_size: int = DEFAULT_REQUEST) -> Generator:
+        clock = _PhaseClock(self.node)
+        clock.start(self.sim)
+        if op == "write":
+            yield from self._write_phase(total_bytes, request_size)
+        else:
+            yield from self._read_phase(total_bytes, request_size)
+        return clock.result(self.sim, op, total_bytes)
+
+    def _write_phase(self, total_bytes: int, request_size: int) -> Generator:
+        """Flush-driven writes: one request outstanding, and each byte
+        crosses the client's buffer cache (dirty + writeback)."""
+        offset = 0
+        while offset < total_bytes:
+            length = min(request_size, total_bytes - offset)
+            handle = next(self._handles)
+            yield from self._fs_charge(length)
+            yield self.host.cpu.submit(1.5 * self.host.copy_cost(length), "fs")
+            request = NBDRequest(NBDCommand.WRITE, handle, offset, length)
+            yield from self.sock.send(BytesPayload(request.encode()))
+            yield from self.sock.send(ZeroPayload(length))
+            raw = yield from self.sock.recv_exact(REPLY_LEN)
+            NBDReply.decode(raw.to_bytes())
+            offset += length
+
+    def _read_phase(self, total_bytes: int, request_size: int) -> Generator:
+        """Sequential reads with readahead: the block layer keeps one
+        request ahead of the consumer (QD=2)."""
+        issue_offset = 0
+
+        def issue() -> Generator:
+            nonlocal issue_offset
+            length = min(request_size, total_bytes - issue_offset)
+            handle = next(self._handles)
+            yield from self._fs_charge(length)
+            request = NBDRequest(NBDCommand.READ, handle, issue_offset, length)
+            yield from self.sock.send(BytesPayload(request.encode()))
+            issue_offset += length
+            return length
+
+        pending = []
+        pending.append((yield from issue()))
+        consumed = 0
+        while consumed < total_bytes:
+            if issue_offset < total_bytes:
+                pending.append((yield from issue()))
+            length = pending.pop(0)
+            raw = yield from self.sock.recv_exact(REPLY_LEN)
+            NBDReply.decode(raw.to_bytes())
+            yield from self.sock.recv_exact(length)
+            consumed += length
+
+    def disconnect(self) -> Generator:
+        request = NBDRequest(NBDCommand.DISCONNECT, 0, 0, 0)
+        yield from self.sock.send(BytesPayload(request.encode()))
+        self.sock.close()
+
+
+class NbdQpipClient:
+    """The QPIP NBD driver (Figure 6): the QP replaces the kernel socket."""
+
+    def __init__(self, node, server_addr, port: int,
+                 pool_buffers: int = 32, buf_size: int = 16 * 1024):
+        self.node = node
+        self.sim = node.host.sim
+        self.host = node.host
+        self.iface = node.iface
+        self.server = Endpoint(server_addr, port)
+        self.pool_buffers = pool_buffers
+        self.buf_size = buf_size
+        self._handles = itertools.count(1)
+
+    def connect(self) -> Generator:
+        iface = self.iface
+        self.cq = yield from iface.create_cq()
+        self.qp = yield from iface.create_qp(
+            QPTransport.TCP, self.cq, max_send_wr=64,
+            max_recv_wr=self.pool_buffers + 4)
+        recv_bufs = []
+        for _ in range(self.pool_buffers):
+            buf = yield from iface.register_memory(self.buf_size)
+            yield from iface.post_recv(self.qp, [buf.sge()])
+            recv_bufs.append(buf)
+        self.req_buf = yield from iface.register_memory(4096)
+        self.data_buf = yield from iface.register_memory(self.buf_size)
+        yield from iface.connect(self.qp, self.server)
+        ep = self.node.firmware.endpoints[self.qp.qp_num]
+        self.chunk = min(ep.conn.max_message, self.buf_size)
+        from .server import _QpMessagePump
+        self.pump = _QpMessagePump(iface, self.qp, self.cq, recv_bufs,
+                                   max_sends=32)
+        msg = yield from self.pump.get_message()
+        cqe, buf = msg
+        self.negotiation = NBDNegotiation.decode(buf.read(cqe.byte_len))
+        yield from self.pump.recycle(buf)
+
+    def _fs_charge(self, nbytes: int) -> Generator:
+        yield self.host.cpu.submit(FS_PER_REQUEST + nbytes * FS_PER_BYTE, "fs")
+
+    def run_phase(self, op: str, total_bytes: int = DEFAULT_TOTAL,
+                  request_size: int = DEFAULT_REQUEST) -> Generator:
+        clock = _PhaseClock(self.node)
+        clock.start(self.sim)
+        if op == "write":
+            yield from self._write_phase(total_bytes, request_size)
+        else:
+            yield from self._read_phase(total_bytes, request_size)
+        return clock.result(self.sim, op, total_bytes)
+
+    def _write_phase(self, total_bytes: int, request_size: int) -> Generator:
+        offset = 0
+        while offset < total_bytes:
+            length = min(request_size, total_bytes - offset)
+            handle = next(self._handles)
+            yield from self._fs_charge(length)
+            yield self.host.cpu.submit(1.5 * self.host.copy_cost(length), "fs")
+            request = NBDRequest(NBDCommand.WRITE, handle, offset, length)
+            self.req_buf.write(request.encode())
+            yield from self.pump.send(self.req_buf.sge(0, REQUEST_LEN))
+            remaining = length
+            while remaining > 0:
+                n = min(self.chunk, remaining)
+                yield from self.pump.send(self.data_buf.sge(0, n))
+                remaining -= n
+            msg = yield from self.pump.get_message()
+            cqe, buf = msg
+            NBDReply.decode(buf.read(REPLY_LEN))
+            yield from self.pump.recycle(buf)
+            offset += length
+
+    def _read_phase(self, total_bytes: int, request_size: int) -> Generator:
+        issue_offset = 0
+
+        def issue() -> Generator:
+            nonlocal issue_offset
+            length = min(request_size, total_bytes - issue_offset)
+            handle = next(self._handles)
+            yield from self._fs_charge(length)
+            request = NBDRequest(NBDCommand.READ, handle, issue_offset, length)
+            self.req_buf.write(request.encode())
+            yield from self.pump.send(self.req_buf.sge(0, REQUEST_LEN))
+            issue_offset += length
+            return length
+
+        pending = []
+        pending.append((yield from issue()))
+        consumed = 0
+        while consumed < total_bytes:
+            if issue_offset < total_bytes:
+                pending.append((yield from issue()))
+            length = pending.pop(0)
+            msg = yield from self.pump.get_message()
+            cqe, buf = msg
+            NBDReply.decode(buf.read(REPLY_LEN))
+            yield from self.pump.recycle(buf)
+            remaining = length
+            while remaining > 0:
+                msg = yield from self.pump.get_message()
+                dcqe, dbuf = msg
+                remaining -= dcqe.byte_len
+                yield from self.pump.recycle(dbuf)
+            consumed += length
+
+    def disconnect(self) -> Generator:
+        request = NBDRequest(NBDCommand.DISCONNECT, 0, 0, 0)
+        self.req_buf.write(request.encode())
+        yield from self.pump.send(self.req_buf.sge(0, REQUEST_LEN))
+        yield self.sim.timeout(1000)
+        yield from self.iface.disconnect(self.qp)

@@ -1,0 +1,100 @@
+"""NBD wire protocol (the Linux Network Block Device, paper §4.2.3).
+
+Classic NBD framing: a 28-byte request (magic, type, handle, offset,
+length), write data after write requests, and a 16-byte reply (magic,
+error, handle) with data after read replies.
+"""
+
+from __future__ import annotations
+
+import enum
+import struct
+from dataclasses import dataclass
+
+from ...errors import NBDError
+
+REQUEST_MAGIC = 0x25609513
+REPLY_MAGIC = 0x67446698
+REQUEST_LEN = 28
+REPLY_LEN = 16
+
+# Oldstyle negotiation (what the Linux 2.4-era nbd shipped): the server
+# greets with "NBDMAGIC", a magic number, the export size, and 128
+# reserved bytes; total 152 bytes.
+INIT_PASSWD = b"NBDMAGIC"
+OLDSTYLE_MAGIC = 0x00420281861253
+NEGOTIATION_LEN = 152
+
+
+class NBDCommand(enum.Enum):
+    READ = 0
+    WRITE = 1
+    DISCONNECT = 2
+
+
+@dataclass(frozen=True)
+class NBDRequest:
+    command: NBDCommand
+    handle: int
+    offset: int
+    length: int
+
+    def encode(self) -> bytes:
+        return struct.pack("!IIQQI", REQUEST_MAGIC, self.command.value,
+                           self.handle, self.offset, self.length)
+
+    @classmethod
+    def decode(cls, data: bytes) -> "NBDRequest":
+        if len(data) < REQUEST_LEN:
+            raise NBDError(f"short NBD request: {len(data)} bytes")
+        magic, command, handle, offset, length = struct.unpack_from(
+            "!IIQQI", data, 0)
+        if magic != REQUEST_MAGIC:
+            raise NBDError(f"bad NBD request magic {magic:#x}")
+        try:
+            cmd = NBDCommand(command)
+        except ValueError as exc:
+            raise NBDError(f"unknown NBD command {command}") from exc
+        return cls(cmd, handle, offset, length)
+
+
+@dataclass(frozen=True)
+class NBDNegotiation:
+    """The server's greeting: identifies the export and its size."""
+
+    export_size: int
+    flags: int = 0
+
+    def encode(self) -> bytes:
+        return (INIT_PASSWD + struct.pack("!QQI", OLDSTYLE_MAGIC,
+                                          self.export_size, self.flags)
+                + bytes(124))
+
+    @classmethod
+    def decode(cls, data: bytes) -> "NBDNegotiation":
+        if len(data) < NEGOTIATION_LEN:
+            raise NBDError(f"short negotiation: {len(data)} bytes")
+        if data[:8] != INIT_PASSWD:
+            raise NBDError("bad NBD init password")
+        magic, size, flags = struct.unpack_from("!QQI", data, 8)
+        if magic != OLDSTYLE_MAGIC:
+            raise NBDError(f"bad negotiation magic {magic:#x}")
+        return cls(size, flags)
+
+
+@dataclass(frozen=True)
+class NBDReply:
+    handle: int
+    error: int = 0
+
+    def encode(self) -> bytes:
+        return struct.pack("!IIQ", REPLY_MAGIC, self.error, self.handle)
+
+    @classmethod
+    def decode(cls, data: bytes) -> "NBDReply":
+        if len(data) < REPLY_LEN:
+            raise NBDError(f"short NBD reply: {len(data)} bytes")
+        magic, error, handle = struct.unpack_from("!IIQ", data, 0)
+        if magic != REPLY_MAGIC:
+            raise NBDError(f"bad NBD reply magic {magic:#x}")
+        return cls(handle, error)

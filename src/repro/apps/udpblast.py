@@ -1,0 +1,156 @@
+"""UDP blast: best-effort datagram streaming.
+
+Paper §3: "For best effort datagrams using UDP ... As soon as a UDP
+message is sent, the associated send WR is marked as complete."  No
+acknowledgements, no flow control: when the sender outruns the receiver,
+datagrams die — this app measures goodput and loss, the datagram
+counterpart of ttcp.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator
+
+from ..core import QPTransport, WROpcode
+from ..hoststack import UdpSocket
+from ..net.addresses import Endpoint
+from ..net.packet import ZeroPayload
+from ..sim import Simulator
+from ..units import to_mb_per_sec
+
+PORT = 5020
+
+
+@dataclass
+class BlastResult:
+    sent: int
+    received: int
+    payload_bytes: int
+    elapsed_us: float
+
+    @property
+    def loss_rate(self) -> float:
+        return 1.0 - self.received / self.sent if self.sent else 0.0
+
+    @property
+    def goodput_mb_per_sec(self) -> float:
+        if self.elapsed_us <= 0:
+            return 0.0
+        return to_mb_per_sec(self.received * self.payload_bytes
+                             / self.elapsed_us)
+
+
+def socket_udp_blast(sim: Simulator, client_node, server_node,
+                     datagrams: int = 500, size: int = 1400,
+                     interval_us: float = 20.0) -> BlastResult:
+    """Paced datagram stream over the host stack."""
+    state = {"received": 0, "t_first": None, "t_last": None}
+
+    def server():
+        sock = UdpSocket(server_node.kernel, server_node.addr)
+        sock.bind(PORT)
+        while True:
+            dg = yield from sock.recvfrom()
+            if state["t_first"] is None:
+                state["t_first"] = sim.now
+            state["t_last"] = sim.now
+            state["received"] += 1
+            if dg.payload.length == 0:      # end marker
+                return
+
+    def client():
+        sock = UdpSocket(client_node.kernel, client_node.addr)
+        sock.bind()
+        dst = Endpoint(server_node.addr, PORT)
+        yield sim.timeout(100)
+        for _ in range(datagrams):
+            yield from sock.sendto(dst, ZeroPayload(size))
+            yield sim.timeout(interval_us)
+        for _ in range(3):                  # end markers (best effort!)
+            yield from sock.sendto(dst, ZeroPayload(0))
+            yield sim.timeout(1000)
+
+    sp = sim.process(server())
+    cp = sim.process(client())
+    sim.run(until=sim.now + 120_000_000)
+    if not cp.triggered or not cp.ok:
+        raise RuntimeError("udp blast client failed")
+    received = max(0, state["received"] - 1)   # don't count the marker
+    elapsed = (state["t_last"] or 0) - (state["t_first"] or 0)
+    return BlastResult(datagrams, received, size, max(1.0, elapsed))
+
+
+def qpip_udp_blast(sim: Simulator, client_node, server_node,
+                   datagrams: int = 500, size: int = 1400,
+                   interval_us: float = 20.0,
+                   recv_buffers: int = 32,
+                   app_delay_us: float = 0.0) -> BlastResult:
+    """Paced datagram stream over UDP queue pairs.
+
+    ``app_delay_us`` models a slow consumer: the receive WR is reposted
+    only after that much per-datagram application work, so a small WR
+    pool drains and the NIC drops (best-effort, paper §3).
+    """
+    state = {"received": 0, "t_first": None, "t_last": None, "done": False}
+
+    def server():
+        iface = server_node.iface
+        cq = yield from iface.create_cq()
+        qp = yield from iface.create_qp(QPTransport.UDP, cq,
+                                        max_recv_wr=recv_buffers + 4)
+        bufs = []
+        for _ in range(recv_buffers):
+            buf = yield from iface.register_memory(max(size, 2048))
+            yield from iface.post_recv(qp, [buf.sge()])
+            bufs.append(buf)
+        yield from iface.bind_udp(qp, PORT)
+        ring = 0
+        while not state["done"]:
+            cqes = yield from iface.wait(cq)
+            for cqe in cqes:
+                if cqe.opcode is not WROpcode.RECV:
+                    continue
+                if state["t_first"] is None:
+                    state["t_first"] = sim.now
+                state["t_last"] = sim.now
+                if cqe.byte_len == 0:
+                    state["done"] = True
+                else:
+                    state["received"] += 1
+                if app_delay_us:
+                    yield sim.timeout(app_delay_us)
+                yield from iface.post_recv(qp, [bufs[ring].sge()])
+                ring = (ring + 1) % len(bufs)
+
+    def client():
+        iface = client_node.iface
+        cq = yield from iface.create_cq()
+        qp = yield from iface.create_qp(QPTransport.UDP, cq,
+                                        max_send_wr=64)
+        buf = yield from iface.register_memory(max(size, 2048))
+        yield from iface.bind_udp(qp)
+        dst = Endpoint(server_node.addr, PORT)
+        yield sim.timeout(1000)
+        inflight = 0
+        for _ in range(datagrams):
+            yield from iface.post_send(qp, [buf.sge(0, size)], dest=dst)
+            inflight += 1
+            if inflight >= 16:          # reap completions in batches
+                cqes = yield from iface.wait(cq)
+                inflight -= len(cqes)
+            yield sim.timeout(interval_us)
+        for _ in range(3):
+            yield from iface.post_send(qp, [buf.sge(0, 0)], dest=dst)
+            yield sim.timeout(1000)
+        while inflight > 0:
+            cqes = yield from iface.wait(cq)
+            inflight -= len(cqes)
+
+    sp = sim.process(server())
+    cp = sim.process(client())
+    sim.run(until=sim.now + 120_000_000)
+    if not cp.triggered or not cp.ok:
+        raise RuntimeError("udp blast client failed")
+    elapsed = (state["t_last"] or 0) - (state["t_first"] or 0)
+    return BlastResult(datagrams, state["received"], size, max(1.0, elapsed))

@@ -1,0 +1,21 @@
+"""Experiment harness: testbeds, runners, and paper reference values."""
+
+from .configs import (HostNode, QpipNode, build_gige_pair, build_gm_pair,
+                      build_interop_pair, build_qpip_cluster, build_qpip_pair)
+from .runners import (Fig3Result, Fig4Result, Fig7Result, HwAblationResult,
+                      MsgSizeSweepResult, MtuSweepResult, OccupancyResult,
+                      ScalingResult,
+                      Table1Result, run_fig3, run_fig4, run_fig7,
+                      run_fabric_scaling, run_hw_ablation, run_msgsize_sweep,
+                      run_mtu_sweep,
+                      run_occupancy_tables, run_table1)
+
+__all__ = [
+    "HostNode", "QpipNode", "build_gige_pair", "build_gm_pair",
+    "build_interop_pair", "build_qpip_cluster", "build_qpip_pair", "Fig3Result", "Fig4Result", "Fig7Result",
+    "HwAblationResult", "MtuSweepResult", "OccupancyResult", "Table1Result",
+    "MsgSizeSweepResult", "run_msgsize_sweep", "ScalingResult",
+    "run_fabric_scaling",
+    "run_fig3", "run_fig4", "run_fig7", "run_hw_ablation", "run_mtu_sweep",
+    "run_occupancy_tables", "run_table1",
+]

@@ -1,0 +1,184 @@
+"""Experiment testbeds: the three systems of the paper's evaluation.
+
+* ``build_gige_pair``   — host TCP/IP over Gigabit Ethernet (1500 B MTU)
+* ``build_gm_pair``     — host TCP/IP over Myrinet/GM (9000 B MTU)
+* ``build_qpip_pair``   — QPIP: QPs over TCP/UDP/IPv6 in the NIC
+                          (native 16 KB MTU; checksum/hardware variants)
+
+Each returns two node records wired through the right fabric, ready for
+the application layer (ping-pong, ttcp, NBD).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..fabric import EthernetFabric, MyrinetFabric
+from ..hw import (DumbNic, GmNic, Host, HostTiming, LanaiTiming,
+                  ProgrammableNic, ib_class_timing, lanai_fw_checksum)
+from ..hoststack import HostKernel
+from ..net.addresses import IPv4Address, IPv6Address, MacAddress
+from ..sim import Simulator
+
+
+@dataclass
+class HostNode:
+    """One machine in a testbed."""
+
+    host: Host
+    kernel: Optional[HostKernel]
+    nic: object
+    addr: object
+    name: str
+
+
+def build_gige_pair(sim: Simulator, mtu: int = 1500,
+                    host_timing: Optional[HostTiming] = None
+                    ) -> Tuple[HostNode, HostNode, EthernetFabric]:
+    """Two Linux hosts with Pro1000-class NICs on a GigE switch (IPv4)."""
+    fabric = EthernetFabric(sim)
+    nodes = []
+    for i in range(2):
+        host = Host(sim, f"gige-host{i}", timing=host_timing)
+        kernel = HostKernel(sim, host, isn_seed=i)
+        mac = MacAddress.from_index(i)
+        nic = DumbNic(sim, host, mtu=mtu, name="eth0", mac=mac)
+        addr = IPv4Address.from_index(i + 1)
+        kernel.add_nic(nic, addr)
+        fabric.attach_host(f"h{i}", nic.attachment)
+        nodes.append(HostNode(host, kernel, nic, addr, f"gige-host{i}"))
+    for i, node in enumerate(nodes):
+        peer = nodes[1 - i]
+        node.kernel.add_route(peer.addr, node.nic, next_mac=peer.nic.mac)
+    return nodes[0], nodes[1], fabric
+
+
+@dataclass
+class QpipNode:
+    """One machine with a QPIP adapter."""
+
+    host: Host
+    nic: ProgrammableNic
+    firmware: object
+    iface: object            # QpipInterface for the benchmark process
+    addr: IPv6Address
+    name: str
+
+
+def build_qpip_pair(sim: Simulator, mtu: int = 16384,
+                    nic_timing: Optional[LanaiTiming] = None,
+                    host_timing: Optional[HostTiming] = None,
+                    tcp_config=None
+                    ) -> Tuple[QpipNode, QpipNode, MyrinetFabric]:
+    """Two hosts with LANai-9-class QPIP adapters on a Myrinet switch.
+
+    ``nic_timing`` selects the checksum / hardware-support variant:
+    default (hardware-assisted receive checksum), ``lanai_fw_checksum()``
+    (prototype firmware checksum), or ``ib_class_timing()`` (§5.2).
+    """
+    from ..core import QpipFirmware, QpipInterface
+    fabric = MyrinetFabric(sim)
+    fabric.add_switch(8)
+    nodes = []
+    for i in range(2):
+        host = Host(sim, f"qpip-host{i}", timing=host_timing)
+        nic = ProgrammableNic(sim, host, timing=nic_timing, mtu=mtu,
+                              name="qpnic")
+        addr = IPv6Address.from_index(i + 1)
+        firmware = QpipFirmware(nic, addr, tcp_config=tcp_config, isn_seed=i)
+        fabric.attach_host(f"h{i}", nic.attachment)
+        iface = QpipInterface(firmware, host, process_name=f"app{i}")
+        nodes.append(QpipNode(host, nic, firmware, iface, addr,
+                              f"qpip-host{i}"))
+    for i, node in enumerate(nodes):
+        peer = nodes[1 - i]
+        route = fabric.source_route(f"h{i}", f"h{1 - i}")
+        node.firmware.add_route(peer.addr, source_route=route)
+    return nodes[0], nodes[1], fabric
+
+
+def build_interop_pair(sim: Simulator, mtu: int = 9000
+                       ) -> Tuple[QpipNode, HostNode, MyrinetFabric]:
+    """A QPIP node and a conventional socket host on one Myrinet fabric.
+
+    Paper §3: "Communication can occur between QPIP applications or QPIP
+    and traditional (socket) systems" because QPIP "does not add any
+    additional protocol formats".  Both ends speak TCP/IPv6 here; only
+    the interface differs.
+    """
+    from ..core import QpipFirmware, QpipInterface
+    fabric = MyrinetFabric(sim)
+    fabric.add_switch(8)
+
+    qp_host = Host(sim, "qpip-host")
+    qp_nic = ProgrammableNic(sim, qp_host, mtu=mtu, name="qpnic")
+    qp_addr = IPv6Address.from_index(1)
+    firmware = QpipFirmware(qp_nic, qp_addr, isn_seed=0)
+    fabric.attach_host("qp", qp_nic.attachment)
+    iface = QpipInterface(firmware, qp_host, process_name="app")
+    qp_node = QpipNode(qp_host, qp_nic, firmware, iface, qp_addr, "qpip-host")
+
+    sock_host = Host(sim, "sock-host")
+    kernel = HostKernel(sim, sock_host, isn_seed=1)
+    sock_nic = GmNic(sim, sock_host, mtu=mtu, name="myri0",
+                     mac=MacAddress.from_index(32))
+    sock_addr = IPv6Address.from_index(2)
+    kernel.add_nic(sock_nic, sock_addr)
+    fabric.attach_host("sock", sock_nic.attachment)
+    sock_node = HostNode(sock_host, kernel, sock_nic, sock_addr, "sock-host")
+
+    firmware.add_route(sock_addr, source_route=fabric.source_route("qp", "sock"))
+    kernel.add_route(qp_addr, sock_nic,
+                     source_route=fabric.source_route("sock", "qp"))
+    return qp_node, sock_node, fabric
+
+
+def build_qpip_cluster(sim: Simulator, n: int, mtu: int = 16384,
+                       nic_timing: Optional[LanaiTiming] = None
+                       ) -> Tuple[list, MyrinetFabric]:
+    """``n`` QPIP hosts on one Myrinet switch, full-mesh routed."""
+    from ..core import QpipFirmware, QpipInterface
+    fabric = MyrinetFabric(sim)
+    fabric.add_switch(max(8, n + 2))
+    nodes = []
+    for i in range(n):
+        host = Host(sim, f"qpip-node{i}")
+        nic = ProgrammableNic(sim, host, timing=nic_timing, mtu=mtu,
+                              name="qpnic")
+        addr = IPv6Address.from_index(i + 1)
+        firmware = QpipFirmware(nic, addr, isn_seed=i)
+        fabric.attach_host(f"h{i}", nic.attachment)
+        iface = QpipInterface(firmware, host, process_name=f"app{i}")
+        nodes.append(QpipNode(host, nic, firmware, iface, addr,
+                              f"qpip-node{i}"))
+    for i in range(n):
+        for j in range(n):
+            if i != j:
+                nodes[i].firmware.add_route(
+                    nodes[j].addr,
+                    source_route=fabric.source_route(f"h{i}", f"h{j}"))
+    return nodes, fabric
+
+
+def build_gm_pair(sim: Simulator, mtu: int = 9000,
+                  host_timing: Optional[HostTiming] = None
+                  ) -> Tuple[HostNode, HostNode, MyrinetFabric]:
+    """Two Linux hosts doing IP over Myrinet/GM (the paper's second baseline)."""
+    fabric = MyrinetFabric(sim)
+    fabric.add_switch(8)
+    nodes = []
+    for i in range(2):
+        host = Host(sim, f"gm-host{i}", timing=host_timing)
+        kernel = HostKernel(sim, host, isn_seed=i)
+        nic = GmNic(sim, host, mtu=mtu, name="myri0",
+                    mac=MacAddress.from_index(16 + i))
+        addr = IPv4Address.from_index(i + 1, net="10.1.0.0")
+        kernel.add_nic(nic, addr)
+        fabric.attach_host(f"h{i}", nic.attachment)
+        nodes.append(HostNode(host, kernel, nic, addr, f"gm-host{i}"))
+    for i, node in enumerate(nodes):
+        peer = nodes[1 - i]
+        route = fabric.source_route(f"h{i}", f"h{1 - i}")
+        node.kernel.add_route(peer.addr, node.nic, source_route=route)
+    return nodes[0], nodes[1], fabric

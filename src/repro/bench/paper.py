@@ -1,0 +1,101 @@
+"""Reference values from the paper.
+
+Values quoted in the text are exact; values read off figure bars are
+estimates (flagged ``est``).  The reproduction criterion is *shape* —
+orderings, ratios, crossovers — not absolute numbers (see DESIGN.md §4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Ref:
+    value: float
+    unit: str
+    exact: bool = True      # False = estimated from a figure bar
+
+    def __str__(self):
+        mark = "" if self.exact else " (est)"
+        return f"{self.value:g} {self.unit}{mark}"
+
+
+# --- Figure 3: application-to-application RTT, 1-byte message -------------
+FIG3_RTT = {
+    ("IP/GigE", "udp"): Ref(100, "µs", exact=False),
+    ("IP/GigE", "tcp"): Ref(130, "µs", exact=False),
+    ("IP/Myrinet", "udp"): Ref(95, "µs", exact=False),
+    ("IP/Myrinet", "tcp"): Ref(120, "µs", exact=False),
+    ("QPIP", "udp"): Ref(73, "µs"),      # §4.2.1, firmware checksum
+    ("QPIP", "tcp"): Ref(113, "µs"),     # §4.2.1, firmware checksum
+}
+
+# --- Figure 4: ttcp throughput + CPU utilization --------------------------
+FIG4_THROUGHPUT = {
+    "IP/GigE": Ref(45.4, "MB/s"),        # §4.2.1: QPIP@1500 is "22% less"
+    "IP/Myrinet": Ref(60, "MB/s", exact=False),
+    "QPIP": Ref(75.6, "MB/s"),
+}
+FIG4_CPU = {
+    "IP/GigE": Ref(0.75, "frac", exact=False),      # "half to ¾ of a processor"
+    "IP/Myrinet": Ref(0.50, "frac", exact=False),
+    "QPIP": Ref(0.01, "frac"),                       # "<1%"
+}
+MTU_SWEEP = {
+    1500: Ref(35.4, "MB/s"),
+    9000: Ref(70.1, "MB/s"),
+    16384: Ref(75.6, "MB/s"),
+}
+FW_CHECKSUM_THROUGHPUT = Ref(26.4, "MB/s")
+
+# --- Table 1: host overhead for a 1-byte TCP send+receive ------------------
+TABLE1 = {
+    "host_based_us": Ref(29.9, "µs"),
+    "host_based_cycles": Ref(16445, "cycles"),
+    "qpip_us": Ref(2.5, "µs"),
+    "qpip_cycles": Ref(1386, "cycles"),
+}
+
+# --- Table 2: transmit-side NIC occupancy (µs) ------------------------------
+TABLE2_TX = {
+    # stage: (data send, ack send); None = not on that path
+    "Doorbell Process": (1.0, 1.0),
+    "Schedule": (2.0, 2.0),
+    "Get WR": (5.5, None),
+    "Get Data": (4.5, None),
+    "Build TCP Hdr": (5.0, 5.0),
+    "Build IP Hdr": (1.0, 1.0),
+    "Send": (1.0, 1.0),
+    "Update": (1.5, 1.5),
+}
+
+# --- Table 3: receive-side NIC occupancy (µs) -------------------------------
+TABLE3_RX = {
+    "Doorbell Process": (1.0, 1.0),
+    "Media Rcv": (1.0, 1.0),
+    "IP Parse": (1.5, 1.5),
+    "TCP Parse": (7.0, 14.0),
+    "Get WR": (5.5, None),
+    "Put Data": (4.5, None),
+    "Update": (1.5, 9.0),
+}
+
+# --- Figure 7: NBD client performance ----------------------------------------
+FIG7_THROUGHPUT = {
+    ("IP/GigE", "write"): Ref(20, "MB/s", exact=False),
+    ("IP/GigE", "read"): Ref(30, "MB/s", exact=False),
+    ("IP/Myrinet", "write"): Ref(33, "MB/s", exact=False),
+    ("IP/Myrinet", "read"): Ref(50, "MB/s", exact=False),
+    ("QPIP", "write"): Ref(46, "MB/s", exact=False),
+    ("QPIP", "read"): Ref(70, "MB/s", exact=False),
+}
+FIG7_EFFECTIVENESS = {
+    ("IP/GigE", "read"): Ref(45, "MB/CPU·s", exact=False),
+    ("IP/Myrinet", "read"): Ref(77, "MB/CPU·s", exact=False),
+    ("QPIP", "read"): Ref(180, "MB/CPU·s", exact=False),
+}
+# Text claims (§4.2.3): throughput improvement "40% to 137%"; CPU
+# effectiveness "up to 133% better"; filesystem CPU "at least 26%".
+NBD_IMPROVEMENT_RANGE = (0.40, 1.37)
+NBD_FS_FLOOR = 0.20

@@ -1,0 +1,32 @@
+"""ASCII rendering of experiment results against paper references."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+
+def render_table(title: str, headers: Sequence[str],
+                 rows: Sequence[Sequence[object]]) -> str:
+    """Monospace table with a title rule."""
+    cols = [list(map(str, col)) for col in zip(headers, *rows)] \
+        if rows else [[h] for h in headers]
+    widths = [max(len(cell) for cell in col) for col in cols]
+
+    def fmt_row(cells):
+        return "  ".join(str(c).ljust(w) for c, w in zip(cells, widths))
+
+    rule = "-" * (sum(widths) + 2 * (len(widths) - 1))
+    lines = [f"== {title} ==", fmt_row(headers), rule]
+    lines += [fmt_row(r) for r in rows]
+    return "\n".join(lines)
+
+
+def compare(measured: float, paper: Optional[float]) -> str:
+    """'measured (paper, ratio)' cell."""
+    if paper is None or paper == 0:
+        return f"{measured:.1f}"
+    return f"{measured:8.1f}  (paper {paper:g}, x{measured / paper:.2f})"
+
+
+def pct(x: float) -> str:
+    return f"{100 * x:.1f}%"

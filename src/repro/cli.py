@@ -1,0 +1,85 @@
+"""Command-line interface: regenerate any of the paper's tables/figures.
+
+Usage::
+
+    python -m repro list
+    python -m repro fig3
+    python -m repro fig4
+    python -m repro mtu
+    python -m repro table1
+    python -m repro tables23
+    python -m repro fig7 [--mb 409]
+    python -m repro ablation
+    python -m repro all [--mb 409]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from .bench import (run_fabric_scaling, run_fig3, run_fig4, run_fig7,
+                    run_hw_ablation, run_msgsize_sweep, run_mtu_sweep,
+                    run_occupancy_tables, run_table1)
+from .units import MB
+
+EXPERIMENTS = {
+    "fig3": ("Figure 3: application-to-application RTT",
+             lambda args: run_fig3().render()),
+    "fig4": ("Figure 4: ttcp throughput + CPU utilization",
+             lambda args: run_fig4().render()),
+    "mtu": ("Figure 4 text: QPIP MTU sweep + checksum variant",
+            lambda args: run_mtu_sweep().render()),
+    "table1": ("Table 1: host overhead (1-byte TCP message)",
+               lambda args: run_table1().render()),
+    "tables23": ("Tables 2 & 3: NIC occupancy per stage",
+                 lambda args: run_occupancy_tables().render()),
+    "fig7": ("Figure 7: NBD throughput + CPU effectiveness",
+             lambda args: run_fig7(total_bytes=args.mb * MB).render()),
+    "ablation": ("§5.2: Infiniband-class hardware applied to QPIP",
+                 lambda args: run_hw_ablation().render()),
+    "msgsize": ("QPIP latency/bandwidth vs message size (n1/2)",
+                lambda args: run_msgsize_sweep().render()),
+    "scaling": ("Aggregate throughput vs concurrent pairs (§1 claim)",
+                lambda args: run_fabric_scaling().render()),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="QPIP reproduction: regenerate the paper's experiments")
+    sub = parser.add_subparsers(dest="command")
+    sub.add_parser("list", help="list available experiments")
+    for name, (desc, _fn) in EXPERIMENTS.items():
+        p = sub.add_parser(name, help=desc)
+        if name == "fig7":
+            p.add_argument("--mb", type=int, default=409,
+                           help="working-set size in MB (paper: 409)")
+    all_p = sub.add_parser("all", help="run every experiment")
+    all_p.add_argument("--mb", type=int, default=409)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command in (None, "list"):
+        print("experiments:")
+        for name, (desc, _fn) in EXPERIMENTS.items():
+            print(f"  {name:10s} {desc}")
+        print("  all        run everything (slow: full-size NBD)")
+        return 0
+    names = list(EXPERIMENTS) if args.command == "all" else [args.command]
+    for name in names:
+        desc, fn = EXPERIMENTS[name]
+        t0 = time.time()
+        if name == "fig7" and not hasattr(args, "mb"):
+            args.mb = 409
+        print(fn(args))
+        print(f"[{name} ran in {time.time() - t0:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,19 @@
+"""QPIP core: the Queue Pair abstraction over offloaded inter-network
+protocols — the paper's contribution."""
+
+from .cq import CQE_BYTES, CompletionQueue
+from .firmware import (MgmtCommand, QpipFirmware, QpipListener,
+                       default_qpip_tcp_config)
+from .interop import MessageReassembler, frame_message
+from .qp import QPState, QPTransport, QueuePair
+from .rdma import RDMA_HDR_LEN, RdmaHeader, RdmaOpcode
+from .verbs import QpipBuffer, QpipInterface
+from .wr import Completion, WorkRequest, WROpcode, WRStatus
+
+__all__ = [
+    "CQE_BYTES", "CompletionQueue", "MgmtCommand", "QpipFirmware",
+    "QpipListener", "default_qpip_tcp_config", "MessageReassembler",
+    "frame_message", "QPState", "QPTransport", "QueuePair", "QpipBuffer",
+    "RDMA_HDR_LEN", "RdmaHeader", "RdmaOpcode",
+    "QpipInterface", "Completion", "WorkRequest", "WROpcode", "WRStatus",
+]

@@ -1,0 +1,80 @@
+"""Completion queues.
+
+Paper §2.1: "When a WR completes, a token is added to the completion
+queue and can be detected by the application through polling or an
+event.  The binding of multiple queues to a CQ permits applications to
+group related QPs into a single monitoring point."
+
+The CQ ring lives in host memory; the NIC DMAs entries in.  Polling
+spins in the processor cache (cheap, §5.1); waiting arms an interrupt.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Generator, List, Optional
+
+from ..errors import VerbsError
+from ..sim import Event, Simulator
+from .wr import Completion
+
+CQE_BYTES = 32
+
+
+class CompletionQueue:
+    """One completion ring."""
+
+    def __init__(self, sim: Simulator, cq_num: int, capacity: int = 1024):
+        if capacity <= 0:
+            raise VerbsError("CQ capacity must be positive")
+        self.sim = sim
+        self.cq_num = cq_num
+        self.capacity = capacity
+        self._ring: Deque[Completion] = deque()
+        self._waiters: Deque[Event] = deque()
+        self.overruns = 0
+        self.total_completions = 0
+        # Armed by the driver when a consumer blocks: the NIC raises an
+        # interrupt on the next CQE instead of relying on polling.
+        self.interrupt_hook = None
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    # -- NIC side -----------------------------------------------------------
+
+    def push(self, cqe: Completion) -> None:
+        """Called (post-DMA) by the NIC firmware."""
+        if len(self._ring) >= self.capacity:
+            self.overruns += 1      # catastrophic in IB; we count and drop
+            return
+        self._ring.append(cqe)
+        self.total_completions += 1
+        while self._waiters:
+            waiter = self._waiters.popleft()
+            if not waiter.triggered:
+                if self.interrupt_hook is not None:
+                    self.interrupt_hook(waiter)
+                else:
+                    waiter.succeed()
+                break
+
+    # -- host side -----------------------------------------------------------
+
+    def pop(self) -> Optional[Completion]:
+        return self._ring.popleft() if self._ring else None
+
+    def pop_many(self, limit: int) -> List[Completion]:
+        out = []
+        while self._ring and len(out) < limit:
+            out.append(self._ring.popleft())
+        return out
+
+    def wait_event(self) -> Event:
+        """Event fired when the CQ becomes non-empty."""
+        ev = Event(self.sim)
+        if self._ring:
+            ev.succeed()
+        else:
+            self._waiters.append(ev)
+        return ev

@@ -1,0 +1,866 @@
+"""The QPIP network-interface firmware: four FSMs on one RISC core.
+
+Paper §3.1 / Figure 1: the doorbell FSM watches the notification FIFO,
+the management FSM executes privileged driver commands, and the
+transmit (scheduler) and receive FSMs form the communication core,
+running the full TCP/UDP/IPv6 stack *inside the interface*.  Every stage
+charges occupancy on the NIC processor using the Table 2/3 cost model,
+so interface saturation (the 1500-byte-MTU shortfall of Figure 4) falls
+out naturally.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Tuple
+
+from ..errors import QPStateError, VerbsError
+from ..hw.lanai import ProgrammableNic
+from ..mem import Access, TranslationTable
+from ..net import InetStack
+from ..net.addresses import Endpoint, IPv6Address, MacAddress
+from ..net.headers.transport import TCPHeader
+from ..net.packet import (EMPTY as EMPTY_PAYLOAD, BytesPayload,
+                          Packet, Payload, ZeroPayload)
+from ..net.tcp import TcpConfig, TcpConnection, classify
+from ..net.udp import Datagram
+from ..sim import Event, Simulator
+from .rdma import RDMA_HDR_LEN, RdmaHeader, RdmaOpcode, frame, unframe
+from .cq import CQE_BYTES
+from .qp import QPState, QPTransport, QueuePair
+from .wr import Completion, WorkRequest, WROpcode, WRStatus
+
+
+def default_qpip_tcp_config(mtu: int) -> TcpConfig:
+    """The prototype's on-NIC TCP: message-per-segment, RFC 1323 on,
+    no out-of-order reassembly."""
+    return TcpConfig(
+        mss=mtu - 40 - 20,            # IPv6 + TCP base header
+        message_mode=True,
+        use_timestamps=True,
+        use_window_scaling=True,
+        nodelay=True,
+        reassembly=False,
+        max_window=1 << 20,
+        min_rto=5_000.0,              # SAN-scale retransmission floor
+        delack_segments=2,
+        delack_timeout=500.0,         # µs-scale ACKs: WRs complete on ACK (§3)
+        msl=100_000.0)
+
+
+@dataclass
+class MgmtCommand:
+    """A privileged command from the kernel driver (management FSM input)."""
+
+    kind: str
+    args: tuple
+    done: Event
+
+
+# Sentinel: the command's `done` event fires later (connect/accept).
+DEFERRED = object()
+
+# Extension: RDMA traffic bypasses receive WRs, so rdma-enabled QPs get a
+# standing window allowance on top of their posted receive credit.
+RDMA_WINDOW_CREDIT = 256 * 1024
+
+
+class FwEndpoint:
+    """Firmware-side state for one connection (maybe bound to a QP)."""
+
+    def __init__(self, fw: "QpipFirmware", qp: Optional[QueuePair]):
+        self.fw = fw
+        self.qp = qp
+        self.conn: Optional[TcpConnection] = None
+        self.queued = False              # in the transmit ring
+        self.msg_map: Dict[int, WorkRequest] = {}
+        self._msg_ids = itertools.count()
+        self.established_event: Optional[Event] = None
+        self.listener: Optional["QpipListener"] = None
+        self.udp_endpoint = None
+        self.close_pending = False     # disconnect waits for queued sends
+        # RDMA extension state.
+        self.outstanding_reads: Dict[int, list] = {}   # sink_addr -> [wr, left]
+        self.read_responses: Deque[RdmaHeader] = deque()
+
+    def on_conn_created(self, conn) -> None:
+        """Listener path: adopt the connection; window = posted WR credit
+        (zero until a QP is mated, which is exactly QPIP's semantics)."""
+        self.conn = conn
+        conn.enable_credit_window(0)
+
+    # --- TcpConnection context protocol (synchronous; we only queue work) --
+
+    def output_ready(self, conn) -> None:
+        self.fw._queue_tx(self)
+
+    def deliver(self, conn, payload, psh) -> None:
+        self.fw._actions.append(("deliver", self, payload))
+
+    def on_established(self, conn) -> None:
+        self.fw._actions.append(("established", self))
+
+    def on_remote_fin(self, conn) -> None:
+        self.fw._actions.append(("remote_fin", self))
+
+    def on_closed(self, conn) -> None:
+        self.fw._actions.append(("closed", self, None))
+
+    def on_reset(self, conn, exc) -> None:
+        self.fw._actions.append(("closed", self, exc))
+
+    def on_send_complete(self, conn, msg_id) -> None:
+        wr = self.msg_map.pop(msg_id, None)
+        self.fw._actions.append(("send_done", self, wr))
+
+    def on_send_buffer_space(self, conn) -> None:
+        pass    # message mode: completions carry this information
+
+
+class QpipListener:
+    """Firmware-side passive open: mates connections to idle QPs (§3)."""
+
+    def __init__(self, fw: "QpipFirmware", listener_id: int, port: int):
+        self.fw = fw
+        self.listener_id = listener_id
+        self.port = port
+        self.idle_qps: Deque[Tuple[QueuePair, Event]] = deque()
+        self.unbound: Deque[FwEndpoint] = deque()
+        self.tcp_listener = None
+
+    def offer_qp(self, qp: QueuePair, done: Event) -> None:
+        if self.unbound:
+            ep = self.unbound.popleft()
+            self.fw._bind_endpoint(ep, qp, done)
+        else:
+            self.idle_qps.append((qp, done))
+
+    def mate(self, ep: FwEndpoint) -> None:
+        if self.idle_qps:
+            qp, done = self.idle_qps.popleft()
+            self.fw._bind_endpoint(ep, qp, done)
+        else:
+            self.unbound.append(ep)
+
+
+class QpipFirmware:
+    """The firmware program: owns the NIC-resident stack and all QP state."""
+
+    def __init__(self, nic: ProgrammableNic, addr: IPv6Address,
+                 tcp_config: Optional[TcpConfig] = None, isn_seed: int = 0):
+        self.sim: Simulator = nic.sim
+        self.nic = nic
+        self.addr = addr
+        self.tcp_config = tcp_config or default_qpip_tcp_config(nic.mtu)
+        self.stack = InetStack(self.sim, name=f"{nic.name}.stack",
+                               isn_seed=isn_seed)
+        self.stack.ip.add_local(addr)
+        self.translation = TranslationTable(name=f"{nic.name}.tpt")
+        self.endpoints: Dict[int, FwEndpoint] = {}       # qp_num -> endpoint
+        self.listeners: Dict[int, QpipListener] = {}
+        self._listener_ids = itertools.count(1)
+        self._tx_ring: Deque[FwEndpoint] = deque()
+        self._actions: List[tuple] = []
+        self._idle: Optional[Event] = None
+        self._rx_turn = True
+        self._current_done = None
+        self.udp_drops_no_wr = 0
+        nic.wake = self._wake
+        self._iface = _FwIface(nic)
+        self.sim.process(self._main_loop())
+
+    # -- wiring ------------------------------------------------------------
+
+    def add_route(self, dst, source_route: Optional[List[int]] = None,
+                  next_mac: Optional[MacAddress] = None) -> None:
+        from ..net import RouteEntry
+        self.stack.ip.add_route(dst, RouteEntry(
+            iface=self._iface, next_mac=next_mac,
+            source_route=source_route or []))
+
+    # -- main dispatch loop -----------------------------------------------------
+
+    def _wake(self) -> None:
+        if self._idle is not None and not self._idle.triggered:
+            self._idle.succeed()
+            self._idle = None
+
+    def _has_work(self) -> bool:
+        return bool(self.nic.doorbell_fifo or self.nic.mgmt_queue
+                    or self.nic.rx_queue or self._tx_ring)
+
+    def _main_loop(self):
+        t = self.nic.timing
+        while True:
+            if self.nic.doorbell_fifo:
+                token = self.nic.doorbell_fifo.popleft()
+                yield self.nic.stage("doorbell", t.doorbell_process)
+                self._doorbell(token)
+            elif self.nic.mgmt_queue:
+                cmd = self.nic.mgmt_queue.popleft()
+                yield self.nic.stage("mgmt", t.mgmt_command)
+                self._mgmt(cmd)
+            elif self.nic.rx_queue and (self._rx_turn or not self._tx_ring):
+                self._rx_turn = False
+                yield from self._receive_one()
+            elif self._tx_ring:
+                self._rx_turn = True
+                yield from self._transmit_one()
+            else:
+                self._idle = Event(self.sim)
+                yield self._idle
+
+    # -- doorbell FSM -----------------------------------------------------------
+
+    def _doorbell(self, token: Tuple[int, str]) -> None:
+        qp_num, which = token
+        ep = self.endpoints.get(qp_num)
+        if ep is None:
+            return
+        if which == "send":
+            self._queue_tx(ep)
+        elif which == "recv" and ep.conn is not None and ep.qp is not None:
+            ep.conn.set_receive_credit(self._qp_credit(ep.qp))
+        self._drain_actions_sync()
+
+    def _qp_credit(self, qp: QueuePair) -> int:
+        credit = qp.posted_recv_bytes
+        if qp.rdma:
+            credit += RDMA_WINDOW_CREDIT
+        return credit
+
+    def _queue_tx(self, ep: FwEndpoint) -> None:
+        if not ep.queued:
+            ep.queued = True
+            self._tx_ring.append(ep)
+            self._wake()
+
+    # -- management FSM -----------------------------------------------------------
+
+    def _mgmt(self, cmd: MgmtCommand) -> None:
+        handler = getattr(self, f"_mgmt_{cmd.kind}", None)
+        if handler is None:
+            cmd.done.fail(VerbsError(f"unknown mgmt command {cmd.kind}"))
+            return
+        self._current_done = cmd.done
+        try:
+            result = handler(*cmd.args)
+        except Exception as exc:      # surfaced to the driver
+            cmd.done.fail(exc)
+            return
+        finally:
+            self._current_done = None
+        if result is not DEFERRED and not cmd.done.triggered:
+            cmd.done.succeed(result)
+        self._drain_actions_sync()
+
+    def _mgmt_create_qp(self, qp: QueuePair) -> QueuePair:
+        if qp.qp_num in self.endpoints:
+            raise VerbsError(f"QP{qp.qp_num} already exists")
+        self.endpoints[qp.qp_num] = FwEndpoint(self, qp)
+        return qp
+
+    def _mgmt_destroy_qp(self, qp: QueuePair) -> None:
+        ep = self.endpoints.pop(qp.qp_num, None)
+        if ep is not None and ep.conn is not None:
+            ep.conn.abort()
+        self._flush_qp(qp, WRStatus.FLUSHED)
+        qp.state = QPState.DISCONNECTED
+
+    def _mgmt_register(self, aspace, addr, length, access) -> object:
+        return self.translation.register(aspace, addr, length, access)
+
+    def _mgmt_deregister(self, lkey) -> None:
+        self.translation.deregister(lkey)
+
+    def _mgmt_connect(self, qp: QueuePair, remote: Endpoint,
+                      local_port: Optional[int]):
+        done = self._current_done
+        ep = self._endpoint_of(qp)
+        if ep.conn is not None:
+            raise QPStateError(f"QP{qp.qp_num} already connected")
+        port = local_port or self.stack.tcp.ephemeral_port()
+        local = Endpoint(self.addr, port)
+        qp.local_port = port
+        qp.remote = remote
+        qp.state = QPState.CONNECTING
+        ep.established_event = done
+        ep.conn = self.stack.tcp.connect(local, remote, self._conn_config(), ep)
+        ep.conn.enable_credit_window(self._qp_credit(qp))
+        return DEFERRED
+
+    def _mgmt_listen(self, port: int) -> int:
+        listener_id = next(self._listener_ids)
+        qlistener = QpipListener(self, listener_id, port)
+
+        def ctx_factory():
+            ep = FwEndpoint(self, qp=None)
+            ep.listener = qlistener
+            return ep
+
+        qlistener.tcp_listener = self.stack.tcp.listen(
+            Endpoint(self.addr, port), self._conn_config(), ctx_factory)
+        self.listeners[listener_id] = qlistener
+        return listener_id
+
+    def _mgmt_accept(self, listener_id: int, qp: QueuePair):
+        done = self._current_done
+        listener = self.listeners.get(listener_id)
+        if listener is None:
+            raise VerbsError(f"no listener {listener_id}")
+        self._endpoint_of(qp)     # must exist
+        listener.offer_qp(qp, done)
+        return DEFERRED           # `done` fires when a connection is mated
+
+    def _mgmt_bind_udp(self, qp: QueuePair, port: Optional[int]) -> int:
+        ep = self._endpoint_of(qp)
+        udp_ep = self.stack.udp.bind(port)
+        udp_ep.on_datagram = lambda dg, _ep=ep: self._actions.append(
+            ("udp_deliver", _ep, dg))
+        ep.udp_endpoint = udp_ep
+        qp.local_port = udp_ep.port
+        qp.state = QPState.BOUND
+        self._drain_actions_sync()
+        return udp_ep.port
+
+    def _mgmt_disconnect(self, qp: QueuePair) -> None:
+        ep = self._endpoint_of(qp)
+        if ep.conn is None:
+            return
+        if qp.send_queue or ep.read_responses:
+            # Posted work drains first; the FIN follows the data (the
+            # same ordering close() gives queued stream data).
+            ep.close_pending = True
+            self._queue_tx(ep)
+        else:
+            ep.conn.close()
+
+    def _endpoint_of(self, qp: QueuePair) -> FwEndpoint:
+        ep = self.endpoints.get(qp.qp_num)
+        if ep is None:
+            raise VerbsError(f"QP{qp.qp_num} unknown to the interface")
+        return ep
+
+    def _conn_config(self) -> TcpConfig:
+        return self.tcp_config
+
+    def _bind_endpoint(self, ep: FwEndpoint, qp: QueuePair, done: Event) -> None:
+        ep.qp = qp
+        self.endpoints[qp.qp_num] = ep
+        qp.state = QPState.CONNECTED
+        qp.remote = ep.conn.tuple.remote
+        qp.local_port = ep.conn.tuple.local.port
+        # Opening the credit window here emits the window update that lets
+        # the peer start sending (its SYN saw zero posted buffers).
+        if ep.conn._credit_mode:
+            ep.conn.set_receive_credit(self._qp_credit(qp))
+        else:
+            ep.conn.enable_credit_window(self._qp_credit(qp))
+        self._notify_host(done, qp)
+
+    # -- receive FSM --------------------------------------------------------------
+
+    def _receive_one(self):
+        t = self.nic.timing
+        pkt = self.nic.rx_queue.popleft()
+        yield self.nic.stage("media_recv", t.media_recv)
+        if t.rx_checksum_per_byte is not None:
+            covered = pkt.payload.length + 20    # transport header + payload
+            yield self.nic.stage("rx_checksum",
+                                 t.rx_checksum_per_byte * covered)
+        yield self.nic.stage("ip_parse", t.ip_parse)
+        tcp_hdr = pkt.find(TCPHeader)
+        if tcp_hdr is not None:
+            kind = classify(tcp_hdr, pkt.payload.length)
+            if kind == "ack":
+                yield self.nic.stage("tcp_parse_ack", t.tcp_parse_ack)
+            else:
+                yield self.nic.stage("tcp_parse_data", t.tcp_parse_data)
+        else:
+            yield self.nic.stage("udp_parse", t.udp_parse)
+        self._actions.clear()
+        self.stack.packet_in(pkt)
+        yield from self._drain_actions()
+
+    def _drain_actions(self):
+        t = self.nic.timing
+        actions, self._actions = list(self._actions), []
+        first_ack_update = True
+        for action in actions:
+            kind = action[0]
+            if kind == "deliver":
+                _k, ep, payload = action
+                yield from self._deliver_tcp(ep, payload)
+            elif kind == "udp_deliver":
+                _k, ep, datagram = action
+                yield from self._deliver_udp(ep, datagram)
+            elif kind == "send_done":
+                _k, ep, wr = action
+                if first_ack_update:
+                    yield self.nic.stage("rx_update_ack", t.rx_update_ack)
+                    first_ack_update = False
+                else:
+                    yield self.nic.stage("rx_update_extra", t.rx_update_data)
+                if wr is not None and ep.qp is not None:
+                    ep.qp.sends_completed += 1
+                    self._post_cqe(ep.qp.send_cq, Completion(
+                        wr.wr_id, ep.qp.qp_num, wr.opcode,
+                        byte_len=wr.length))
+            elif kind == "established":
+                self._on_established(action[1])
+            elif kind == "remote_fin":
+                self._on_remote_fin(action[1])
+            elif kind == "closed":
+                self._on_closed(action[1], action[2])
+
+    def _drain_actions_sync(self) -> None:
+        """Drain control-path actions that need no timed stages."""
+        actions, self._actions = list(self._actions), []
+        for action in actions:
+            if action[0] == "established":
+                self._on_established(action[1])
+            elif action[0] == "closed":
+                self._on_closed(action[1], action[2])
+            else:
+                # Data actions can appear here only via pathological reentry.
+                self._actions.append(action)
+
+    def _deliver_tcp(self, ep: FwEndpoint, payload: Payload):
+        if ep.qp is not None and ep.qp.rdma:
+            yield from self._deliver_rdma(ep, payload)
+            return
+        t = self.nic.timing
+        qp = ep.qp
+        if qp is None or not qp.recv_queue:
+            # Credit flow control should make this impossible; treat as fatal.
+            self._fail_endpoint(ep, WRStatus.REMOTE_ABORTED)
+            return
+        yield self.nic.stage("get_wr", t.get_wr)
+        wr = qp.recv_queue.popleft()
+        if payload.length > wr.length:
+            qp.recv_queue.appendleft(wr)
+            self._fail_endpoint(ep, WRStatus.LOCAL_LENGTH_ERROR)
+            return
+        yield self.nic.stage("put_data", t.put_data)
+        dma = self.nic.dma_to_host(payload.length)
+        if not t.overlap_dma:
+            yield dma
+        self._write_wr_data(wr, payload)
+        yield self.nic.stage("rx_update_data", t.rx_update_data)
+        qp.recvs_completed += 1
+        self._post_cqe(qp.recv_cq, Completion(
+            wr.wr_id, qp.qp_num, WROpcode.RECV, byte_len=payload.length))
+        ep.conn.set_receive_credit(self._qp_credit(qp))
+
+    def _deliver_udp(self, ep: FwEndpoint, datagram: Datagram):
+        t = self.nic.timing
+        qp = ep.qp
+        payload = datagram.payload
+        if qp is None or not qp.recv_queue:
+            self.udp_drops_no_wr += 1       # best effort: drop
+            return
+        if payload.length > qp.recv_queue[0].length:
+            self.udp_drops_no_wr += 1
+            return
+        yield self.nic.stage("get_wr", t.get_wr)
+        wr = qp.recv_queue.popleft()
+        yield self.nic.stage("put_data", t.put_data)
+        dma = self.nic.dma_to_host(payload.length)
+        if not t.overlap_dma:
+            yield dma
+        self._write_wr_data(wr, payload)
+        yield self.nic.stage("rx_update_data", t.rx_update_data)
+        qp.recvs_completed += 1
+        self._post_cqe(qp.recv_cq, Completion(
+            wr.wr_id, qp.qp_num, WROpcode.RECV, byte_len=payload.length,
+            src=datagram.src))
+
+    def _write_wr_data(self, wr: WorkRequest, payload: Payload) -> None:
+        """Direct data placement into the registered receive buffers."""
+        if isinstance(payload, ZeroPayload):
+            return    # implicit zeros: nothing observable to place
+        data = payload.to_bytes()
+        offset = 0
+        for sge in wr.sges:
+            if offset >= len(data):
+                break
+            chunk = data[offset:offset + sge.length]
+            region = self.translation.check(sge.lkey, sge.addr, len(chunk),
+                                            Access.LOCAL_WRITE)
+            region.aspace.write(sge.addr, chunk)
+            offset += len(chunk)
+
+    # -- transmit (scheduler) FSM -----------------------------------------------
+
+    def _transmit_one(self):
+        t = self.nic.timing
+        ep = self._tx_ring.popleft()
+        ep.queued = False
+        yield self.nic.stage("schedule", t.schedule)
+        if ep.read_responses and self._can_fetch(ep):
+            yield from self._emit_read_response(ep)
+        elif ep.qp is not None and ep.qp.send_queue and self._can_fetch(ep):
+            yield from self._fetch_send_wr(ep)
+        if ep.conn is not None:
+            yield from self._emit_one_segment(ep)
+        if ep.close_pending and ep.qp is not None and not ep.qp.send_queue \
+                and not ep.read_responses and ep.conn is not None:
+            ep.close_pending = False
+            ep.conn.close()
+        if (ep.conn is not None and ep.conn.has_output()) or ep.read_responses \
+                or (ep.qp is not None and ep.qp.send_queue and self._can_fetch(ep)):
+            self._queue_tx(ep)
+
+    def _can_fetch(self, ep: FwEndpoint) -> bool:
+        if ep.qp.transport is QPTransport.UDP:
+            return True
+        return (ep.conn is not None
+                and len(ep.conn._unsent) < 4)     # bounded SRAM staging
+
+    def _fetch_send_wr(self, ep: FwEndpoint):
+        t = self.nic.timing
+        qp = ep.qp
+        yield self.nic.stage("get_wr", t.get_wr)
+        if not qp.send_queue:
+            return
+        wr = qp.send_queue.popleft()
+        try:
+            payload = self._read_wr_data(wr)
+        except Exception:
+            self._post_cqe(qp.send_cq, Completion(
+                wr.wr_id, qp.qp_num, WROpcode.SEND,
+                status=WRStatus.LOCAL_PROTECTION_ERROR))
+            qp.state = QPState.ERROR
+            return
+        yield self.nic.stage("get_data", t.get_data)
+        dma = self.nic.dma_from_host(payload.length)
+        if not t.overlap_dma:
+            yield dma
+        if qp.transport is QPTransport.UDP:
+            yield from self._send_udp(ep, wr, payload)
+        elif qp.rdma:
+            self._send_rdma(ep, wr, payload)
+        else:
+            msg_id = next(ep._msg_ids)
+            ep.msg_map[msg_id] = wr
+            ep.conn.send_message(payload, msg_id=msg_id)
+
+    def _read_wr_data(self, wr: WorkRequest) -> Payload:
+        parts: List[Payload] = []
+        all_zero = True
+        for sge in wr.sges:
+            region = self.translation.check(sge.lkey, sge.addr, sge.length,
+                                            Access.LOCAL_READ)
+            if region.aspace.is_all_zero(sge.addr, sge.length):
+                parts.append(ZeroPayload(sge.length))
+            else:
+                parts.append(BytesPayload(region.aspace.read(sge.addr, sge.length)))
+                all_zero = False
+        if all_zero:
+            return ZeroPayload(sum(p.length for p in parts))
+        from ..net.packet import concat
+        return concat(parts)
+
+    def _send_udp(self, ep: FwEndpoint, wr: WorkRequest, payload: Payload):
+        t = self.nic.timing
+        yield self.nic.stage("build_udp_hdr", t.build_udp_hdr)
+        yield self.nic.stage("build_ip_hdr", t.build_ip_hdr)
+        from ..net.headers.transport import UDPHeader
+        hdr = UDPHeader(ep.qp.local_port or 0, wr.dest.port,
+                        length=8 + payload.length)
+        pkt = self.stack.ip.build(self.addr, wr.dest.addr, hdr, payload)
+        yield self.nic.stage("media_send", t.media_send)
+        self.nic.wire_transmit(pkt)
+        if not t.overlap_dma:
+            # The prototype's firmware babysits the send engine until the
+            # packet has left SRAM; IB-class hardware overlaps.
+            yield self.nic.stage("media_send_drain", self.nic.wire_time(pkt))
+        yield self.nic.stage("tx_update", t.tx_update)
+        # UDP send WRs complete as soon as the datagram is on the wire (§3).
+        ep.qp.sends_completed += 1
+        self._post_cqe(ep.qp.send_cq, Completion(
+            wr.wr_id, ep.qp.qp_num, WROpcode.SEND, byte_len=payload.length))
+
+    def _emit_one_segment(self, ep: FwEndpoint):
+        t = self.nic.timing
+        conn = ep.conn
+        desc = conn.next_descriptor()
+        if desc is None:
+            return
+        if desc.kind == "data" and desc.retransmit:
+            # Retransmission: the data must be fetched from host memory again.
+            yield self.nic.stage("get_data", t.get_data)
+            dma = self.nic.dma_from_host(
+                desc.chunk.payload.length if desc.chunk else 0)
+            if not t.overlap_dma:
+                yield dma
+        built = conn.build_segment(desc)
+        if built is None:
+            return
+        hdr, payload = built
+        yield self.nic.stage("build_tcp_hdr", t.build_tcp_hdr)
+        yield self.nic.stage("build_ip_hdr", t.build_ip_hdr)
+        pkt = self.stack.build_segment_packet(conn, hdr, payload)
+        yield self.nic.stage("media_send", t.media_send)
+        self.nic.wire_transmit(pkt)
+        if not t.overlap_dma and payload.length:
+            yield self.nic.stage("media_send_drain", self.nic.wire_time(pkt))
+        yield self.nic.stage("tx_update", t.tx_update)
+
+    # -- RDMA extension (one-sided operations; see core/rdma.py) -----------
+
+    def _rdma_chunk(self, ep: FwEndpoint) -> int:
+        return ep.conn.max_message - RDMA_HDR_LEN
+
+    def _send_rdma(self, ep: FwEndpoint, wr: WorkRequest, payload: Payload) -> None:
+        """Queue a framed message stream for a SEND/WRITE/READ_REQ WR."""
+        chunk = self._rdma_chunk(ep)
+        if wr.opcode is WROpcode.SEND:
+            if payload.length > chunk:
+                self._local_wr_error(ep, wr, WRStatus.LOCAL_LENGTH_ERROR)
+                return
+            hdr = RdmaHeader(RdmaOpcode.SEND, length=payload.length)
+            msg_id = next(ep._msg_ids)
+            ep.msg_map[msg_id] = wr
+            ep.conn.send_message(frame(hdr, payload), msg_id=msg_id)
+            return
+        if wr.opcode is WROpcode.RDMA_WRITE:
+            offset = 0
+            while True:
+                n = min(chunk, payload.length - offset)
+                hdr = RdmaHeader(RdmaOpcode.WRITE, rkey=wr.rkey,
+                                 remote_addr=wr.remote_addr + offset, length=n)
+                body = payload.slice(offset, n)
+                offset += n
+                msg_id = next(ep._msg_ids)
+                if offset >= payload.length:
+                    ep.msg_map[msg_id] = wr     # completion on the last chunk
+                ep.conn.send_message(frame(hdr, body), msg_id=msg_id)
+                if offset >= payload.length:
+                    break
+            return
+        # RDMA_READ: a header-only request; the WR completes when the
+        # response stream has been placed in the sink buffer.
+        sink = wr.sges[0]
+        hdr = RdmaHeader(RdmaOpcode.READ_REQ, rkey=wr.rkey,
+                         remote_addr=wr.remote_addr, length=sink.length,
+                         sink_key=sink.lkey, sink_addr=sink.addr)
+        ep.outstanding_reads[sink.addr] = [wr, sink.length]
+        ep.conn.send_message(frame(hdr, EMPTY_PAYLOAD), msg_id=next(ep._msg_ids))
+
+    def _local_wr_error(self, ep: FwEndpoint, wr: WorkRequest,
+                        status: WRStatus) -> None:
+        ep.qp.state = QPState.ERROR
+        self._post_cqe(ep.qp.send_cq, Completion(
+            wr.wr_id, ep.qp.qp_num, wr.opcode, status=status))
+
+    def _deliver_rdma(self, ep: FwEndpoint, payload: Payload):
+        """Receive path for framed (rdma-enabled) QPs."""
+        t = self.nic.timing
+        qp = ep.qp
+        try:
+            hdr, body = unframe(payload)
+        except Exception:
+            self._fail_endpoint(ep, WRStatus.REMOTE_ABORTED)
+            return
+        # RDMA bypasses receive WRs: open the stream window back up.
+        ep.conn.app_consumed(payload.length) if not ep.conn._credit_mode \
+            else None
+        if hdr.opcode is RdmaOpcode.SEND:
+            yield from self._rdma_untagged(ep, body)
+        elif hdr.opcode is RdmaOpcode.WRITE:
+            yield from self._rdma_place(ep, hdr, body, notify=None)
+        elif hdr.opcode is RdmaOpcode.READ_REQ:
+            yield self.nic.stage("rdma_read_req", t.get_wr)
+            ep.read_responses.append(hdr)
+            self._queue_tx(ep)
+        elif hdr.opcode is RdmaOpcode.READ_RESP:
+            yield from self._rdma_place(ep, hdr, body, notify="read")
+
+    def _rdma_untagged(self, ep: FwEndpoint, body: Payload):
+        t = self.nic.timing
+        qp = ep.qp
+        if not qp.recv_queue:
+            self._fail_endpoint(ep, WRStatus.REMOTE_ABORTED)
+            return
+        yield self.nic.stage("get_wr", t.get_wr)
+        wr = qp.recv_queue.popleft()
+        if body.length > wr.length:
+            qp.recv_queue.appendleft(wr)
+            self._fail_endpoint(ep, WRStatus.LOCAL_LENGTH_ERROR)
+            return
+        yield self.nic.stage("put_data", t.put_data)
+        dma = self.nic.dma_to_host(body.length)
+        if not t.overlap_dma:
+            yield dma
+        self._write_wr_data(wr, body)
+        yield self.nic.stage("rx_update_data", t.rx_update_data)
+        qp.recvs_completed += 1
+        self._post_cqe(qp.recv_cq, Completion(
+            wr.wr_id, qp.qp_num, WROpcode.RECV, byte_len=body.length))
+        ep.conn.set_receive_credit(self._qp_credit(qp))
+
+    def _rdma_place(self, ep: FwEndpoint, hdr: RdmaHeader, body: Payload,
+                    notify: Optional[str]):
+        """Direct placement of a tagged message (WRITE or READ_RESP)."""
+        t = self.nic.timing
+        key = hdr.sink_key if notify == "read" else hdr.rkey
+        addr = hdr.sink_addr if notify == "read" else hdr.remote_addr
+        try:
+            region = self.translation.check(key, addr, body.length,
+                                            Access.REMOTE_WRITE
+                                            if notify is None
+                                            else Access.LOCAL_WRITE)
+        except Exception:
+            # iWARP-style: a remote access violation terminates the stream.
+            self._fail_endpoint(ep, WRStatus.REMOTE_ACCESS_ERROR)
+            ep.conn.abort() if ep.conn else None
+            return
+        yield self.nic.stage("put_data", t.put_data)
+        dma = self.nic.dma_to_host(body.length)
+        if not t.overlap_dma:
+            yield dma
+        if not isinstance(body, ZeroPayload):
+            region.aspace.write(addr, body.to_bytes())
+        yield self.nic.stage("rx_update_data", t.rx_update_data)
+        if notify == "read":
+            yield from self._rdma_read_progress(ep, hdr, body.length)
+
+    def _rdma_read_progress(self, ep: FwEndpoint, hdr: RdmaHeader,
+                            placed: int):
+        # The request recorded the sink base address; responses advance
+        # through the sink, so locate the tracking entry by range.
+        t = self.nic.timing
+        for base, entry in list(ep.outstanding_reads.items()):
+            wr, left = entry
+            sink = wr.sges[0]
+            if sink.addr <= hdr.sink_addr < sink.addr + sink.length:
+                entry[1] = left - placed
+                if entry[1] <= 0:
+                    del ep.outstanding_reads[base]
+                    yield self.nic.stage("rx_update_ack", t.rx_update_ack)
+                    ep.qp.sends_completed += 1
+                    self._post_cqe(ep.qp.send_cq, Completion(
+                        wr.wr_id, ep.qp.qp_num, WROpcode.RDMA_READ,
+                        byte_len=sink.length))
+                return
+
+    def _emit_read_response(self, ep: FwEndpoint):
+        """Responder side of RDMA READ: stream one chunk per service."""
+        t = self.nic.timing
+        req = ep.read_responses[0]
+        served = getattr(req, "_served", 0)
+        chunk = self._rdma_chunk(ep)
+        n = min(chunk, req.length - served)
+        try:
+            region = self.translation.check(req.rkey, req.remote_addr + served,
+                                            n, Access.REMOTE_READ)
+        except Exception:
+            ep.read_responses.popleft()
+            self._fail_endpoint(ep, WRStatus.REMOTE_ACCESS_ERROR)
+            return
+        yield self.nic.stage("get_data", t.get_data)
+        dma = self.nic.dma_from_host(n)
+        if not t.overlap_dma:
+            yield dma
+        if region.aspace.is_all_zero(req.remote_addr + served, n):
+            body = ZeroPayload(n)
+        else:
+            body = BytesPayload(region.aspace.read(req.remote_addr + served, n))
+        hdr = RdmaHeader(RdmaOpcode.READ_RESP, length=n,
+                         sink_key=req.sink_key,
+                         sink_addr=req.sink_addr + served)
+        ep.conn.send_message(frame(hdr, body), msg_id=next(ep._msg_ids))
+        served += n
+        if served >= req.length:
+            ep.read_responses.popleft()
+        else:
+            object.__setattr__(req, "_served", served)
+            # (frozen dataclass: progress rides on the queued instance)
+
+    # -- endpoint lifecycle ------------------------------------------------------
+
+    def _on_established(self, ep: FwEndpoint) -> None:
+        if ep.qp is not None:
+            ep.qp.state = QPState.CONNECTED
+            if ep.established_event is not None:
+                ev, ep.established_event = ep.established_event, None
+                self._notify_host(ev, ep.qp)
+            ep.conn.set_receive_credit(self._qp_credit(ep.qp))
+        else:
+            # Listener-spawned: mate with an idle QP (paper §3).
+            ep.listener.mate(ep)
+
+    def _on_remote_fin(self, ep: FwEndpoint) -> None:
+        """Orderly shutdown from the peer: flush the now-unusable receive
+        WRs so the application observes EOF (FLUSHED recv completions)."""
+        if ep.qp is None:
+            return
+        ep.qp.remote_closed = True
+        qp = ep.qp
+        while qp.recv_queue:
+            wr = qp.recv_queue.popleft()
+            self._post_cqe(qp.recv_cq, Completion(
+                wr.wr_id, qp.qp_num, WROpcode.RECV, status=WRStatus.FLUSHED))
+
+    def _on_closed(self, ep: FwEndpoint, exc: Optional[Exception]) -> None:
+        if ep.qp is None:
+            return
+        qp = ep.qp
+        if exc is not None:
+            qp.error = exc
+            qp.state = QPState.ERROR
+            self._flush_qp(qp, WRStatus.REMOTE_ABORTED)
+        else:
+            qp.state = QPState.DISCONNECTED
+            self._flush_qp(qp, WRStatus.FLUSHED)
+        if ep.established_event is not None and not ep.established_event.triggered:
+            ev, ep.established_event = ep.established_event, None
+            ev.fail(exc or QPStateError(f"QP{qp.qp_num} closed"))
+
+    def _fail_endpoint(self, ep: FwEndpoint, status: WRStatus) -> None:
+        if ep.conn is not None:
+            ep.conn.abort()
+        if ep.qp is not None:
+            ep.qp.state = QPState.ERROR
+            self._flush_qp(ep.qp, status)
+
+    def _flush_qp(self, qp: QueuePair, status: WRStatus) -> None:
+        while qp.recv_queue:
+            wr = qp.recv_queue.popleft()
+            self._post_cqe(qp.recv_cq, Completion(
+                wr.wr_id, qp.qp_num, WROpcode.RECV, status=status))
+        while qp.send_queue:
+            wr = qp.send_queue.popleft()
+            self._post_cqe(qp.send_cq, Completion(
+                wr.wr_id, qp.qp_num, WROpcode.SEND, status=status))
+
+    # -- host notification ---------------------------------------------------------
+
+    def _post_cqe(self, cq, cqe: Completion) -> None:
+        """DMA the CQE into the host-memory ring (posted; firmware moves on)."""
+        dma = self.nic.dma_to_host(CQE_BYTES)
+        dma.callbacks.append(lambda _ev: cq.push(cqe))
+
+    def _notify_host(self, event: Event, value) -> None:
+        dma = self.nic.dma_to_host(CQE_BYTES)
+        dma.callbacks.append(lambda _ev: event.succeed(value)
+                             if not event.triggered else None)
+
+
+class _FwIface:
+    """IP-layer interface adapter for the NIC's own stack.
+
+    Normal segment transmission goes through the timed transmit FSM; this
+    direct path is used only for stack-generated control packets (RSTs).
+    """
+
+    def __init__(self, nic: ProgrammableNic):
+        self.nic = nic
+        self.mtu = nic.mtu
+        self.mac = None
+
+    def enqueue_tx(self, pkt: Packet) -> None:
+        self.nic.wire_transmit(pkt)

@@ -1,0 +1,58 @@
+"""QP ↔ socket interoperation helpers.
+
+Paper §3: "Communication can occur between QPIP applications or QPIP and
+traditional (socket) systems ... the QP end is aware of the remote
+limitations and may have to re-assemble incoming data into a complete
+unit.  This reassembly could be done by an optional library."
+
+This module is that optional library.  A socket peer emits a byte
+stream; each TCP segment consumes one receive WR at the QP end, so a
+logical message may arrive split across several WRs (or several
+messages packed into one).  :class:`MessageReassembler` restores
+boundaries using a 4-byte length prefix.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import List, Optional
+
+from ..errors import NetworkError
+
+
+def frame_message(data: bytes) -> bytes:
+    """Length-prefix a message for stream transport."""
+    return struct.pack("!I", len(data)) + data
+
+
+class MessageReassembler:
+    """Rebuilds length-prefixed messages from per-WR byte fragments."""
+
+    MAX_MESSAGE = 1 << 24
+
+    def __init__(self):
+        self._buffer = bytearray()
+        self.messages_out: List[bytes] = []
+        self.bytes_in = 0
+
+    def push(self, fragment: bytes) -> List[bytes]:
+        """Feed one received fragment; returns completed messages."""
+        self._buffer.extend(fragment)
+        self.bytes_in += len(fragment)
+        done: List[bytes] = []
+        while True:
+            if len(self._buffer) < 4:
+                break
+            (length,) = struct.unpack_from("!I", self._buffer, 0)
+            if length > self.MAX_MESSAGE:
+                raise NetworkError(f"reassembly: absurd message length {length}")
+            if len(self._buffer) < 4 + length:
+                break
+            done.append(bytes(self._buffer[4:4 + length]))
+            del self._buffer[:4 + length]
+        self.messages_out.extend(done)
+        return done
+
+    @property
+    def pending_bytes(self) -> int:
+        return len(self._buffer)

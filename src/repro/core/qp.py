@@ -1,0 +1,102 @@
+"""Queue pairs.
+
+Paper §2.1: "The QP is a memory-based abstraction where communication is
+achieved through direct memory-to-memory transfers between applications
+and devices.  It consists of a send and a receive queue of work
+requests."  The queues live in host memory; the firmware reads WRs by
+DMA (the Get WR stage of Table 2/3).
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from typing import Deque, Optional
+
+from ..errors import QPStateError, VerbsError
+from ..net.addresses import Endpoint
+from .cq import CompletionQueue
+from .wr import WorkRequest, WROpcode
+
+
+class QPTransport(enum.Enum):
+    TCP = "TCP"       # reliable connection (paper §3, reliable mode)
+    UDP = "UDP"       # unreliable datagram
+
+
+class QPState(enum.Enum):
+    RESET = "RESET"
+    BOUND = "BOUND"             # UDP: bound to a port
+    CONNECTING = "CONNECTING"   # TCP: SYN in progress (in the NIC)
+    CONNECTED = "CONNECTED"
+    DISCONNECTED = "DISCONNECTED"
+    ERROR = "ERROR"
+
+
+class QueuePair:
+    """Host-memory QP state (the library's view)."""
+
+    def __init__(self, qp_num: int, transport: QPTransport,
+                 send_cq: CompletionQueue, recv_cq: CompletionQueue,
+                 max_send_wr: int = 256, max_recv_wr: int = 256,
+                 rdma: bool = False):
+        self.qp_num = qp_num
+        self.transport = transport
+        self.rdma = rdma            # extension: framed messages, one-sided ops
+        self.send_cq = send_cq
+        self.recv_cq = recv_cq
+        self.max_send_wr = max_send_wr
+        self.max_recv_wr = max_recv_wr
+        self.state = QPState.RESET
+        self.send_queue: Deque[WorkRequest] = deque()
+        self.recv_queue: Deque[WorkRequest] = deque()
+        self.local_port: Optional[int] = None
+        self.remote: Optional[Endpoint] = None
+        self.remote_closed = False
+        self.error: Optional[Exception] = None
+        # statistics
+        self.sends_posted = 0
+        self.recvs_posted = 0
+        self.sends_completed = 0
+        self.recvs_completed = 0
+
+    # -- host-side queue operations (costs charged by the verbs layer) ------
+
+    SEND_OPCODES = (WROpcode.SEND, WROpcode.RDMA_WRITE, WROpcode.RDMA_READ)
+
+    def enqueue_send(self, wr: WorkRequest) -> None:
+        if wr.opcode not in self.SEND_OPCODES:
+            raise VerbsError("post_send requires a SEND/RDMA work request")
+        if wr.opcode is not WROpcode.SEND and not self.rdma:
+            raise VerbsError(
+                f"QP{self.qp_num}: RDMA requires a QP created with rdma=True")
+        if wr.opcode is not WROpcode.SEND and self.transport is QPTransport.UDP:
+            raise VerbsError("RDMA needs the reliable (TCP) transport")
+        if self.state in (QPState.ERROR, QPState.DISCONNECTED):
+            raise QPStateError(f"QP{self.qp_num} is {self.state.value}")
+        if len(self.send_queue) >= self.max_send_wr:
+            raise VerbsError(f"QP{self.qp_num} send queue full")
+        if self.transport is QPTransport.UDP and wr.dest is None:
+            raise VerbsError("UDP send WR needs a destination endpoint")
+        self.send_queue.append(wr)
+        self.sends_posted += 1
+
+    def enqueue_recv(self, wr: WorkRequest) -> None:
+        if wr.opcode is not WROpcode.RECV:
+            raise VerbsError("post_recv requires a RECV work request")
+        if self.state is QPState.ERROR:
+            raise QPStateError(f"QP{self.qp_num} is in ERROR")
+        if len(self.recv_queue) >= self.max_recv_wr:
+            raise VerbsError(f"QP{self.qp_num} receive queue full")
+        self.recv_queue.append(wr)
+        self.recvs_posted += 1
+
+    @property
+    def posted_recv_bytes(self) -> int:
+        """Total capacity of posted receive WRs: this *is* the TCP receive
+        window in QPIP (paper §5.1)."""
+        return sum(wr.length for wr in self.recv_queue)
+
+    def __repr__(self):
+        return (f"<QP{self.qp_num} {self.transport.value} {self.state.value} "
+                f"sq={len(self.send_queue)} rq={len(self.recv_queue)}>")

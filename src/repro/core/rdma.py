@@ -1,0 +1,84 @@
+"""RDMA extension: one-sided WRITE and READ over the QPIP transport.
+
+The QP model the paper adopts (§2.1) includes "remote DMA (RDMA)"
+message transactions — "data can be directly written to or read from a
+remote address space without involving the target process" — but the
+prototype implements only send-receive.  This module is that future
+work, done the way the lineage actually went (iWARP/DDP): a small
+framing header on every QP message distinguishes tagged (RDMA) from
+untagged (send) messages and carries the remote buffer coordinates.
+
+RDMA framing is per-QP opt-in (``rdma=True`` at ``create_qp``), because
+it *is* an additional protocol layer — exactly what the 2002 prototype
+chose to avoid, and exactly what RFC 5040/5041 later standardized.
+"""
+
+from __future__ import annotations
+
+import enum
+import struct
+from dataclasses import dataclass
+
+from ..errors import NetworkError
+
+RDMA_HDR_LEN = 32
+
+
+class RdmaOpcode(enum.Enum):
+    SEND = 0          # untagged: consumes a receive WR
+    WRITE = 1         # tagged: placed at (rkey, remote_addr)
+    READ_REQ = 2      # ask the peer to stream data back
+    READ_RESP = 3     # tagged response segment of a READ
+
+
+@dataclass(frozen=True)
+class RdmaHeader:
+    """Per-message framing header (DDP-flavoured), 32 bytes on the wire.
+
+    * SEND — only ``length`` matters.
+    * WRITE / READ_RESP — (``rkey``, ``remote_addr``) locate the buffer
+      for direct placement.
+    * READ_REQ — (``rkey``, ``remote_addr``, ``length``) name the source
+      at the responder; (``sink_key``, ``sink_addr``) name the
+      requester's landing buffer, echoed back in each READ_RESP.
+    """
+
+    opcode: RdmaOpcode
+    rkey: int = 0
+    remote_addr: int = 0
+    length: int = 0
+    sink_key: int = 0
+    sink_addr: int = 0
+
+    _FMT = "!BxxxIQIIQ"
+
+    def encode(self) -> bytes:
+        return struct.pack(self._FMT, self.opcode.value, self.rkey,
+                           self.remote_addr, self.length, self.sink_key,
+                           self.sink_addr)
+
+    @classmethod
+    def decode(cls, data: bytes) -> "RdmaHeader":
+        if len(data) < RDMA_HDR_LEN:
+            raise NetworkError(f"short RDMA header: {len(data)} bytes")
+        (opcode_val, rkey, addr, length, sink_key,
+         sink_addr) = struct.unpack_from(cls._FMT, data, 0)
+        try:
+            opcode = RdmaOpcode(opcode_val)
+        except ValueError as exc:
+            raise NetworkError(f"bad RDMA opcode {opcode_val}") from exc
+        return cls(opcode, rkey, addr, length, sink_key, sink_addr)
+
+
+def frame(header: RdmaHeader, payload) -> object:
+    """Prepend the framing header to a message payload."""
+    from ..net.packet import BytesPayload, concat
+    return concat([BytesPayload(header.encode()), payload])
+
+
+def unframe(payload) -> tuple:
+    """Split a framed message into (header, body)."""
+    raw = payload.slice(0, RDMA_HDR_LEN).to_bytes()
+    header = RdmaHeader.decode(raw)
+    body = payload.slice(RDMA_HDR_LEN, payload.length - RDMA_HDR_LEN)
+    return header, body

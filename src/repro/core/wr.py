@@ -1,0 +1,77 @@
+"""Work requests and completions — the currency of the QP abstraction.
+
+Paper §2.1: "Each WR contains the necessary meta-data for the message
+transaction including pointers into registered buffers to receive/
+transmit data to/from."
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..errors import VerbsError
+from ..mem import SGE, sg_total
+from ..net.addresses import Endpoint
+
+
+class WROpcode(enum.Enum):
+    SEND = "SEND"
+    RECV = "RECV"
+    RDMA_WRITE = "RDMA_WRITE"     # extension: one-sided write (§2.1 model)
+    RDMA_READ = "RDMA_READ"       # extension: one-sided read
+
+
+class WRStatus(enum.Enum):
+    SUCCESS = "SUCCESS"
+    LOCAL_LENGTH_ERROR = "LOCAL_LENGTH_ERROR"     # message overflowed the WR
+    LOCAL_PROTECTION_ERROR = "LOCAL_PROTECTION_ERROR"
+    REMOTE_ACCESS_ERROR = "REMOTE_ACCESS_ERROR"   # bad rkey/bounds at the peer
+    REMOTE_ABORTED = "REMOTE_ABORTED"             # connection reset under us
+    FLUSHED = "FLUSHED"                           # QP torn down with WRs posted
+
+
+@dataclass
+class WorkRequest:
+    """One send or receive descriptor posted to a QP."""
+
+    wr_id: int
+    opcode: WROpcode
+    sges: List[SGE] = field(default_factory=list)
+    # UDP only: where a send goes (send WRs) — paper §3: "The WRs in a UDP
+    # QP identify the target or source address/port".
+    dest: Optional[Endpoint] = None
+    # RDMA only: the peer's registered buffer (exchanged out of band,
+    # "using some out-of-band mechanism such as a send-receive operation").
+    remote_addr: Optional[int] = None
+    rkey: Optional[int] = None
+
+    def __post_init__(self):
+        if self.opcode is WROpcode.SEND and not self.sges and self.length != 0:
+            raise VerbsError("send WR needs at least one SGE")
+        if self.opcode in (WROpcode.RDMA_WRITE, WROpcode.RDMA_READ):
+            if self.remote_addr is None or self.rkey is None:
+                raise VerbsError("RDMA WR needs remote_addr and rkey")
+            if self.opcode is WROpcode.RDMA_READ and len(self.sges) != 1:
+                raise VerbsError("RDMA READ uses exactly one sink SGE")
+
+    @property
+    def length(self) -> int:
+        return sg_total(self.sges)
+
+
+@dataclass
+class Completion:
+    """A completion-queue entry (CQE)."""
+
+    wr_id: int
+    qp_num: int
+    opcode: WROpcode
+    status: WRStatus = WRStatus.SUCCESS
+    byte_len: int = 0
+    src: Optional[Endpoint] = None    # UDP receives: datagram source
+
+    @property
+    def ok(self) -> bool:
+        return self.status is WRStatus.SUCCESS

@@ -1,0 +1,59 @@
+"""Exception hierarchy for the QPIP reproduction."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all library errors."""
+
+
+class ConfigError(ReproError):
+    """Invalid configuration (bad MTU, missing route, etc.)."""
+
+
+class NetworkError(ReproError):
+    """Base class for protocol-level errors."""
+
+
+class ChecksumError(NetworkError):
+    """A received packet failed checksum verification."""
+
+
+class RouteError(NetworkError):
+    """No route/ARP entry for a destination."""
+
+
+class ConnectionError_(NetworkError):
+    """TCP connection-level failure (reset, refused, aborted)."""
+
+
+class ConnectionRefused(ConnectionError_):
+    """SYN answered with RST (no listener)."""
+
+
+class ConnectionReset(ConnectionError_):
+    """Peer sent RST on an established connection."""
+
+
+class SocketError(ReproError):
+    """Misuse of the sockets API."""
+
+
+class VerbsError(ReproError):
+    """Misuse of the QP verbs API (the QPIP user library)."""
+
+
+class MemoryRegistrationError(VerbsError):
+    """WR references memory outside any registered region."""
+
+
+class QPStateError(VerbsError):
+    """Operation invalid for the QP's current state."""
+
+
+class CompletionError(VerbsError):
+    """A work request completed in error; carried in the CQE status."""
+
+
+class NBDError(ReproError):
+    """Network block device protocol error."""

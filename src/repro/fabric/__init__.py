@@ -1,0 +1,12 @@
+"""Switched interconnect fabrics: links, switches, topologies."""
+
+from .link import Attachment, Link
+from .switch import EthernetSwitch, MyrinetSwitch, RedParams
+from .topology import (GIGE_BANDWIDTH, MYRINET_BANDWIDTH, EthernetFabric,
+                       FabricNode, MyrinetFabric)
+
+__all__ = [
+    "Attachment", "Link", "EthernetSwitch", "MyrinetSwitch", "RedParams",
+    "GIGE_BANDWIDTH", "MYRINET_BANDWIDTH", "EthernetFabric", "FabricNode",
+    "MyrinetFabric",
+]

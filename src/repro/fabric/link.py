@@ -1,0 +1,123 @@
+"""Point-to-point links: serialization, propagation, loss injection.
+
+A link is full duplex: each direction serializes packets FIFO at the link
+bandwidth, then delivers after the propagation delay.  Receivers declare
+how much of the packet they need before acting:
+
+* ``store_forward`` — the full packet (hosts, Ethernet switches);
+* ``cut_through`` — just the header flit (Myrinet switches), so
+  forwarding latency is ~header time, as in the paper's SAN.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+from ..errors import ConfigError
+from ..net.packet import Packet
+from ..sim import Simulator
+
+CUT_THROUGH_HEADER_BYTES = 16    # flit carrying route + type + start of IP hdr
+
+
+class Attachment:
+    """One endpoint of a link: the receiving entity's contract."""
+
+    def __init__(self, name: str, on_receive: Callable[[Packet, "Attachment"], None],
+                 rx_mode: str = "store_forward"):
+        if rx_mode not in ("store_forward", "cut_through"):
+            raise ConfigError(f"bad rx_mode {rx_mode}")
+        self.name = name
+        self.on_receive = on_receive
+        self.rx_mode = rx_mode
+        self.link: Optional["Link"] = None
+
+    def transmit(self, pkt: Packet) -> None:
+        """Send a packet out of this attachment onto the link."""
+        if self.link is None:
+            raise ConfigError(f"{self.name}: attachment has no link")
+        self.link.transmit(pkt, self)
+
+    def __repr__(self):
+        return f"<Attachment {self.name}>"
+
+
+class _Direction:
+    """One direction of a link: a serializing transmitter."""
+
+    def __init__(self, sim: Simulator, bandwidth: float, propagation: float,
+                 dst: Attachment, name: str):
+        self.sim = sim
+        self.bandwidth = bandwidth
+        self.propagation = propagation
+        self.dst = dst
+        self.name = name
+        self._busy_until = 0.0
+        self.bytes_sent = 0
+        self.packets_sent = 0
+        self.packets_dropped = 0
+        self.busy_time = 0.0
+        self.loss_hook: Optional[Callable[[Packet], bool]] = None
+
+    def transmit(self, pkt: Packet) -> None:
+        size = pkt.wire_size
+        start = max(self.sim.now, self._busy_until)
+        tx_time = size / self.bandwidth
+        self._busy_until = start + tx_time
+        self.busy_time += tx_time
+        self.bytes_sent += size
+        self.packets_sent += 1
+        if self.loss_hook is not None and self.loss_hook(pkt):
+            self.packets_dropped += 1
+            return
+        if self.dst.rx_mode == "cut_through":
+            header_time = min(size, CUT_THROUGH_HEADER_BYTES) / self.bandwidth
+            deliver_at = start + header_time + self.propagation
+        else:
+            deliver_at = start + tx_time + self.propagation
+        self.sim.call_later(deliver_at - self.sim.now, self.dst.on_receive,
+                            pkt, self.dst)
+
+    def utilization(self, since: float, now: float) -> float:
+        span = now - since
+        return min(1.0, self.busy_time / span) if span > 0 else 0.0
+
+
+class Link:
+    """Full-duplex link between two attachments."""
+
+    def __init__(self, sim: Simulator, a: Attachment, b: Attachment,
+                 bandwidth: float, propagation: float = 0.1,
+                 name: str = "link"):
+        if bandwidth <= 0:
+            raise ConfigError("link bandwidth must be positive")
+        if propagation < 0:
+            raise ConfigError("propagation must be non-negative")
+        self.sim = sim
+        self.name = name
+        self.a = a
+        self.b = b
+        self._ab = _Direction(sim, bandwidth, propagation, b, f"{name}:a->b")
+        self._ba = _Direction(sim, bandwidth, propagation, a, f"{name}:b->a")
+        a.link = self
+        b.link = self
+
+    def transmit(self, pkt: Packet, src: Attachment) -> None:
+        if src is self.a:
+            self._ab.transmit(pkt)
+        elif src is self.b:
+            self._ba.transmit(pkt)
+        else:
+            raise ConfigError(f"{self.name}: {src!r} is not an endpoint")
+
+    def direction_from(self, src: Attachment) -> _Direction:
+        if src is self.a:
+            return self._ab
+        if src is self.b:
+            return self._ba
+        raise ConfigError(f"{self.name}: {src!r} is not an endpoint")
+
+    def set_loss(self, from_attachment: Attachment,
+                 hook: Optional[Callable[[Packet], bool]]) -> None:
+        """Install a loss filter on the direction leaving ``from_attachment``."""
+        self.direction_from(from_attachment).loss_hook = hook

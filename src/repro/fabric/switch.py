@@ -1,0 +1,164 @@
+"""Switches: Myrinet source-routed cut-through, Ethernet store-and-forward.
+
+The Myrinet switch is "switched and uses source-based, oblivious
+cut-through routing" (paper §4.1): the packet carries its route; each
+switch consumes one route byte and forwards after a small cut-through
+latency.  The Ethernet switch learns MACs and forwards whole packets.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..errors import ConfigError, RouteError
+from ..net.headers.ip import ECN_CE, ECN_ECT0, ECN_ECT1, IPv4Header, IPv6Header
+from ..net.headers.link import EthernetHeader, MyrinetHeader
+from ..net.packet import Packet
+from ..sim import Simulator
+from .link import Attachment
+
+
+@dataclass
+class RedParams:
+    """Random Early Detection on switch output queues (paper §5.2:
+    network-based congestion mechanisms "such as RED or ECN").
+
+    ECN-capable packets (ECT set) are marked CE instead of dropped.
+    """
+
+    min_threshold: int = 8        # packets
+    max_threshold: int = 24
+    max_probability: float = 0.2
+    ewma_weight: float = 0.25
+    seed: int = 0xECD
+
+
+class MyrinetSwitch:
+    """Source-routed cut-through crossbar."""
+
+    def __init__(self, sim: Simulator, num_ports: int, name: str = "myr-sw",
+                 latency: float = 0.3):
+        self.sim = sim
+        self.name = name
+        self.latency = latency
+        self.ports: List[Attachment] = [
+            Attachment(f"{name}.p{i}", self._on_receive, rx_mode="cut_through")
+            for i in range(num_ports)]
+        self.forwarded = 0
+        self.dropped_no_route = 0
+
+    def port(self, i: int) -> Attachment:
+        return self.ports[i]
+
+    def _on_receive(self, pkt: Packet, _at: Attachment) -> None:
+        route = pkt.route
+        if route is None or pkt.route_cursor >= len(route):
+            self.dropped_no_route += 1
+            return
+        out = route[pkt.route_cursor]
+        if not 0 <= out < len(self.ports):
+            self.dropped_no_route += 1
+            return
+        pkt.route_cursor += 1
+        self.forwarded += 1
+        self.sim.call_later(self.latency, self.ports[out].transmit, pkt)
+
+
+class EthernetSwitch:
+    """MAC-learning store-and-forward switch with per-port output queues."""
+
+    def __init__(self, sim: Simulator, num_ports: int, name: str = "eth-sw",
+                 latency: float = 2.0, queue_capacity: int = 128,
+                 red: Optional[RedParams] = None):
+        self.sim = sim
+        self.name = name
+        self.latency = latency
+        self.queue_capacity = queue_capacity
+        self.red = red
+        self._red_rng = random.Random(red.seed if red else 0)
+        self._red_avg: List[float] = [0.0] * num_ports
+        self.red_marked = 0
+        self.red_dropped = 0
+        self.ports: List[Attachment] = [
+            Attachment(f"{name}.p{i}", self._make_rx(i), rx_mode="store_forward")
+            for i in range(num_ports)]
+        self.mac_table: Dict[object, int] = {}
+        self.forwarded = 0
+        self.flooded = 0
+        self.dropped_overflow = 0
+        self._queues: List[List[Packet]] = [[] for _ in range(num_ports)]
+        self._draining: List[bool] = [False] * num_ports
+
+    def port(self, i: int) -> Attachment:
+        return self.ports[i]
+
+    def _make_rx(self, port_index: int):
+        def rx(pkt: Packet, _at: Attachment) -> None:
+            self._on_receive(pkt, port_index)
+        return rx
+
+    def _on_receive(self, pkt: Packet, in_port: int) -> None:
+        eth = pkt.find(EthernetHeader)
+        if eth is None:
+            self.dropped_overflow += 1
+            return
+        self.mac_table[eth.src] = in_port
+        out = self.mac_table.get(eth.dst)
+        if out is None or eth.dst.is_broadcast:
+            self.flooded += 1
+            for i in range(len(self.ports)):
+                if i != in_port and self.ports[i].link is not None:
+                    self._enqueue(pkt.copy_shallow(), i)
+            return
+        self._enqueue(pkt, out)
+
+    def _enqueue(self, pkt: Packet, out_port: int) -> None:
+        q = self._queues[out_port]
+        if self.red is not None and not self._red_admit(pkt, out_port):
+            return
+        if len(q) >= self.queue_capacity:
+            self.dropped_overflow += 1   # tail drop under congestion
+            return
+        q.append(pkt)
+        if not self._draining[out_port]:
+            self._draining[out_port] = True
+            self.sim.call_later(self.latency, self._drain, out_port)
+
+    def _red_admit(self, pkt: Packet, out_port: int) -> bool:
+        """RED: probabilistically mark (ECT) or drop as the queue builds."""
+        red = self.red
+        avg = (1 - red.ewma_weight) * self._red_avg[out_port] \
+            + red.ewma_weight * len(self._queues[out_port])
+        self._red_avg[out_port] = avg
+        if avg < red.min_threshold:
+            return True
+        if avg >= red.max_threshold:
+            p = 1.0
+        else:
+            p = red.max_probability * (avg - red.min_threshold) \
+                / (red.max_threshold - red.min_threshold)
+        if self._red_rng.random() >= p:
+            return True
+        ip = pkt.find(IPv4Header) or pkt.find(IPv6Header)
+        if ip is not None and ip.ecn in (ECN_ECT0, ECN_ECT1):
+            ip.ecn = ECN_CE            # mark instead of dropping (RFC 3168)
+            self.red_marked += 1
+            return True
+        self.red_dropped += 1
+        return False
+
+    def _drain(self, out_port: int) -> None:
+        q = self._queues[out_port]
+        if not q:
+            self._draining[out_port] = False
+            return
+        pkt = q.pop(0)
+        self.forwarded += 1
+        port = self.ports[out_port]
+        port.transmit(pkt)
+        # Pace the queue at the egress link rate so the capacity bound is real.
+        direction = port.link.direction_from(port)
+        pace = pkt.wire_size / direction.bandwidth
+        self.sim.call_later(pace, self._drain, out_port)

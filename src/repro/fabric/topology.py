@@ -1,0 +1,141 @@
+"""Topology builders: wire hosts and switches, compute source routes.
+
+``MyrinetFabric`` supports arbitrary switch graphs and computes
+shortest-path source routes (one output-port byte per hop) with BFS —
+the static IPv6→route table of the prototype is generated from this.
+``EthernetFabric`` is the single-switch GigE baseline.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import ConfigError, RouteError
+from ..sim import Simulator
+from ..units import gbit_per_sec
+from .link import Attachment, Link
+from .switch import EthernetSwitch, MyrinetSwitch
+
+MYRINET_BANDWIDTH = gbit_per_sec(2.0)     # 2.0 Gb/s full duplex (paper §4.1)
+GIGE_BANDWIDTH = gbit_per_sec(1.0)
+
+
+@dataclass
+class FabricNode:
+    """A host attachment point in a fabric."""
+
+    name: str
+    attachment: Attachment
+    switch_id: int
+    switch_port: int
+
+
+class MyrinetFabric:
+    """Switched Myrinet: hosts hang off cut-through switches."""
+
+    def __init__(self, sim: Simulator, bandwidth: float = MYRINET_BANDWIDTH,
+                 propagation: float = 0.1, switch_latency: float = 0.3):
+        self.sim = sim
+        self.bandwidth = bandwidth
+        self.propagation = propagation
+        self.switch_latency = switch_latency
+        self.switches: List[MyrinetSwitch] = []
+        self.hosts: Dict[str, FabricNode] = {}
+        # inter-switch wiring: (switch_a, port_a) <-> (switch_b, port_b)
+        self._trunks: List[Tuple[int, int, int, int]] = []
+        self._next_port: List[int] = []
+
+    def add_switch(self, num_ports: int = 16) -> int:
+        sid = len(self.switches)
+        self.switches.append(MyrinetSwitch(
+            self.sim, num_ports, name=f"myr-sw{sid}",
+            latency=self.switch_latency))
+        self._next_port.append(0)
+        return sid
+
+    def _alloc_port(self, sid: int) -> int:
+        port = self._next_port[sid]
+        if port >= len(self.switches[sid].ports):
+            raise ConfigError(f"switch {sid} is out of ports")
+        self._next_port[sid] = port + 1
+        return port
+
+    def connect_switches(self, a: int, b: int) -> None:
+        pa = self._alloc_port(a)
+        pb = self._alloc_port(b)
+        Link(self.sim, self.switches[a].port(pa), self.switches[b].port(pb),
+             self.bandwidth, self.propagation, name=f"trunk{a}.{pa}-{b}.{pb}")
+        self._trunks.append((a, pa, b, pb))
+
+    def attach_host(self, name: str, attachment: Attachment,
+                    switch_id: int = 0) -> FabricNode:
+        if name in self.hosts:
+            raise ConfigError(f"duplicate host {name}")
+        port = self._alloc_port(switch_id)
+        Link(self.sim, attachment, self.switches[switch_id].port(port),
+             self.bandwidth, self.propagation, name=f"host-{name}")
+        node = FabricNode(name, attachment, switch_id, port)
+        self.hosts[name] = node
+        return node
+
+    def source_route(self, src: str, dst: str) -> List[int]:
+        """BFS shortest path: one egress-port byte per switch traversed."""
+        if src not in self.hosts or dst not in self.hosts:
+            raise RouteError(f"unknown host in route {src}->{dst}")
+        src_node, dst_node = self.hosts[src], self.hosts[dst]
+        if src == dst:
+            raise RouteError("no route to self over the fabric")
+        # Graph over switches via trunks.
+        adjacency: Dict[int, List[Tuple[int, int, int]]] = {}
+        for a, pa, b, pb in self._trunks:
+            adjacency.setdefault(a, []).append((b, pa, pb))
+            adjacency.setdefault(b, []).append((a, pb, pa))
+        start, goal = src_node.switch_id, dst_node.switch_id
+        # BFS for the egress-port sequence between switches.
+        frontier = deque([(start, [])])
+        seen = {start}
+        path: Optional[List[int]] = None
+        while frontier:
+            sid, ports = frontier.popleft()
+            if sid == goal:
+                path = ports
+                break
+            for nxt, out_port, _in_port in adjacency.get(sid, []):
+                if nxt not in seen:
+                    seen.add(nxt)
+                    frontier.append((nxt, ports + [out_port]))
+        if path is None:
+            raise RouteError(f"no switch path {src}->{dst}")
+        return path + [dst_node.switch_port]
+
+    def host_link(self, name: str) -> Link:
+        return self.hosts[name].attachment.link
+
+
+class EthernetFabric:
+    """Hosts on one store-and-forward GigE switch."""
+
+    def __init__(self, sim: Simulator, num_ports: int = 16,
+                 bandwidth: float = GIGE_BANDWIDTH, propagation: float = 0.5,
+                 switch_latency: float = 2.0):
+        self.sim = sim
+        self.bandwidth = bandwidth
+        self.propagation = propagation
+        self.switch = EthernetSwitch(sim, num_ports, latency=switch_latency)
+        self._next_port = 0
+        self.hosts: Dict[str, Attachment] = {}
+
+    def attach_host(self, name: str, attachment: Attachment) -> None:
+        if name in self.hosts:
+            raise ConfigError(f"duplicate host {name}")
+        if self._next_port >= len(self.switch.ports):
+            raise ConfigError("switch out of ports")
+        Link(self.sim, attachment, self.switch.port(self._next_port),
+             self.bandwidth, self.propagation, name=f"eth-{name}")
+        self._next_port += 1
+        self.hosts[name] = attachment
+
+    def host_link(self, name: str) -> Link:
+        return self.hosts[name].link

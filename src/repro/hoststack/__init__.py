@@ -1,0 +1,8 @@
+"""Host-based inter-network stack: the baseline the paper measures against."""
+
+from .kernel import HostKernel
+from .loopback import LoopbackNic, attach_loopback
+from .sockets import TcpSocket, UdpSocket
+
+__all__ = ["HostKernel", "LoopbackNic", "attach_loopback", "TcpSocket",
+           "UdpSocket"]

@@ -1,0 +1,158 @@
+"""The host kernel's networking engine: an InetStack where every packet
+costs CPU time.
+
+This is baseline infrastructure ("the Linux host-based IPv4 stack", §4.2):
+interrupts feed a softirq queue; transmit charges tcp/ip/driver path costs
+plus software checksums when the NIC lacks offload.  The identical protocol
+logic later runs inside the QPIP NIC — only the cost attribution moves.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from ..errors import ConfigError
+from ..net import InetStack, RouteEntry
+from ..net.addresses import IPAddress, MacAddress
+from ..net.headers.ip import PROTO_TCP
+from ..net.headers.transport import TCPHeader
+from ..net.packet import Packet, Payload
+from ..net.tcp import TcpConfig, TcpConnection, classify
+from ..sim import Simulator
+from ..hw.host import Host
+
+SOFTIRQ_PRIORITY = -5
+
+
+class _NicIface:
+    """Adapter giving the IP layer an ``enqueue_tx`` per NIC."""
+
+    def __init__(self, nic):
+        self.nic = nic
+        self.mtu = nic.mtu
+        self.mac = getattr(nic, "mac", None)
+
+    def enqueue_tx(self, pkt: Packet) -> None:
+        self.nic.transmit(pkt)
+
+
+class HostKernel:
+    """Kernel networking for one host."""
+
+    def __init__(self, sim: Simulator, host: Host, name: Optional[str] = None,
+                 isn_seed: int = 0):
+        self.sim = sim
+        self.host = host
+        self.name = name or f"{host.name}.kernel"
+        self.stack = InetStack(sim, name=self.name, isn_seed=isn_seed)
+        self.timing = host.timing
+        self._ifaces: Dict[object, _NicIface] = {}
+        self._addr_nic: Dict[object, object] = {}
+        self._draining: set = set()
+        self.packets_processed = 0
+
+    # -- configuration -----------------------------------------------------
+
+    def add_nic(self, nic, addr: IPAddress) -> None:
+        iface = _NicIface(nic)
+        self._ifaces[nic] = iface
+        self._addr_nic[addr] = nic
+        self.stack.ip.add_local(addr)
+        nic.driver_rx = self._make_driver_rx(nic)
+
+    def add_route(self, dst: IPAddress, nic,
+                  next_mac: Optional[MacAddress] = None,
+                  source_route: Optional[List[int]] = None) -> None:
+        if nic not in self._ifaces:
+            raise ConfigError(f"{self.name}: NIC not attached")
+        self.stack.ip.add_route(dst, RouteEntry(
+            iface=self._ifaces[nic], next_mac=next_mac,
+            source_route=source_route or []))
+
+    def mtu_to(self, dst: IPAddress) -> int:
+        return self.stack.ip.route_for(dst).iface.mtu
+
+    def mtu_of(self, local_addr: IPAddress) -> int:
+        nic = self._addr_nic.get(local_addr)
+        if nic is None:
+            return 1500
+        return nic.mtu
+
+    # -- receive path (interrupt -> softirq) ---------------------------------
+
+    def _make_driver_rx(self, nic) -> Callable[[Packet], None]:
+        def driver_rx(pkt: Packet) -> None:
+            cost = self._rx_cost(pkt, nic)
+            self.host.cpu.submit(cost, category="net-rx",
+                                 fn=lambda: self._softirq(pkt),
+                                 priority=SOFTIRQ_PRIORITY)
+        return driver_rx
+
+    def _rx_cost(self, pkt: Packet, nic) -> float:
+        t = self.timing
+        driver = getattr(nic, "driver_rx_cost_override", None)
+        cost = (t.driver_rx if driver is None else driver) + t.ip_rx
+        cost += getattr(getattr(nic, "timing", None), "host_driver_rx_extra", 0.0)
+        tcp = pkt.find(TCPHeader)
+        if tcp is not None:
+            kind = classify(tcp, pkt.payload.length)
+            cost += t.tcp_rx_ack if kind == "ack" else t.tcp_rx_data
+        else:
+            cost += t.udp_rx
+        if not getattr(nic, "checksum_offload", False):
+            cost += self.host.checksum_cost(pkt.payload.length)
+        nic_timing = getattr(nic, "timing", None)
+        if nic_timing is not None and getattr(nic_timing, "rx_staging_copy", False):
+            factor = getattr(nic_timing, "staging_copy_factor", 1.0)
+            cost += factor * self.host.copy_cost(pkt.payload.length)
+        return cost
+
+    def _softirq(self, pkt: Packet) -> None:
+        self.packets_processed += 1
+        self.stack.packet_in(pkt)
+
+    # -- transmit path ----------------------------------------------------------
+
+    def connection_ctx_drain(self, conn: TcpConnection) -> None:
+        """Serialize this connection's pending segments through timed
+        kernel transmit work."""
+        if conn in self._draining:
+            return
+        self._draining.add(conn)
+        self._drain_step(conn)
+
+    def _drain_step(self, conn: TcpConnection) -> None:
+        desc = conn.next_descriptor()
+        if desc is None:
+            self._draining.discard(conn)
+            return
+        built = conn.build_segment(desc)
+        if built is None:
+            self._drain_step(conn)
+            return
+        hdr, payload = built
+        try:
+            entry = self.stack.ip.route_for(conn.tuple.remote.addr)
+        except Exception:
+            self._draining.discard(conn)
+            raise
+        t = self.timing
+        nic = entry.iface.nic
+        driver = getattr(nic, "driver_tx_cost_override", None)
+        cost = t.tcp_tx + t.ip_tx + (t.driver_tx if driver is None else driver)
+        cost += getattr(getattr(nic, "timing", None), "host_driver_tx_extra", 0.0)
+        if not getattr(nic, "checksum_offload", False):
+            cost += self.host.checksum_cost(payload.length)
+
+        def emit():
+            self.stack.send_segment(conn, hdr, payload)
+            self._drain_step(conn)
+
+        self.host.cpu.submit(cost, category="net-tx", fn=emit)
+
+    def udp_send_cost(self, payload_len: int, nic) -> float:
+        t = self.timing
+        cost = t.udp_tx + t.ip_tx + t.driver_tx
+        if not getattr(nic, "checksum_offload", False):
+            cost += self.host.checksum_cost(payload_len)
+        return cost

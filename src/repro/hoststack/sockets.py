@@ -1,0 +1,329 @@
+"""The sockets API over the host kernel — the traditional interface the
+paper compares against ("a series of read() and write() calls to a
+socket", §3).
+
+Sockets are coroutine-style: ``yield from sock.connect(...)``,
+``yield from sock.send(...)``.  Every call pays syscall, socket-layer,
+and copy costs on the host CPU; that is the point of the baseline.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Generator, Optional, Tuple
+
+from ..errors import SocketError
+from ..net.addresses import Endpoint, IPAddress
+from ..net.packet import EMPTY, Payload, concat
+from ..net.tcp import TcpConfig, TcpConnection, TcpListener
+from ..sim import Event
+from .kernel import HostKernel
+
+
+class _SocketCtx:
+    """Connection context: kernel-side plumbing for one TCP socket."""
+
+    def __init__(self, socket: "TcpSocket"):
+        self.socket = socket
+        self.kernel = socket.kernel
+
+    def output_ready(self, conn) -> None:
+        self.kernel.connection_ctx_drain(conn)
+
+    def deliver(self, conn, payload, psh) -> None:
+        self.socket._on_data(payload)
+
+    def on_established(self, conn) -> None:
+        self.socket._on_established(conn)
+
+    def on_remote_fin(self, conn) -> None:
+        self.socket._on_remote_fin()
+
+    def on_closed(self, conn) -> None:
+        self.socket._on_closed()
+
+    def on_reset(self, conn, exc) -> None:
+        self.socket._on_reset(exc)
+
+    def on_send_complete(self, conn, msg_id) -> None:
+        pass    # stream sockets have no message completions
+
+    def on_send_buffer_space(self, conn) -> None:
+        self.socket._on_send_space()
+
+
+class TcpSocket:
+    """A stream socket."""
+
+    def __init__(self, kernel: HostKernel, local_addr: IPAddress,
+                 config: Optional[TcpConfig] = None, in_kernel: bool = False):
+        self.kernel = kernel
+        self.sim = kernel.sim
+        self.host = kernel.host
+        self.local_addr = local_addr
+        self.config = config
+        self.in_kernel = in_kernel
+        self.conn: Optional[TcpConnection] = None
+        self.listener: Optional[TcpListener] = None
+        self._rx: Deque[Payload] = deque()
+        self._rx_bytes = 0
+        self._rx_waiter: Optional[Event] = None
+        self._space_waiter: Optional[Event] = None
+        self._established: Optional[Event] = None
+        self.remote_closed = False
+        self.closed = False
+        self.error: Optional[Exception] = None
+        self.bytes_sent = 0
+        self.bytes_received = 0
+
+    # -- cost helpers ------------------------------------------------------
+
+    def _syscall_cost(self) -> float:
+        t = self.host.timing
+        return (0.0 if self.in_kernel else t.syscall) + t.socket_op
+
+    def _charge(self, duration: float, category: str = "syscall") -> Event:
+        return self.host.cpu.submit(duration, category=category)
+
+    # -- configuration -----------------------------------------------------
+
+    def _make_config(self, remote_addr: IPAddress) -> TcpConfig:
+        if self.config is not None:
+            return self.config
+        mtu = self.kernel.mtu_to(remote_addr)
+        ip_hdr = 40 if len(remote_addr.packed) == 16 else 20
+        return TcpConfig(mss=mtu - ip_hdr - 20)
+
+    # -- client ----------------------------------------------------------------
+
+    def connect(self, remote: Endpoint, local_port: Optional[int] = None
+                ) -> Generator:
+        """Active open; completes when ESTABLISHED (raises on refusal)."""
+        if self.conn is not None or self.listener is not None:
+            raise SocketError("socket already in use")
+        yield self._charge(self._syscall_cost())
+        if local_port is None:
+            local_port = self.kernel.stack.tcp.ephemeral_port()
+        local = Endpoint(self.local_addr, local_port)
+        self._established = Event(self.sim)
+        self.conn = self.kernel.stack.tcp.connect(
+            local, remote, self._make_config(remote.addr), _SocketCtx(self))
+        yield self._established
+        if self.error is not None:
+            raise self.error
+
+    # -- server -------------------------------------------------------------
+
+    def listen(self, port: int, backlog: int = 8) -> None:
+        if self.conn is not None or self.listener is not None:
+            raise SocketError("socket already in use")
+        local = Endpoint(self.local_addr, port)
+        if self.config is not None:
+            config = self.config
+        else:
+            mtu = self.kernel.mtu_of(self.local_addr)
+            ip_hdr = 40 if len(self.local_addr.packed) == 16 else 20
+            config = TcpConfig(mss=mtu - ip_hdr - 20)
+
+        def ctx_factory():
+            child = TcpSocket(self.kernel, self.local_addr,
+                              config=config, in_kernel=self.in_kernel)
+            ctx = _SocketCtx(child)
+            return ctx
+
+        self.listener = self.kernel.stack.tcp.listen(
+            local, config, ctx_factory, backlog=backlog)
+
+    def accept(self) -> Generator:
+        """Yields the next established connection as a new TcpSocket."""
+        if self.listener is None:
+            raise SocketError("accept() on a non-listening socket")
+        yield self._charge(self._syscall_cost())
+        conn = yield self.listener.accept()
+        sock = conn.ctx.socket
+        sock.conn = conn
+        return sock
+
+    # -- data ------------------------------------------------------------------
+
+    def send(self, payload: Payload) -> Generator:
+        """Blocking send of the whole payload; returns bytes sent."""
+        self._require_conn()
+        yield self._charge(self._syscall_cost())
+        offset = 0
+        while offset < payload.length:
+            if self.error is not None:
+                raise self.error
+            chunk = payload.slice(offset, payload.length - offset)
+            taken = self.conn.send_stream(chunk)
+            if taken:
+                # user->kernel copy of what the send buffer accepted
+                yield self._charge(self.host.copy_cost(taken), "copy")
+                offset += taken
+                self.bytes_sent += taken
+            else:
+                self._space_waiter = Event(self.sim)
+                yield self._space_waiter
+        return offset
+
+    def recv(self, max_bytes: int) -> Generator:
+        """Blocking receive; returns a Payload (EMPTY at orderly EOF)."""
+        self._require_conn()
+        yield self._charge(self._syscall_cost())
+        while self._rx_bytes == 0:
+            if self.error is not None:
+                raise self.error
+            if self.remote_closed or self.closed:
+                return EMPTY
+            self._rx_waiter = Event(self.sim)
+            yield self._rx_waiter
+        parts = []
+        taken = 0
+        while self._rx and taken < max_bytes:
+            head = self._rx[0]
+            want = max_bytes - taken
+            if head.length <= want:
+                parts.append(head)
+                taken += head.length
+                self._rx.popleft()
+            else:
+                parts.append(head.slice(0, want))
+                self._rx[0] = head.slice(want, head.length - want)
+                taken += want
+        self._rx_bytes -= taken
+        self.bytes_received += taken
+        # kernel->user copy
+        yield self._charge(self.host.copy_cost(taken), "copy")
+        self.conn.app_consumed(taken)
+        return concat(parts)
+
+    def recv_exact(self, nbytes: int) -> Generator:
+        """Receive exactly ``nbytes`` (raises on EOF mid-read)."""
+        parts = []
+        got = 0
+        while got < nbytes:
+            chunk = yield from self.recv(nbytes - got)
+            if chunk.length == 0:
+                raise SocketError(f"EOF after {got}/{nbytes} bytes")
+            parts.append(chunk)
+            got += chunk.length
+        return concat(parts)
+
+    def close(self) -> None:
+        self.closed = True
+        if self.listener is not None:
+            self.listener.close()
+        if self.conn is not None:
+            self.conn.close()
+        self._wake_all()
+
+    def abort(self) -> None:
+        self.closed = True
+        if self.conn is not None:
+            self.conn.abort()
+        self._wake_all()
+
+    # -- ctx callbacks -----------------------------------------------------------
+
+    def _require_conn(self) -> None:
+        if self.conn is None:
+            raise SocketError("socket is not connected")
+        if self.closed:
+            raise SocketError("socket is closed")
+
+    def _on_data(self, payload: Payload) -> None:
+        self._rx.append(payload)
+        self._rx_bytes += payload.length
+        self._wake_rx()
+
+    def _wake_rx(self) -> None:
+        if self._rx_waiter is not None:
+            waiter, self._rx_waiter = self._rx_waiter, None
+            # Waking a blocked reader costs scheduler work.
+            self.host.cpu.submit(self.host.timing.wakeup, category="wakeup",
+                                 fn=waiter.succeed)
+
+    def _on_send_space(self) -> None:
+        if self._space_waiter is not None:
+            waiter, self._space_waiter = self._space_waiter, None
+            self.host.cpu.submit(self.host.timing.wakeup, category="wakeup",
+                                 fn=waiter.succeed)
+
+    def _on_established(self, conn) -> None:
+        self.conn = conn
+        if self._established is not None:
+            self._established.succeed()
+
+    def _on_remote_fin(self) -> None:
+        self.remote_closed = True
+        self._wake_rx_eof()
+
+    def _on_closed(self) -> None:
+        self.closed = True
+        self._wake_all()
+
+    def _on_reset(self, exc) -> None:
+        self.error = exc
+        self._wake_all()
+
+    def _wake_rx_eof(self) -> None:
+        if self._rx_waiter is not None:
+            waiter, self._rx_waiter = self._rx_waiter, None
+            waiter.succeed()
+
+    def _wake_all(self) -> None:
+        for attr in ("_rx_waiter", "_space_waiter", "_established"):
+            waiter = getattr(self, attr)
+            if waiter is not None and not waiter.triggered:
+                waiter.succeed()
+            setattr(self, attr, None)
+
+
+class UdpSocket:
+    """A datagram socket."""
+
+    def __init__(self, kernel: HostKernel, local_addr: IPAddress,
+                 in_kernel: bool = False):
+        self.kernel = kernel
+        self.sim = kernel.sim
+        self.host = kernel.host
+        self.local_addr = local_addr
+        self.in_kernel = in_kernel
+        self.endpoint = None
+
+    def bind(self, port: Optional[int] = None) -> int:
+        self.endpoint = self.kernel.stack.udp.bind(port)
+        return self.endpoint.port
+
+    def _syscall_cost(self) -> float:
+        t = self.host.timing
+        return (0.0 if self.in_kernel else t.syscall) + t.socket_op
+
+    def sendto(self, dst: Endpoint, payload: Payload) -> Generator:
+        if self.endpoint is None:
+            self.bind()
+        t = self.host.timing
+        entry = self.kernel.stack.ip.route_for(dst.addr)
+        cost = (self._syscall_cost() + self.host.copy_cost(payload.length)
+                + self.kernel.udp_send_cost(payload.length, entry.iface.nic))
+        done = self.host.cpu.submit(
+            cost, category="net-tx",
+            fn=lambda: self.endpoint.send_to(self.local_addr, dst, payload))
+        yield done
+
+    def recvfrom(self) -> Generator:
+        if self.endpoint is None:
+            raise SocketError("recvfrom() before bind()")
+        yield self._charge_recv_entry()
+        datagram = yield self.endpoint.recv()
+        yield self.host.cpu.submit(self.host.copy_cost(datagram.payload.length),
+                                   category="copy")
+        return datagram
+
+    def _charge_recv_entry(self) -> Event:
+        return self.host.cpu.submit(self._syscall_cost(), category="syscall")
+
+    def close(self) -> None:
+        if self.endpoint is not None:
+            self.endpoint.close()
+            self.endpoint = None

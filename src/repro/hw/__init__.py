@@ -1,0 +1,15 @@
+"""Hardware models: hosts, PCI, NICs, and timing calibration tables."""
+
+from .host import Host, PciBus
+from .lanai import LANAI_MHZ, CycleCounter, ProgrammableNic
+from .nic import DumbNic, GmNic
+from .timing import (DumbNicTiming, GmNicTiming, HostTiming, LanaiTiming,
+                     PciTiming, QpipHostTiming, ib_class_timing,
+                     lanai_fw_checksum)
+
+__all__ = [
+    "Host", "PciBus", "LANAI_MHZ", "CycleCounter", "ProgrammableNic",
+    "DumbNic", "GmNic", "DumbNicTiming", "GmNicTiming", "HostTiming",
+    "LanaiTiming", "PciTiming", "QpipHostTiming", "ib_class_timing",
+    "lanai_fw_checksum",
+]

@@ -1,0 +1,132 @@
+"""Programmable NIC chassis (LANai-9-class).
+
+Provides the mechanical resources the QPIP firmware runs on:
+
+* a single RISC core, modelled as a serial :class:`WorkQueue` whose busy
+  accounting *is* the paper's "network interface occupancy";
+* a doorbell FIFO fed by posted PCI writes (the LANai's "specialized
+  doorbell mechanism where writes to a region of PCI address space are
+  stored in a FIFO in the interface SRAM", §4.1);
+* two host-DMA engines sharing the PCI bus, and send/receive wire engines;
+* a cycle counter for per-stage instrumentation (the paper's Tables 2 & 3
+  were measured "using the LANai 9 cycle counter").
+
+The firmware program itself lives in :mod:`repro.core.firmware`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Optional
+
+from ..fabric.link import Attachment
+from ..net.packet import Packet
+from ..sim import Event, Simulator, WorkQueue
+from .host import Host
+from .timing import LanaiTiming
+
+LANAI_MHZ = 133.0
+
+
+class CycleCounter:
+    """Per-stage time attribution, read like the LANai cycle counter."""
+
+    def __init__(self, sim: Simulator):
+        self.sim = sim
+        self.by_stage: dict = {}
+        self.samples: dict = {}
+
+    def record(self, stage: str, duration: float) -> None:
+        self.by_stage[stage] = self.by_stage.get(stage, 0.0) + duration
+        self.samples[stage] = self.samples.get(stage, 0) + 1
+
+    def mean(self, stage: str) -> float:
+        n = self.samples.get(stage, 0)
+        return self.by_stage.get(stage, 0.0) / n if n else 0.0
+
+    def reset(self) -> None:
+        self.by_stage.clear()
+        self.samples.clear()
+
+
+class ProgrammableNic:
+    """The hardware substrate for an on-NIC protocol implementation."""
+
+    def __init__(self, sim: Simulator, host: Host, timing: Optional[LanaiTiming] = None,
+                 mtu: int = 16384, name: str = "qpnic", sram_bytes: int = 2 << 20):
+        self.sim = sim
+        self.host = host
+        self.timing = timing or LanaiTiming()
+        self.mtu = mtu
+        self.name = name
+        self.sram_bytes = sram_bytes
+        self.processor = WorkQueue(sim, name=f"{host.name}.{name}.fw")
+        self.cycles = CycleCounter(sim)
+        self.attachment = Attachment(f"{host.name}.{name}", self._on_wire_receive)
+        self.attachment.mtu = mtu
+        self.doorbell_fifo: Deque = deque()
+        self.rx_queue: Deque[Packet] = deque()
+        self.mgmt_queue: Deque = deque()
+        # The firmware installs this to be poked when new work appears.
+        self.wake: Optional[Callable[[], None]] = None
+        self.doorbells_rung = 0
+        self.packets_rx = 0
+        self.packets_tx = 0
+
+    # -- host-facing mechanisms (costs charged by the caller on host CPU) --
+
+    def ring_doorbell(self, token) -> None:
+        """Posted PCI write into the doorbell FIFO."""
+        self.doorbells_rung += 1
+        self.doorbell_fifo.append(token)
+        self._poke()
+
+    def post_mgmt(self, command) -> None:
+        """Privileged command from the kernel driver (management FSM input)."""
+        self.mgmt_queue.append(command)
+        self._poke()
+
+    # -- firmware-facing mechanisms -----------------------------------------
+
+    def stage(self, name: str, duration: float) -> Event:
+        """Run one timed FSM stage on the NIC core."""
+        self.cycles.record(name, duration)
+        return self.processor.submit(duration, category=name)
+
+    def dma_to_host(self, nbytes: int) -> Event:
+        return self.host.pci.dma(nbytes, category=f"{self.name}.dma-rx",
+                                 setup=self.timing.dma_setup)
+
+    def dma_from_host(self, nbytes: int) -> Event:
+        return self.host.pci.dma(nbytes, category=f"{self.name}.dma-tx",
+                                 setup=self.timing.dma_setup)
+
+    def wire_time(self, pkt: Packet) -> float:
+        """Serialization time of a packet on the attached link."""
+        link = self.attachment.link
+        if link is None:
+            return 0.0
+        return pkt.wire_size / link.direction_from(self.attachment).bandwidth
+
+    def wire_transmit(self, pkt: Packet) -> None:
+        self.packets_tx += 1
+        self.attachment.transmit(pkt)
+
+    def _on_wire_receive(self, pkt: Packet, _at: Attachment) -> None:
+        self.packets_rx += 1
+        self.rx_queue.append(pkt)
+        self._poke()
+
+    def _poke(self) -> None:
+        if self.wake is not None:
+            self.wake()
+
+    # -- instrumentation -------------------------------------------------------
+
+    def occupancy(self) -> float:
+        """Fraction of time the NIC core was busy since last reset."""
+        return self.processor.utilization()
+
+    def reset_stats(self) -> None:
+        self.processor.reset_stats()
+        self.cycles.reset()

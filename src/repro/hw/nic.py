@@ -1,0 +1,145 @@
+"""Conventional (driver-managed) NICs: the baselines' hardware.
+
+``DumbNic`` models a DMA-ring adapter: the host driver hands it packets;
+it DMAs them over PCI and serializes onto the link.  Receive DMAs into
+host memory and raises a throttled interrupt.  The GM variant adds the
+LANai firmware as a serial per-packet processor, since IP-over-Myrinet
+still flows through the programmable NIC.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Optional
+
+from ..errors import ConfigError
+from ..fabric.link import Attachment
+from ..net.packet import Packet
+from ..sim import Simulator, Timer, WorkQueue
+from .host import Host
+from .timing import DumbNicTiming, GmNicTiming
+
+
+class _RxInterruptMixin:
+    """Receive ring + throttled (ITR-style) interrupt delivery.
+
+    Interrupts fire immediately when the line has been quiet; under load
+    they are rate-limited to one per ``interrupt_delay``, batching packets
+    — low latency for ping-pong, amortized cost for streams.
+    """
+
+    def _init_rx(self, sim: Simulator, name: str) -> None:
+        self._rx_ring: Deque[Packet] = deque()
+        self._intr_timer = Timer(sim, self._fire_interrupt, name=f"{name}.intr")
+        self._last_intr = -1e18
+        self.driver_rx: Optional[Callable[[Packet], None]] = None
+        self.interrupts = 0
+
+    def _rx_ready(self, pkt: Packet) -> None:
+        self._rx_ring.append(pkt)
+        if not self._intr_timer.armed:
+            gap = self._last_intr + self.timing.interrupt_delay - self.sim.now
+            self._intr_timer.start(max(self.timing.intr_assert, gap))
+
+    def _fire_interrupt(self) -> None:
+        if not self._rx_ring:
+            return
+        self.interrupts += 1
+        self._last_intr = self.sim.now
+        self.host.raise_interrupt(self._isr, category="net-intr")
+
+    def _isr(self) -> None:
+        if self.driver_rx is None:
+            raise ConfigError(f"{self.name}: no driver bound")
+        while self._rx_ring:
+            self.driver_rx(self._rx_ring.popleft())
+
+
+class DumbNic(_RxInterruptMixin):
+    """An Intel Pro1000-class adapter."""
+
+    def __init__(self, sim: Simulator, host: Host, mtu: int = 1500,
+                 timing: Optional[DumbNicTiming] = None, name: str = "eth0",
+                 mac=None):
+        self.sim = sim
+        self.host = host
+        self.mtu = mtu
+        self.timing = timing or DumbNicTiming()
+        self.name = name
+        self.mac = mac
+        self.attachment = Attachment(f"{host.name}.{name}", self._on_wire_receive)
+        self.attachment.mtu = mtu
+        self.attachment.mac = mac
+        self._init_rx(sim, name)
+        self.tx_packets = 0
+        self.rx_packets = 0
+
+    @property
+    def checksum_offload(self) -> bool:
+        return self.timing.checksum_offload
+
+    def transmit(self, pkt: Packet) -> None:
+        """Driver handoff: DMA the frame from host memory, then onto the wire."""
+        self.tx_packets += 1
+        done = self.host.pci.dma(pkt.wire_size, category=f"{self.name}.tx",
+                                 setup=self.timing.dma_setup)
+        done.callbacks.append(lambda _ev: self._tx_fifo(pkt))
+
+    def _tx_fifo(self, pkt: Packet) -> None:
+        extra = self.timing.per_packet + self.timing.tx_fifo_latency
+        self.sim.call_later(extra, self.attachment.transmit, pkt)
+
+    def _on_wire_receive(self, pkt: Packet, _at: Attachment) -> None:
+        self.rx_packets += 1
+        done = self.host.pci.dma(pkt.wire_size, category=f"{self.name}.rx",
+                                 setup=self.timing.dma_setup)
+        done.callbacks.append(lambda _ev: self._rx_ready(pkt))
+
+
+class GmNic(_RxInterruptMixin):
+    """Myrinet LANai running GM 1.4 as an IP link layer (baseline #2).
+
+    Same DMA-ring shape as :class:`DumbNic`, but every packet also crosses
+    the 133 MHz firmware core, which serializes.
+    """
+
+    def __init__(self, sim: Simulator, host: Host, mtu: int = 9000,
+                 timing: Optional[GmNicTiming] = None, name: str = "myri0",
+                 mac=None):
+        self.sim = sim
+        self.host = host
+        self.mtu = mtu
+        self.timing = timing or GmNicTiming()
+        self.name = name
+        self.mac = mac
+        self.attachment = Attachment(f"{host.name}.{name}", self._on_wire_receive)
+        self.attachment.mtu = mtu
+        self.attachment.mac = mac
+        self.firmware = WorkQueue(sim, name=f"{host.name}.{name}.fw")
+        self._init_rx(sim, name)
+        self.tx_packets = 0
+        self.rx_packets = 0
+
+    @property
+    def checksum_offload(self) -> bool:
+        return self.timing.checksum_offload
+
+    def transmit(self, pkt: Packet) -> None:
+        self.tx_packets += 1
+        done = self.firmware.submit(self.timing.fw_per_packet_tx, category="gm-tx")
+        done.callbacks.append(lambda _ev: self._tx_dma(pkt))
+
+    def _tx_dma(self, pkt: Packet) -> None:
+        done = self.host.pci.dma(pkt.wire_size, category=f"{self.name}.tx",
+                                 setup=self.timing.dma_setup)
+        done.callbacks.append(lambda _ev: self.attachment.transmit(pkt))
+
+    def _on_wire_receive(self, pkt: Packet, _at: Attachment) -> None:
+        self.rx_packets += 1
+        done = self.firmware.submit(self.timing.fw_per_packet_rx, category="gm-rx")
+        done.callbacks.append(lambda _ev: self._rx_dma(pkt))
+
+    def _rx_dma(self, pkt: Packet) -> None:
+        done = self.host.pci.dma(pkt.wire_size, category=f"{self.name}.rx",
+                                 setup=self.timing.dma_setup)
+        done.callbacks.append(lambda _ev: self._rx_ready(pkt))

@@ -1,0 +1,15 @@
+"""Inter-network protocol suite: headers, TCP, UDP, IP, stack glue."""
+
+from .addresses import (Endpoint, FourTuple, IPAddress, IPv4Address,
+                        IPv6Address, MacAddress)
+from .ip import IpModule, ParsedSegment, RouteEntry
+from .packet import EMPTY, BytesPayload, Packet, Payload, ZeroPayload, concat
+from .stack import InetStack
+from .udp import Datagram, UdpEndpoint, UdpModule
+
+__all__ = [
+    "Endpoint", "FourTuple", "IPAddress", "IPv4Address", "IPv6Address",
+    "MacAddress", "IpModule", "ParsedSegment", "RouteEntry", "EMPTY",
+    "BytesPayload", "Packet", "Payload", "ZeroPayload", "concat",
+    "InetStack", "Datagram", "UdpEndpoint", "UdpModule",
+]

@@ -1,0 +1,62 @@
+"""RFC 1071 Internet checksum and pseudo-header helpers.
+
+The checksum is the real ones-complement algorithm over real header
+bytes; payload contributions come from the payload object so that
+zero-filled bulk payloads cost O(1).
+"""
+
+from __future__ import annotations
+
+import struct
+
+
+def ones_complement_sum(data: bytes, initial: int = 0) -> int:
+    """Return the running 16-bit ones-complement sum (not inverted)."""
+    acc = initial
+    n = len(data)
+    # Sum 16-bit big-endian words.
+    for i in range(0, n - 1, 2):
+        acc += (data[i] << 8) | data[i + 1]
+    if n % 2:
+        acc += data[-1] << 8
+    # Fold carries.
+    while acc >> 16:
+        acc = (acc & 0xFFFF) + (acc >> 16)
+    return acc
+
+
+def finish(acc: int) -> int:
+    """Invert a running sum into the checksum field value."""
+    value = (~acc) & 0xFFFF
+    return value
+
+
+def checksum(data: bytes) -> int:
+    """One-shot internet checksum of ``data``."""
+    return finish(ones_complement_sum(data))
+
+
+def combine(*sums: int) -> int:
+    """Combine running (non-inverted) sums."""
+    acc = 0
+    for s in sums:
+        acc += s
+        while acc >> 16:
+            acc = (acc & 0xFFFF) + (acc >> 16)
+    return acc
+
+
+def pseudo_header_v6(src: bytes, dst: bytes, upper_len: int, next_header: int) -> int:
+    """Running sum of the IPv6 pseudo-header (RFC 8200 §8.1)."""
+    if len(src) != 16 or len(dst) != 16:
+        raise ValueError("IPv6 addresses must be 16 bytes")
+    ph = src + dst + struct.pack("!IxxxB", upper_len, next_header)
+    return ones_complement_sum(ph)
+
+
+def pseudo_header_v4(src: bytes, dst: bytes, upper_len: int, protocol: int) -> int:
+    """Running sum of the IPv4 pseudo-header (RFC 793 §3.1)."""
+    if len(src) != 4 or len(dst) != 4:
+        raise ValueError("IPv4 addresses must be 4 bytes")
+    ph = src + dst + struct.pack("!BBH", 0, protocol, upper_len)
+    return ones_complement_sum(ph)

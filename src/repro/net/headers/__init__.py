@@ -1,0 +1,17 @@
+"""Byte-exact wire header codecs."""
+
+from .base import DecodeError, Header
+from .ip import IPv4Header, IPv6Header, PROTO_TCP, PROTO_UDP
+from .link import (ETHERTYPE_IPV4, ETHERTYPE_IPV6, EthernetHeader,
+                   MyrinetHeader)
+from .transport import (ACK, CWR, ECE, FIN, PSH, RST, SYN, URG, TCPHeader, UDPHeader,
+                        tcp_fill_checksum, tcp_verify_checksum,
+                        udp_fill_checksum, udp_verify_checksum)
+
+__all__ = [
+    "DecodeError", "Header", "IPv4Header", "IPv6Header", "PROTO_TCP",
+    "PROTO_UDP", "ETHERTYPE_IPV4", "ETHERTYPE_IPV6", "EthernetHeader",
+    "MyrinetHeader", "ACK", "CWR", "ECE", "FIN", "PSH", "RST", "SYN", "URG", "TCPHeader",
+    "UDPHeader", "tcp_fill_checksum", "tcp_verify_checksum",
+    "udp_fill_checksum", "udp_verify_checksum",
+]

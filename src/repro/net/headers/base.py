@@ -1,0 +1,38 @@
+"""Header codec interface.
+
+Each header is a dataclass that encodes to / decodes from the exact wire
+format.  ``decode`` returns ``(header, bytes_consumed)`` so layered
+parsing can walk a raw buffer.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ...errors import NetworkError
+
+
+class DecodeError(NetworkError):
+    """Malformed header bytes."""
+
+
+class Header:
+    """Base class for wire headers."""
+
+    def header_len(self) -> int:
+        raise NotImplementedError
+
+    def encode(self) -> bytes:
+        raise NotImplementedError
+
+    @classmethod
+    def decode(cls, data: bytes) -> Tuple["Header", int]:
+        raise NotImplementedError
+
+    def __eq__(self, other):
+        return type(other) is type(self) and other.__dict__ == self.__dict__
+
+
+def need(data: bytes, n: int, what: str) -> None:
+    if len(data) < n:
+        raise DecodeError(f"truncated {what}: need {n} bytes, have {len(data)}")

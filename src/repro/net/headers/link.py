@@ -1,0 +1,82 @@
+"""Link-layer headers: Ethernet II and Myrinet source-route.
+
+Myrinet used source-based cut-through routing: the sender prepends one
+route byte per switch hop; each switch consumes its byte.  We keep the
+route bytes in the header (with a cursor) rather than physically
+stripping them, which preserves wire size accounting.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from ..addresses import MacAddress
+from .base import DecodeError, Header, need
+
+# EtherType values (also used as the Myrinet payload-type field).
+ETHERTYPE_IPV4 = 0x0800
+ETHERTYPE_IPV6 = 0x86DD
+
+
+@dataclass(eq=False)
+class EthernetHeader(Header):
+    """Ethernet II: dst(6) src(6) ethertype(2)."""
+
+    dst: MacAddress
+    src: MacAddress
+    ethertype: int = ETHERTYPE_IPV6
+
+    LEN = 14
+
+    def header_len(self) -> int:
+        return self.LEN
+
+    def encode(self) -> bytes:
+        return self.dst.packed + self.src.packed + struct.pack("!H", self.ethertype)
+
+    @classmethod
+    def decode(cls, data: bytes) -> Tuple["EthernetHeader", int]:
+        need(data, cls.LEN, "ethernet header")
+        dst = MacAddress(data[0:6])
+        src = MacAddress(data[6:12])
+        (ethertype,) = struct.unpack_from("!H", data, 12)
+        return cls(dst, src, ethertype), cls.LEN
+
+
+@dataclass(eq=False)
+class MyrinetHeader(Header):
+    """Myrinet source route: route_len(1), route bytes, type(2).
+
+    ``route`` lists the output port at each switch along the path.
+    """
+
+    route: List[int] = field(default_factory=list)
+    ptype: int = ETHERTYPE_IPV6
+
+    MAX_HOPS = 32
+
+    def __post_init__(self):
+        if len(self.route) > self.MAX_HOPS:
+            raise DecodeError(f"route too long: {len(self.route)} hops")
+        for hop in self.route:
+            if not 0 <= hop <= 0xFF:
+                raise DecodeError(f"route byte out of range: {hop}")
+
+    def header_len(self) -> int:
+        return 1 + len(self.route) + 2
+
+    def encode(self) -> bytes:
+        return bytes([len(self.route)]) + bytes(self.route) + struct.pack("!H", self.ptype)
+
+    @classmethod
+    def decode(cls, data: bytes) -> Tuple["MyrinetHeader", int]:
+        need(data, 1, "myrinet header")
+        n = data[0]
+        if n > cls.MAX_HOPS:
+            raise DecodeError(f"route too long: {n} hops")
+        need(data, 1 + n + 2, "myrinet header")
+        route = list(data[1:1 + n])
+        (ptype,) = struct.unpack_from("!H", data, 1 + n)
+        return cls(route, ptype), 1 + n + 2

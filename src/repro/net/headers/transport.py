@@ -1,0 +1,219 @@
+"""UDP and TCP headers, including the TCP options QPIP's stack uses
+(MSS, window scale, RFC 1323 timestamps).
+
+Checksums cover the pseudo-header, transport header, and payload — the
+real algorithm over real bytes (payload contribution comes from the
+payload object's ones-complement sum).
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from ..checksum import combine, finish, ones_complement_sum
+from ..packet import Payload, ZeroPayload
+from .base import DecodeError, Header, need
+
+# -- UDP --------------------------------------------------------------------
+
+
+@dataclass(eq=False)
+class UDPHeader(Header):
+    src_port: int
+    dst_port: int
+    length: int = 8          # header + payload
+    checksum: int = 0
+
+    LEN = 8
+
+    def header_len(self) -> int:
+        return self.LEN
+
+    def encode(self) -> bytes:
+        return struct.pack("!HHHH", self.src_port, self.dst_port,
+                           self.length, self.checksum)
+
+    @classmethod
+    def decode(cls, data: bytes) -> Tuple["UDPHeader", int]:
+        need(data, cls.LEN, "UDP header")
+        src, dst, length, csum = struct.unpack_from("!HHHH", data, 0)
+        if length < cls.LEN:
+            raise DecodeError(f"bad UDP length {length}")
+        return cls(src, dst, length, csum), cls.LEN
+
+
+def udp_fill_checksum(hdr: UDPHeader, pseudo_sum: int, payload: Payload) -> None:
+    """Compute and store the UDP checksum (0 transmitted as 0xFFFF)."""
+    hdr.checksum = 0
+    acc = combine(pseudo_sum, ones_complement_sum(hdr.encode()), payload.csum())
+    value = finish(acc)
+    hdr.checksum = value if value != 0 else 0xFFFF
+
+
+def udp_verify_checksum(hdr: UDPHeader, pseudo_sum: int, payload: Payload) -> bool:
+    if hdr.checksum == 0:       # checksum disabled (IPv4 only)
+        return True
+    stored, hdr.checksum = hdr.checksum, 0
+    try:
+        acc = combine(pseudo_sum, ones_complement_sum(hdr.encode()), payload.csum())
+        expect = finish(acc)
+        expect = expect if expect != 0 else 0xFFFF
+        return expect == stored
+    finally:
+        hdr.checksum = stored
+
+
+# -- TCP ----------------------------------------------------------------------
+
+FIN = 0x01
+SYN = 0x02
+RST = 0x04
+PSH = 0x08
+ACK = 0x10
+URG = 0x20
+ECE = 0x40      # RFC 3168 ECN-Echo
+CWR = 0x80      # RFC 3168 Congestion Window Reduced
+
+_FLAG_NAMES = [(FIN, "F"), (SYN, "S"), (RST, "R"), (PSH, "P"), (ACK, "A"),
+               (URG, "U"), (ECE, "E"), (CWR, "C")]
+
+OPT_EOL = 0
+OPT_NOP = 1
+OPT_MSS = 2
+OPT_WSCALE = 3
+OPT_SACK_PERMITTED = 4
+OPT_SACK = 5
+OPT_TIMESTAMP = 8
+MAX_SACK_BLOCKS = 3
+
+
+@dataclass(eq=False)
+class TCPHeader(Header):
+    src_port: int
+    dst_port: int
+    seq: int = 0
+    ack: int = 0
+    flags: int = 0
+    window: int = 0
+    checksum: int = 0
+    urgent: int = 0
+    # Options (None = absent).
+    mss: Optional[int] = None
+    wscale: Optional[int] = None
+    sack_permitted: bool = False
+    ts_val: Optional[int] = None
+    ts_ecr: Optional[int] = None
+    sack_blocks: List[Tuple[int, int]] = field(default_factory=list)
+
+    BASE_LEN = 20
+
+    def flag(self, mask: int) -> bool:
+        return bool(self.flags & mask)
+
+    def flag_str(self) -> str:
+        return "".join(ch for mask, ch in _FLAG_NAMES if self.flags & mask) or "."
+
+    def _options_bytes(self) -> bytes:
+        out = bytearray()
+        if self.mss is not None:
+            out += struct.pack("!BBH", OPT_MSS, 4, self.mss)
+        if self.wscale is not None:
+            out += struct.pack("!BBB", OPT_WSCALE, 3, self.wscale)
+            out += bytes([OPT_NOP])
+        if self.sack_permitted:
+            out += struct.pack("!BB", OPT_SACK_PERMITTED, 2)
+            out += bytes([OPT_NOP, OPT_NOP])
+        if self.ts_val is not None:
+            # RFC 1323 appendix A padding: NOP NOP TS.
+            out += bytes([OPT_NOP, OPT_NOP])
+            out += struct.pack("!BBII", OPT_TIMESTAMP, 10,
+                               self.ts_val & 0xFFFFFFFF,
+                               (self.ts_ecr or 0) & 0xFFFFFFFF)
+        if self.sack_blocks:
+            blocks = self.sack_blocks[:MAX_SACK_BLOCKS]
+            out += bytes([OPT_NOP, OPT_NOP])
+            out += struct.pack("!BB", OPT_SACK, 2 + 8 * len(blocks))
+            for left, right in blocks:
+                out += struct.pack("!II", left & 0xFFFFFFFF,
+                                   right & 0xFFFFFFFF)
+        while len(out) % 4:
+            out += bytes([OPT_EOL])
+        return bytes(out)
+
+    def header_len(self) -> int:
+        return self.BASE_LEN + len(self._options_bytes())
+
+    def encode(self) -> bytes:
+        opts = self._options_bytes()
+        data_offset = (self.BASE_LEN + len(opts)) // 4
+        return struct.pack(
+            "!HHIIBBHHH", self.src_port, self.dst_port,
+            self.seq & 0xFFFFFFFF, self.ack & 0xFFFFFFFF,
+            data_offset << 4, self.flags & 0xFF,
+            self.window & 0xFFFF, self.checksum, self.urgent) + opts
+
+    @classmethod
+    def decode(cls, data: bytes) -> Tuple["TCPHeader", int]:
+        need(data, cls.BASE_LEN, "TCP header")
+        (src, dst, seq, ack, off_byte, flags, window, csum,
+         urgent) = struct.unpack_from("!HHIIBBHHH", data, 0)
+        header_len = (off_byte >> 4) * 4
+        if header_len < cls.BASE_LEN:
+            raise DecodeError(f"bad TCP data offset {header_len}")
+        need(data, header_len, "TCP header with options")
+        hdr = cls(src, dst, seq, ack, flags & 0xFF, window, csum, urgent)
+        cls._parse_options(hdr, data[cls.BASE_LEN:header_len])
+        return hdr, header_len
+
+    @staticmethod
+    def _parse_options(hdr: "TCPHeader", opts: bytes) -> None:
+        i = 0
+        while i < len(opts):
+            kind = opts[i]
+            if kind == OPT_EOL:
+                break
+            if kind == OPT_NOP:
+                i += 1
+                continue
+            if i + 1 >= len(opts):
+                raise DecodeError("truncated TCP option")
+            length = opts[i + 1]
+            if length < 2 or i + length > len(opts):
+                raise DecodeError(f"bad TCP option length {length}")
+            body = opts[i + 2:i + length]
+            if kind == OPT_MSS and length == 4:
+                hdr.mss = struct.unpack("!H", body)[0]
+            elif kind == OPT_WSCALE and length == 3:
+                hdr.wscale = body[0]
+            elif kind == OPT_SACK_PERMITTED and length == 2:
+                hdr.sack_permitted = True
+            elif kind == OPT_TIMESTAMP and length == 10:
+                hdr.ts_val, hdr.ts_ecr = struct.unpack("!II", body)
+            elif kind == OPT_SACK and (length - 2) % 8 == 0:
+                hdr.sack_blocks = [
+                    struct.unpack_from("!II", body, off)
+                    for off in range(0, length - 2, 8)]
+                hdr.sack_blocks = [tuple(b) for b in hdr.sack_blocks]
+            # Unknown options are skipped (per RFC 1122).
+            i += length
+
+    def __repr__(self):
+        return (f"<TCP {self.src_port}->{self.dst_port} {self.flag_str()} "
+                f"seq={self.seq} ack={self.ack} win={self.window}>")
+
+
+def tcp_fill_checksum(hdr: TCPHeader, pseudo_sum: int, payload: Payload) -> None:
+    hdr.checksum = 0
+    acc = combine(pseudo_sum, ones_complement_sum(hdr.encode()), payload.csum())
+    hdr.checksum = finish(acc)
+
+
+def tcp_verify_checksum(hdr: TCPHeader, pseudo_sum: int, payload: Payload) -> bool:
+    stored, hdr.checksum = hdr.checksum, 0
+    try:
+        acc = combine(pseudo_sum, ones_complement_sum(hdr.encode()), payload.csum())
+        return finish(acc) == stored
+    finally:
+        hdr.checksum = stored

@@ -1,0 +1,16 @@
+"""Full TCP engine: state machine, windows, RTT, Reno congestion control."""
+
+from .congestion import DUPACK_THRESHOLD, RenoCongestion
+from .connection import SegDescriptor, TcpConnection, classify
+from .endpoints import TcpListener, TcpModule
+from .rtt import RttEstimator
+from .seqspace import (seq_add, seq_between, seq_ge, seq_gt, seq_le, seq_lt,
+                       seq_max, seq_sub)
+from .tcb import SendChunk, TcpConfig, TcpState, TcpStats
+
+__all__ = [
+    "DUPACK_THRESHOLD", "RenoCongestion", "SegDescriptor", "TcpConnection",
+    "classify", "TcpListener", "TcpModule", "RttEstimator", "seq_add",
+    "seq_between", "seq_ge", "seq_gt", "seq_le", "seq_lt", "seq_max",
+    "seq_sub", "SendChunk", "TcpConfig", "TcpState", "TcpStats",
+]

@@ -1,0 +1,97 @@
+"""TCP Reno congestion control (RFC 2581/2582-era, matching the paper's
+"congestion and flow control mechanisms").
+
+Slow start, congestion avoidance, fast retransmit on three duplicate
+ACKs, and fast recovery with window inflation/deflation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+DUPACK_THRESHOLD = 3
+
+
+@dataclass
+class RenoCongestion:
+    mss: int
+    initial_window_segments: int = 2
+
+    cwnd: int = 0
+    ssthresh: int = 0
+    dupacks: int = 0
+    in_recovery: bool = False
+    recovery_point: int = 0     # snd_nxt at loss detection (exit recovery above it)
+
+    # Observability counters.
+    fast_retransmits: int = 0
+    timeouts: int = 0
+    slow_start_exits: int = 0
+    ecn_reductions: int = 0
+
+    def __post_init__(self):
+        if self.mss <= 0:
+            raise ValueError("mss must be positive")
+        if self.cwnd == 0:
+            self.cwnd = self.initial_window_segments * self.mss
+        if self.ssthresh == 0:
+            self.ssthresh = 1 << 30     # "infinite" until first loss
+
+    @property
+    def in_slow_start(self) -> bool:
+        return self.cwnd < self.ssthresh
+
+    def on_ack_of_new_data(self, acked_bytes: int, flight_size: int) -> None:
+        """Grow cwnd for an ACK advancing snd_una (outside recovery)."""
+        if acked_bytes <= 0:
+            return
+        self.dupacks = 0
+        if self.in_slow_start:
+            self.cwnd += min(acked_bytes, self.mss)
+            if not self.in_slow_start:
+                self.slow_start_exits += 1
+        else:
+            # Congestion avoidance: ~1 MSS per RTT.
+            self.cwnd += max(1, self.mss * self.mss // self.cwnd)
+
+    def on_duplicate_ack(self, flight_size: int) -> bool:
+        """Count a duplicate ACK.  Returns True when fast retransmit fires."""
+        self.dupacks += 1
+        if self.in_recovery:
+            # Window inflation for each further dup ACK.
+            self.cwnd += self.mss
+            return False
+        if self.dupacks == DUPACK_THRESHOLD:
+            self.ssthresh = max(flight_size // 2, 2 * self.mss)
+            self.cwnd = self.ssthresh + DUPACK_THRESHOLD * self.mss
+            self.in_recovery = True
+            self.fast_retransmits += 1
+            return True
+        return False
+
+    def on_recovery_ack(self) -> None:
+        """Partial ACK during recovery (Reno: stay in recovery)."""
+        self.dupacks = 0
+
+    def exit_recovery(self) -> None:
+        """Full ACK past the recovery point: deflate the window."""
+        self.cwnd = self.ssthresh
+        self.in_recovery = False
+        self.dupacks = 0
+
+    def on_ecn_signal(self, flight_size: int) -> None:
+        """RFC 3168: an ECN-Echo is a congestion signal without loss —
+        halve the window as fast retransmit would, but retransmit nothing."""
+        self.ssthresh = max(flight_size // 2, 2 * self.mss)
+        self.cwnd = self.ssthresh
+        self.ecn_reductions += 1
+
+    def on_retransmission_timeout(self, flight_size: int) -> None:
+        self.ssthresh = max(flight_size // 2, 2 * self.mss)
+        self.cwnd = self.mss
+        self.dupacks = 0
+        self.in_recovery = False
+        self.timeouts += 1
+
+    def window(self) -> int:
+        return self.cwnd

@@ -1,0 +1,66 @@
+"""Round-trip-time estimation (Jacobson/Karels, as in the BSD stack the
+paper's firmware was derived from).
+
+Times are microseconds.  The paper's Table 3 shows the ACK-receive path
+paying heavily for "a series of multiply operations for the RTT
+estimators" on the multiplier-less LANai — this module is exactly that
+computation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class RttEstimator:
+    """SRTT/RTTVAR tracking with exponential RTO backoff and Karn's rule."""
+
+    min_rto: float = 10_000.0          # 10 ms floor
+    max_rto: float = 64_000_000.0      # 64 s ceiling
+    initial_rto: float = 1_000_000.0   # 1 s before any sample (RFC 6298)
+
+    srtt: float = 0.0
+    rttvar: float = 0.0
+    rto: float = field(default=0.0)
+    samples: int = 0
+    backoff_shift: int = 0
+
+    def __post_init__(self):
+        if self.rto == 0.0:
+            self.rto = self.initial_rto
+
+    def sample(self, rtt: float) -> None:
+        """Feed one RTT measurement (Karn: only for non-retransmitted data)."""
+        if rtt < 0:
+            raise ValueError(f"negative RTT sample: {rtt}")
+        if self.samples == 0:
+            self.srtt = rtt
+            self.rttvar = rtt / 2
+        else:
+            delta = rtt - self.srtt
+            self.srtt += delta / 8                     # g = 1/8
+            self.rttvar += (abs(delta) - self.rttvar) / 4   # h = 1/4
+        self.samples += 1
+        self.backoff_shift = 0
+        self._recompute()
+
+    def _recompute(self) -> None:
+        base = self.srtt + max(4 * self.rttvar, 1.0)
+        base = max(self.min_rto, min(self.max_rto, base))
+        self.rto = min(self.max_rto, base * (1 << self.backoff_shift))
+
+    def on_timeout(self) -> None:
+        """Exponential backoff after a retransmission timeout."""
+        if self.backoff_shift < 12:
+            self.backoff_shift += 1
+        self._recompute()
+
+    def on_new_ack(self) -> None:
+        """An ACK advanced snd_una: clear the backoff (as Linux does)."""
+        if self.backoff_shift:
+            self.backoff_shift = 0
+            self._recompute()
+
+    def current_rto(self) -> float:
+        return self.rto

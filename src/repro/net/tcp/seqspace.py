@@ -1,0 +1,42 @@
+"""32-bit wrapping sequence-number arithmetic (RFC 793 §3.3)."""
+
+from __future__ import annotations
+
+MOD = 1 << 32
+MASK = MOD - 1
+HALF = 1 << 31
+
+
+def seq_add(a: int, n: int) -> int:
+    return (a + n) & MASK
+
+
+def seq_sub(a: int, b: int) -> int:
+    """Signed distance a - b in sequence space, in (-2^31, 2^31]."""
+    d = (a - b) & MASK
+    return d - MOD if d >= HALF else d
+
+
+def seq_lt(a: int, b: int) -> bool:
+    return seq_sub(a, b) < 0
+
+
+def seq_le(a: int, b: int) -> bool:
+    return seq_sub(a, b) <= 0
+
+
+def seq_gt(a: int, b: int) -> bool:
+    return seq_sub(a, b) > 0
+
+
+def seq_ge(a: int, b: int) -> bool:
+    return seq_sub(a, b) >= 0
+
+
+def seq_between(low: int, x: int, high: int) -> bool:
+    """low <= x < high in wrapping space."""
+    return seq_le(low, x) and seq_lt(x, high)
+
+
+def seq_max(a: int, b: int) -> int:
+    return a if seq_ge(a, b) else b

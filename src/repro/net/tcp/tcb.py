@@ -1,0 +1,133 @@
+"""Transmission control block: connection state, the send queue chunks,
+and the configuration knobs the QPIP prototype exposes.
+
+The paper (§3.1) keeps "a common data structure ... to maintain the state
+of the individual QPs [that] includes the inter-network protocol specific
+information, namely the TCP transmission control block (TCB)".  This
+module is that TCB.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..packet import EMPTY, Payload
+
+
+class TcpState(enum.Enum):
+    CLOSED = "CLOSED"
+    LISTEN = "LISTEN"
+    SYN_SENT = "SYN_SENT"
+    SYN_RCVD = "SYN_RCVD"
+    ESTABLISHED = "ESTABLISHED"
+    FIN_WAIT_1 = "FIN_WAIT_1"
+    FIN_WAIT_2 = "FIN_WAIT_2"
+    CLOSE_WAIT = "CLOSE_WAIT"
+    CLOSING = "CLOSING"
+    LAST_ACK = "LAST_ACK"
+    TIME_WAIT = "TIME_WAIT"
+
+
+# States in which the application may queue new outbound data.
+DATA_SEND_STATES = (TcpState.ESTABLISHED, TcpState.CLOSE_WAIT)
+# States in which already-queued data may still drain onto the wire
+# (close() queues a FIN *behind* pending data, RFC 793 CLOSE call).
+DATA_DRAIN_STATES = (TcpState.ESTABLISHED, TcpState.CLOSE_WAIT,
+                     TcpState.FIN_WAIT_1, TcpState.LAST_ACK)
+# States in which inbound data is accepted.
+DATA_RECV_STATES = (TcpState.ESTABLISHED, TcpState.FIN_WAIT_1, TcpState.FIN_WAIT_2)
+# Synchronized states (RFC 793 terminology).
+SYNCHRONIZED_STATES = (
+    TcpState.ESTABLISHED, TcpState.FIN_WAIT_1, TcpState.FIN_WAIT_2,
+    TcpState.CLOSE_WAIT, TcpState.CLOSING, TcpState.LAST_ACK, TcpState.TIME_WAIT)
+
+
+@dataclass
+class TcpConfig:
+    """Tuning knobs; defaults mirror the prototype's stack."""
+
+    mss: int = 1460                      # capped by link MTU at stack level
+    message_mode: bool = False           # 1 QP message == 1 TCP segment (paper §4.1)
+    use_timestamps: bool = True          # RFC 1323
+    use_window_scaling: bool = True      # RFC 1323
+    nodelay: bool = True                 # paper benchmarks set TCP_NODELAY
+    reassembly: bool = False             # prototype has no out-of-order queue
+    use_sack: bool = False               # RFC 2018 (extension; needs reassembly)
+    ecn: bool = False                    # RFC 3168 (extension; see §5.2)
+    recv_buffer: int = 64 * 1024         # stream mode receive buffer
+    send_buffer: int = 64 * 1024         # stream mode send buffer
+    max_window: int = 1 << 20            # sizing for the wscale offer
+    delack_segments: int = 2             # ACK every Nth segment...
+    delack_timeout: float = 200_000.0    # ...or after 200 ms
+    min_rto: float = 10_000.0
+    max_rto: float = 64_000_000.0
+    initial_rto: float = 1_000_000.0
+    msl: float = 1_000_000.0             # shortened MSL (sim seconds are long)
+    persist_timeout: float = 500_000.0
+    persist_max: float = 8_000_000.0
+    keepalive_idle: Optional[float] = None   # µs of silence before probing
+    keepalive_interval: float = 1_000_000.0  # between unanswered probes
+    keepalive_probes: int = 3                # unanswered probes before reset
+    initial_cwnd_segments: int = 2
+    ts_clock_granularity: float = 1_000.0   # RFC 1323 timestamp tick, µs
+    syn_retries: int = 5
+
+    def wscale_offer(self) -> int:
+        """Window-scale shift needed to advertise ``max_window``."""
+        shift = 0
+        while (self.max_window >> shift) > 0xFFFF and shift < 14:
+            shift += 1
+        return shift
+
+
+@dataclass
+class SendChunk:
+    """One retransmittable unit: a message (message mode), a stream
+    segment, or a SYN/FIN."""
+
+    seq: int
+    payload: Payload = EMPTY
+    syn: bool = False
+    fin: bool = False
+    msg_id: Optional[int] = None
+    sent_at: float = 0.0
+    retransmits: int = 0
+    sacked: bool = False      # covered by a peer SACK block (RFC 2018)
+
+    @property
+    def seq_len(self) -> int:
+        return self.payload.length + (1 if self.syn else 0) + (1 if self.fin else 0)
+
+    @property
+    def end(self) -> int:
+        return (self.seq + self.seq_len) & 0xFFFFFFFF
+
+
+@dataclass
+class TcpStats:
+    """Per-connection observability (mirrors netstat-style counters)."""
+
+    segs_out: int = 0
+    segs_in: int = 0
+    bytes_out: int = 0
+    bytes_in: int = 0
+    acks_out: int = 0
+    pure_acks_in: int = 0
+    retransmitted_segs: int = 0
+    fast_retransmits: int = 0
+    rto_timeouts: int = 0
+    dup_acks_in: int = 0
+    ooo_segments: int = 0
+    ooo_dropped: int = 0
+    ooo_queued: int = 0
+    duplicate_data_segs: int = 0
+    window_probes: int = 0
+    window_updates_out: int = 0
+    fastpath_data: int = 0
+    fastpath_ack: int = 0
+    slowpath: int = 0
+    checksum_errors: int = 0
+    sack_blocks_out: int = 0
+    sack_retransmits: int = 0

@@ -1,0 +1,95 @@
+"""UDP: best-effort datagram endpoints.
+
+Paper §3: "For best effort datagrams using UDP, a QP is created that is
+bound to a particular UDP port ... Data is encapsulated directly in the
+UDP datagrams without an additional protocol layer."
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+from ..errors import SocketError
+from ..sim import Simulator, Store
+from .addresses import Endpoint
+from .headers.transport import UDPHeader
+from .packet import Payload
+
+
+@dataclass
+class Datagram:
+    """A received datagram with its source."""
+
+    payload: Payload
+    src: Endpoint
+
+
+class UdpEndpoint:
+    """A bound UDP port: receive queue plus a send hook into the stack."""
+
+    def __init__(self, module: "UdpModule", port: int,
+                 rx_capacity: Optional[int] = 512):
+        self.module = module
+        self.port = port
+        self.rx = Store(module.sim, capacity=rx_capacity, name=f"udp:{port}")
+        self.dropped = 0
+        # Optional synchronous delivery hook (the QPIP receive FSM uses this
+        # instead of the queue).
+        self.on_datagram: Optional[Callable[[Datagram], None]] = None
+
+    def send_to(self, src_ip, dst: Endpoint, payload: Payload) -> None:
+        self.module.output(self, src_ip, dst, payload)
+
+    def _deliver(self, datagram: Datagram) -> None:
+        if self.on_datagram is not None:
+            self.on_datagram(datagram)
+            return
+        if not self.rx.try_put(datagram):
+            self.dropped += 1   # best effort: queue overflow loses datagrams
+
+    def recv(self):
+        """Event yielding the next :class:`Datagram`."""
+        return self.rx.get()
+
+    def close(self) -> None:
+        self.module._endpoints.pop(self.port, None)
+
+
+class UdpModule:
+    """Per-stack UDP port table."""
+
+    def __init__(self, sim: Simulator):
+        self.sim = sim
+        self._endpoints: Dict[int, UdpEndpoint] = {}
+        self._ephemeral = itertools.count(33000)
+        self.rx_no_port = 0
+        # Wired by the stack: actually emit a datagram.
+        self.send: Optional[Callable] = None
+
+    def bind(self, port: Optional[int] = None,
+             rx_capacity: Optional[int] = 512) -> UdpEndpoint:
+        if port is None:
+            port = next(self._ephemeral)
+        if port in self._endpoints:
+            raise SocketError(f"UDP port {port} already bound")
+        ep = UdpEndpoint(self, port, rx_capacity)
+        self._endpoints[port] = ep
+        return ep
+
+    def output(self, endpoint: UdpEndpoint, src_ip, dst: Endpoint,
+               payload: Payload) -> None:
+        if self.send is None:
+            raise SocketError("UDP module not attached to a stack")
+        hdr = UDPHeader(endpoint.port, dst.port, length=8 + payload.length)
+        self.send(src_ip, dst.addr, hdr, payload)
+
+    def input(self, src: Endpoint, dst: Endpoint, hdr: UDPHeader,
+              payload: Payload) -> bool:
+        ep = self._endpoints.get(dst.port)
+        if ep is None:
+            self.rx_no_port += 1    # a full stack would send ICMP unreachable
+            return False
+        ep._deliver(Datagram(payload, src))
+        return True

@@ -1,0 +1,127 @@
+"""Whole-packet wire serialization.
+
+The simulator's hot path passes header *objects* between NICs (cheap and
+loss-free), but every header is a byte-exact codec.  This module walks
+the full stack both ways — serialize a Packet to the bytes that would
+appear on the wire, and parse those bytes back into a Packet — so tests
+can prove the object fast-path and the byte representation agree, and
+tools can emit real captures.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Optional
+
+from ..errors import NetworkError
+from .headers.base import DecodeError
+from .headers.ip import IPv4Header, IPv6Header, PROTO_TCP, PROTO_UDP
+from .headers.link import (ETHERTYPE_IPV4, ETHERTYPE_IPV6, EthernetHeader,
+                           MyrinetHeader)
+from .headers.transport import TCPHeader, UDPHeader
+from .packet import BytesPayload, Packet, Payload
+
+
+def serialize(pkt: Packet) -> bytes:
+    """Encode every header plus the payload into wire bytes."""
+    out = bytearray()
+    for header in pkt.headers:
+        out += header.encode()
+    out += pkt.payload.to_bytes()
+    return bytes(out)
+
+
+def deserialize(raw: bytes, link: str = "auto") -> Packet:
+    """Parse wire bytes back into a Packet.
+
+    ``link`` selects the outermost framing: ``"ethernet"``, ``"myrinet"``,
+    ``"none"`` (IP first), or ``"auto"`` (try Ethernet when the ethertype
+    field looks sane, else Myrinet, else bare IP).
+    """
+    headers = []
+    offset = 0
+
+    def try_eth() -> Optional[int]:
+        if len(raw) < EthernetHeader.LEN:
+            return None
+        (etype,) = struct.unpack_from("!H", raw, 12)
+        return etype if etype in (ETHERTYPE_IPV4, ETHERTYPE_IPV6) else None
+
+    if link == "auto":
+        if try_eth() is not None:
+            link = "ethernet"
+        elif raw and raw[0] <= MyrinetHeader.MAX_HOPS:
+            # Plausible route length byte followed by a known ptype.
+            n = raw[0]
+            if len(raw) >= n + 3:
+                (ptype,) = struct.unpack_from("!H", raw, 1 + n)
+                link = "myrinet" if ptype in (ETHERTYPE_IPV4,
+                                              ETHERTYPE_IPV6) else "none"
+            else:
+                link = "none"
+        else:
+            link = "none"
+
+    if link == "ethernet":
+        eth, used = EthernetHeader.decode(raw)
+        headers.append(eth)
+        offset += used
+        ethertype = eth.ethertype
+    elif link == "myrinet":
+        myr, used = MyrinetHeader.decode(raw)
+        headers.append(myr)
+        offset += used
+        ethertype = myr.ptype
+    elif link == "none":
+        if not raw:
+            raise DecodeError("empty packet")
+        version = raw[0] >> 4
+        ethertype = ETHERTYPE_IPV6 if version == 6 else ETHERTYPE_IPV4
+    else:
+        raise NetworkError(f"unknown link framing {link!r}")
+
+    if ethertype == ETHERTYPE_IPV6:
+        ip, used = IPv6Header.decode(raw[offset:])
+        proto = ip.next_header
+        upper_len = ip.payload_length
+    elif ethertype == ETHERTYPE_IPV4:
+        ip, used = IPv4Header.decode(raw[offset:])
+        proto = ip.protocol
+        upper_len = ip.total_length - IPv4Header.LEN
+    else:
+        raise DecodeError(f"unknown ethertype {ethertype:#x}")
+    headers.append(ip)
+    offset += used
+
+    transport_raw = raw[offset:offset + upper_len]
+    if len(transport_raw) < upper_len:
+        raise DecodeError(
+            f"truncated packet: IP says {upper_len} upper bytes, "
+            f"{len(transport_raw)} present")
+    if proto == PROTO_TCP:
+        tp, used = TCPHeader.decode(transport_raw)
+    elif proto == PROTO_UDP:
+        tp, used = UDPHeader.decode(transport_raw)
+    else:
+        raise DecodeError(f"unsupported protocol {proto}")
+    headers.append(tp)
+    offset += used
+
+    payload: Payload = BytesPayload(transport_raw[used:])
+    pkt = Packet(headers, payload)
+    myr = pkt.find(MyrinetHeader)
+    if myr is not None:
+        pkt.route = list(myr.route)
+    return pkt
+
+
+def pcap_text(pkt: Packet, now: float = 0.0) -> str:
+    """Hex dump + one-line summary (a poor man's tcpdump -x)."""
+    from ..tools.wiretap import format_packet
+    raw = serialize(pkt)
+    lines = [format_packet(pkt, now)]
+    for i in range(0, len(raw), 16):
+        chunk = raw[i:i + 16]
+        hexpart = " ".join(f"{b:02x}" for b in chunk)
+        lines.append(f"  0x{i:04x}:  {hexpart}")
+    return "\n".join(lines)

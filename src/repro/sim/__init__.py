@@ -1,0 +1,16 @@
+"""Discrete-event simulation kernel (time unit: microseconds)."""
+
+from .engine import (AllOf, AnyOf, Event, Interrupt, Process, SimulationError,
+                     Simulator, Timeout)
+from .resources import Mutex, Store, WorkItem, WorkQueue
+from .rng import RngHub
+from .stats import Counter, Histogram, RateMeter, RunningStats, StatsRegistry
+from .timers import PeriodicTimer, Timer
+from .trace import NullTracer, Tracer
+
+__all__ = [
+    "AllOf", "AnyOf", "Event", "Interrupt", "Process", "SimulationError",
+    "Simulator", "Timeout", "Mutex", "Store", "WorkItem", "WorkQueue",
+    "RngHub", "Counter", "Histogram", "RateMeter", "RunningStats",
+    "StatsRegistry", "PeriodicTimer", "Timer", "NullTracer", "Tracer",
+]

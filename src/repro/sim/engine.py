@@ -1,0 +1,373 @@
+"""Deterministic discrete-event simulation kernel.
+
+The kernel is a small, simpy-flavoured engine with two programming models:
+
+* **Callback scheduling** — ``sim.call_later(delay, fn, *args)`` — used by
+  the protocol engines (TCP timers, NIC firmware dispatch), mirroring how
+  real stacks are written.
+* **Coroutine processes** — generator functions that ``yield`` events
+  (``sim.timeout(...)``, store gets, work-queue completions) — used by
+  applications and benchmarks.
+
+Time is a float in **microseconds**. All ties are broken by a monotonically
+increasing sequence number, so a given program is bit-for-bit deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
+
+_PENDING = object()
+
+
+class SimulationError(Exception):
+    """Raised for misuse of the simulation kernel."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process by :meth:`Process.interrupt`."""
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot occurrence that callbacks and processes can wait on.
+
+    An event is *triggered* (succeed or fail) at most once.  Once triggered
+    it is queued on the event heap and its callbacks run when the simulator
+    reaches it, in deterministic order.
+    """
+
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "_defused")
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self.callbacks: Optional[list] = []
+        self._value: Any = _PENDING
+        self._ok: Optional[bool] = None
+        self._defused = False
+
+    @property
+    def triggered(self) -> bool:
+        return self._value is not _PENDING
+
+    @property
+    def processed(self) -> bool:
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> Optional[bool]:
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        if self._value is _PENDING:
+            raise SimulationError("event value is not yet available")
+        return self._value
+
+    def succeed(self, value: Any = None, delay: float = 0.0) -> "Event":
+        """Trigger the event successfully; callbacks run ``delay`` from now."""
+        if self.triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        self._ok = True
+        self._value = value
+        self.sim._enqueue(delay, self)
+        return self
+
+    def fail(self, exception: BaseException, delay: float = 0.0) -> "Event":
+        """Trigger the event with an exception.
+
+        The exception is re-raised inside any waiting process.  A failed
+        event with *no* listeners crashes the simulation (loud failure).
+        """
+        if self.triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self._ok = False
+        self._value = exception
+        self.sim._enqueue(delay, self)
+        return self
+
+    def defuse(self) -> None:
+        """Mark a failed event as handled out-of-band (no crash)."""
+        self._defused = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "pending" if not self.triggered else ("ok" if self._ok else "failed")
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` microseconds after creation."""
+
+    __slots__ = ()
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None):
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay}")
+        super().__init__(sim)
+        self._ok = True
+        self._value = value
+        sim._enqueue(delay, self)
+
+
+class Process(Event):
+    """Drives a generator; the process *is* an event that fires on return.
+
+    The generator may yield any :class:`Event`; the process resumes with the
+    event's value (or has the event's exception thrown into it).
+    """
+
+    __slots__ = ("_gen", "_waiting_on")
+
+    def __init__(self, sim: "Simulator", generator: Generator):
+        if not hasattr(generator, "throw"):
+            raise SimulationError(f"process target must be a generator, got {generator!r}")
+        super().__init__(sim)
+        self._gen = generator
+        bootstrap = Event(sim)
+        bootstrap.callbacks.append(self._resume)
+        bootstrap.succeed()
+        self._waiting_on: Optional[Event] = bootstrap
+
+    @property
+    def is_alive(self) -> bool:
+        return self._value is _PENDING
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time.
+
+        If the process has not started yet, the interrupt is raised at its
+        first yield point.
+        """
+        if not self.is_alive:
+            raise SimulationError("cannot interrupt a finished process")
+        if self._gen is self.sim._active_gen:
+            raise SimulationError("a process cannot interrupt itself")
+        kicker = Event(self.sim)
+        kicker.callbacks.append(self._resume_interrupt)
+        kicker.fail(Interrupt(cause))
+        kicker.defuse()
+
+    def _resume_interrupt(self, event: Event) -> None:
+        if not self.is_alive:
+            return  # the process finished before the interrupt was delivered
+        waited = self._waiting_on
+        if waited is not None and waited.callbacks is not None \
+                and self._resume in waited.callbacks:
+            waited.callbacks.remove(self._resume)
+        self._waiting_on = None
+        self._resume(event)
+
+    def _resume(self, event: Event) -> None:
+        self._waiting_on = None
+        sim = self.sim
+        prev_gen, sim._active_gen = sim._active_gen, self._gen
+        try:
+            while True:
+                try:
+                    if event._ok:
+                        target = self._gen.send(event._value)
+                    else:
+                        event._defused = True
+                        target = self._gen.throw(event._value)
+                except StopIteration as stop:
+                    self._ok = True
+                    self._value = stop.value
+                    sim._enqueue(0.0, self)
+                    return
+                except BaseException as exc:
+                    self._ok = False
+                    self._value = exc
+                    sim._enqueue(0.0, self)
+                    return
+                if not isinstance(target, Event):
+                    event = Event(sim)
+                    event.fail(
+                        SimulationError(f"process yielded a non-event: {target!r}"))
+                    event.defuse()
+                    continue
+                if target.sim is not sim:
+                    raise SimulationError("event belongs to a different simulator")
+                if target.processed:
+                    # Already-processed events resume the process immediately.
+                    event = target
+                    continue
+                target.callbacks.append(self._resume)
+                self._waiting_on = target
+                return
+        finally:
+            sim._active_gen = prev_gen
+
+
+class AnyOf(Event):
+    """Fires when any child event is processed; value is ``{event: value}``
+    for the children that have completed by then."""
+
+    __slots__ = ("_events", "_done")
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim)
+        self._events = list(events)
+        self._done: dict = {}
+        if not self._events:
+            self.succeed({})
+            return
+        for ev in self._events:
+            if ev.processed:
+                self._on_child(ev)
+                return
+            ev.callbacks.append(self._on_child)
+
+    def _on_child(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event._ok:
+            event._defused = True
+            self.fail(event._value)
+            return
+        self._done[event] = event._value
+        self.succeed(dict(self._done))
+
+
+class AllOf(Event):
+    """Fires when all child events have fired; value is ``{event: value}``."""
+
+    __slots__ = ("_events", "_remaining")
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim)
+        self._events = list(events)
+        self._remaining = 0
+        for ev in self._events:
+            if not ev.processed:
+                self._remaining += 1
+                ev.callbacks.append(self._on_child)
+        if self._remaining == 0:
+            self.succeed({ev: ev._value for ev in self._events})
+
+    def _on_child(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event._ok:
+            event._defused = True
+            self.fail(event._value)
+            return
+        self._remaining -= 1
+        if self._remaining == 0:
+            self.succeed({ev: ev._value for ev in self._events})
+
+
+class _CallbackHandle:
+    """Cancellable handle returned by :meth:`Simulator.call_later`."""
+
+    __slots__ = ("_fn", "_args", "cancelled", "time")
+
+    def __init__(self, fn: Callable, args: tuple, time: float):
+        self._fn = fn
+        self._args = args
+        self.cancelled = False
+        self.time = time
+
+    def cancel(self) -> None:
+        self.cancelled = True
+        self._fn = None
+        self._args = ()
+
+
+class Simulator:
+    """The event loop: a priority heap of (time, seq, item)."""
+
+    def __init__(self):
+        self.now: float = 0.0
+        self._heap: list = []
+        self._seq: int = 0
+        self._active_gen = None
+        self._events_processed: int = 0
+
+    # -- scheduling primitives ------------------------------------------
+
+    def _enqueue(self, delay: float, item) -> None:
+        if delay < 0:
+            raise SimulationError(f"negative delay: {delay}")
+        self._seq += 1
+        heapq.heappush(self._heap, (self.now + delay, self._seq, item))
+
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator) -> Process:
+        return Process(self, generator)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def call_later(self, delay: float, fn: Callable, *args) -> _CallbackHandle:
+        """Run ``fn(*args)`` after ``delay``; returns a cancellable handle."""
+        handle = _CallbackHandle(fn, args, self.now + delay)
+        self._enqueue(delay, handle)
+        return handle
+
+    def call_soon(self, fn: Callable, *args) -> _CallbackHandle:
+        return self.call_later(0.0, fn, *args)
+
+    # -- execution -------------------------------------------------------
+
+    def _step(self) -> None:
+        _time, _seq, item = heapq.heappop(self._heap)
+        self.now = _time
+        if isinstance(item, _CallbackHandle):
+            if not item.cancelled:
+                item._fn(*item._args)
+            return
+        # item is an Event whose callbacks are due.
+        event: Event = item
+        callbacks, event.callbacks = event.callbacks, None
+        for cb in callbacks:
+            cb(event)
+        self._events_processed += 1
+        if not event._ok and not event._defused and not callbacks:
+            raise event._value
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
+        """Run until the heap drains, ``until`` is reached, or budget spent.
+
+        ``until`` is an absolute simulation time; the clock is advanced to
+        exactly ``until`` if the run stops there.
+        """
+        budget = max_events
+        while self._heap:
+            if until is not None and self._heap[0][0] > until:
+                self.now = until
+                return
+            if budget is not None:
+                if budget <= 0:
+                    raise SimulationError("max_events budget exhausted")
+                budget -= 1
+            self._step()
+        if until is not None and self.now < until:
+            self.now = until
+
+    def run_process(self, generator: Generator, until: Optional[float] = None) -> Any:
+        """Convenience: run a single process to completion and return its value."""
+        proc = self.process(generator)
+        self.run(until=until)
+        if not proc.triggered:
+            raise SimulationError("process did not finish before the run ended")
+        if not proc._ok:
+            raise proc._value
+        return proc._value
+
+    def peek(self) -> float:
+        """Time of the next scheduled item, or ``inf`` when idle."""
+        return self._heap[0][0] if self._heap else float("inf")

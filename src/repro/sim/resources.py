@@ -1,0 +1,211 @@
+"""Queueing resources built on the event kernel.
+
+* :class:`Store` — unbounded (or bounded) FIFO of items with blocking gets.
+* :class:`Mutex` — single-holder lock with a FIFO wait queue.
+* :class:`WorkQueue` — a serial "processor": callers submit timed work
+  items and receive an event that fires when the item completes.  This is
+  the building block for host CPUs, NIC firmware processors, DMA engines
+  and link transmitters, and it tracks busy time per category so that CPU
+  utilization and NIC occupancy fall out of the model for free.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Any, Callable, Optional
+
+from .engine import Event, SimulationError, Simulator
+
+
+class Store:
+    """FIFO item store: ``put`` never blocks unless a capacity is set."""
+
+    def __init__(self, sim: Simulator, capacity: Optional[int] = None, name: str = "store"):
+        if capacity is not None and capacity <= 0:
+            raise SimulationError("store capacity must be positive")
+        self.sim = sim
+        self.name = name
+        self.capacity = capacity
+        self._items: deque = deque()
+        self._getters: deque = deque()
+        self.total_put = 0
+        self.total_got = 0
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def is_full(self) -> bool:
+        return self.capacity is not None and len(self._items) >= self.capacity
+
+    def try_put(self, item: Any) -> bool:
+        """Non-blocking put; returns False when the store is full."""
+        if self.is_full:
+            return False
+        self.total_put += 1
+        while self._getters:
+            getter = self._getters.popleft()
+            if getter.triggered:
+                continue
+            self.total_got += 1
+            getter.succeed(item)
+            return True
+        self._items.append(item)
+        return True
+
+    def put(self, item: Any) -> None:
+        """Put, raising when full (SAN queues overflow loudly, not silently)."""
+        if not self.try_put(item):
+            raise SimulationError(f"store {self.name!r} overflow (capacity={self.capacity})")
+
+    def get(self) -> Event:
+        """Return an event that fires with the next item."""
+        ev = Event(self.sim)
+        if self._items:
+            self.total_got += 1
+            ev.succeed(self._items.popleft())
+        else:
+            self._getters.append(ev)
+        return ev
+
+    def try_get(self) -> Any:
+        """Non-blocking get; returns None when empty."""
+        if self._items:
+            self.total_got += 1
+            return self._items.popleft()
+        return None
+
+    def peek(self) -> Any:
+        return self._items[0] if self._items else None
+
+
+class Mutex:
+    """A FIFO lock.  ``acquire()`` yields an event; call ``release()`` after."""
+
+    def __init__(self, sim: Simulator, name: str = "mutex"):
+        self.sim = sim
+        self.name = name
+        self._locked = False
+        self._waiters: deque = deque()
+
+    @property
+    def locked(self) -> bool:
+        return self._locked
+
+    def acquire(self) -> Event:
+        ev = Event(self.sim)
+        if not self._locked:
+            self._locked = True
+            ev.succeed()
+        else:
+            self._waiters.append(ev)
+        return ev
+
+    def release(self) -> None:
+        if not self._locked:
+            raise SimulationError(f"mutex {self.name!r} released while unlocked")
+        if self._waiters:
+            self._waiters.popleft().succeed()
+        else:
+            self._locked = False
+
+
+class WorkItem:
+    """A unit of timed work on a :class:`WorkQueue`."""
+
+    __slots__ = ("duration", "category", "priority", "fn", "done", "submitted_at", "started_at")
+
+    def __init__(self, duration: float, category: str, priority: int,
+                 fn: Optional[Callable], done: Event, submitted_at: float):
+        self.duration = duration
+        self.category = category
+        self.priority = priority
+        self.fn = fn
+        self.done = done
+        self.submitted_at = submitted_at
+        self.started_at: Optional[float] = None
+
+
+class WorkQueue:
+    """A serial processor with priority FIFO dispatch and busy accounting.
+
+    Work runs one item at a time (non-preemptive).  Lower ``priority``
+    values run first among queued items; ties are FIFO.  Each completed
+    item charges its ``duration`` of busy time to its ``category``.
+    """
+
+    def __init__(self, sim: Simulator, name: str = "cpu"):
+        self.sim = sim
+        self.name = name
+        self._heap: list = []
+        self._seq = 0
+        self._busy = False
+        self.busy_time = 0.0
+        self.busy_by_category: dict = {}
+        self._stats_epoch = 0.0
+        self.items_completed = 0
+
+    @property
+    def queue_depth(self) -> int:
+        return len(self._heap)
+
+    @property
+    def busy(self) -> bool:
+        return self._busy
+
+    def submit(self, duration: float, category: str = "work", priority: int = 0,
+               fn: Optional[Callable] = None) -> Event:
+        """Enqueue ``duration`` µs of work; the returned event fires on completion.
+
+        ``fn`` (if given) runs at completion time, before the event fires.
+        """
+        if duration < 0:
+            raise SimulationError(f"negative work duration: {duration}")
+        done = Event(self.sim)
+        item = WorkItem(duration, category, priority, fn, done, self.sim.now)
+        self._seq += 1
+        heapq.heappush(self._heap, (priority, self._seq, item))
+        if not self._busy:
+            self._dispatch()
+        return done
+
+    def _dispatch(self) -> None:
+        if not self._heap:
+            self._busy = False
+            return
+        self._busy = True
+        _prio, _seq, item = heapq.heappop(self._heap)
+        item.started_at = self.sim.now
+        self.sim.call_later(item.duration, self._complete, item)
+
+    def _complete(self, item: WorkItem) -> None:
+        self.busy_time += item.duration
+        self.busy_by_category[item.category] = (
+            self.busy_by_category.get(item.category, 0.0) + item.duration)
+        self.items_completed += 1
+        if item.fn is not None:
+            item.fn()
+        item.done.succeed()
+        self._dispatch()
+
+    # -- accounting -------------------------------------------------------
+
+    def reset_stats(self) -> None:
+        self.busy_time = 0.0
+        self.busy_by_category = {}
+        self.items_completed = 0
+        self._stats_epoch = self.sim.now
+
+    def utilization(self) -> float:
+        """Fraction of time busy since the last ``reset_stats``."""
+        elapsed = self.sim.now - self._stats_epoch
+        if elapsed <= 0:
+            return 0.0
+        return min(1.0, self.busy_time / elapsed)
+
+    def utilization_of(self, category: str) -> float:
+        elapsed = self.sim.now - self._stats_epoch
+        if elapsed <= 0:
+            return 0.0
+        return self.busy_by_category.get(category, 0.0) / elapsed

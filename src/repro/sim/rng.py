@@ -1,0 +1,25 @@
+"""Deterministic named random streams.
+
+Each consumer (loss injector, workload generator, ISN picker) draws from
+its own stream so adding a new consumer never perturbs existing ones.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict
+
+
+class RngHub:
+    """Hands out independent ``random.Random`` streams keyed by name."""
+
+    def __init__(self, seed: int = 0x51B1):
+        self.seed = seed
+        self._streams: Dict[str, random.Random] = {}
+
+    def stream(self, name: str) -> random.Random:
+        if name not in self._streams:
+            # Derive a child seed stably from (hub seed, stream name).
+            child = random.Random((self.seed, name).__repr__())
+            self._streams[name] = random.Random(child.getrandbits(64))
+        return self._streams[name]

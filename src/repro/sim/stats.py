@@ -1,0 +1,153 @@
+"""Measurement instruments: counters, running stats, histograms, rate meters.
+
+Experiments read these the way the paper read the LANai cycle counter and
+``/proc`` CPU accounting — instruments observe; they never change behaviour.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional
+
+
+class Counter:
+    """A named monotonic counter."""
+
+    def __init__(self, name: str = "counter"):
+        self.name = name
+        self.value = 0
+
+    def add(self, n: int = 1) -> None:
+        self.value += n
+
+    def reset(self) -> None:
+        self.value = 0
+
+
+class RunningStats:
+    """Welford online mean/variance plus min/max."""
+
+    def __init__(self, name: str = "stats"):
+        self.name = name
+        self.count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def add(self, x: float) -> None:
+        self.count += 1
+        delta = x - self._mean
+        self._mean += delta / self.count
+        self._m2 += delta * (x - self._mean)
+        self.min = x if self.min is None else min(self.min, x)
+        self.max = x if self.max is None else max(self.max, x)
+
+    @property
+    def mean(self) -> float:
+        return self._mean if self.count else 0.0
+
+    @property
+    def variance(self) -> float:
+        return self._m2 / (self.count - 1) if self.count > 1 else 0.0
+
+    @property
+    def stddev(self) -> float:
+        return math.sqrt(self.variance)
+
+
+class Histogram:
+    """Fixed-bucket histogram over [lo, hi) with overflow/underflow bins."""
+
+    def __init__(self, lo: float, hi: float, buckets: int = 32, name: str = "hist"):
+        if hi <= lo or buckets <= 0:
+            raise ValueError("bad histogram bounds")
+        self.name = name
+        self.lo = lo
+        self.hi = hi
+        self.counts: List[int] = [0] * buckets
+        self.underflow = 0
+        self.overflow = 0
+        self._width = (hi - lo) / buckets
+
+    def add(self, x: float) -> None:
+        if x < self.lo:
+            self.underflow += 1
+        elif x >= self.hi:
+            self.overflow += 1
+        else:
+            self.counts[int((x - self.lo) / self._width)] += 1
+
+    @property
+    def total(self) -> int:
+        return sum(self.counts) + self.underflow + self.overflow
+
+    def percentile(self, p: float) -> float:
+        """Approximate percentile (bucket upper edge); p in [0, 100]."""
+        if not 0 <= p <= 100:
+            raise ValueError("percentile must be within [0, 100]")
+        total = self.total
+        if total == 0:
+            return 0.0
+        target = total * p / 100.0
+        seen = self.underflow
+        if seen >= target:
+            return self.lo
+        for i, c in enumerate(self.counts):
+            seen += c
+            if seen >= target:
+                return self.lo + (i + 1) * self._width
+        return self.hi
+
+
+class RateMeter:
+    """Byte/op rate over an observation window, in units per microsecond."""
+
+    def __init__(self, name: str = "rate"):
+        self.name = name
+        self.amount = 0.0
+        self.start_time: Optional[float] = None
+        self.end_time: Optional[float] = None
+
+    def observe(self, now: float, amount: float) -> None:
+        if self.start_time is None:
+            self.start_time = now
+        self.end_time = now
+        self.amount += amount
+
+    def rate(self) -> float:
+        if self.start_time is None or self.end_time is None:
+            return 0.0
+        span = self.end_time - self.start_time
+        return self.amount / span if span > 0 else 0.0
+
+    def rate_over(self, t0: float, t1: float) -> float:
+        span = t1 - t0
+        return self.amount / span if span > 0 else 0.0
+
+
+class StatsRegistry:
+    """Per-entity bag of named instruments, for uniform report dumping."""
+
+    def __init__(self):
+        self.counters: Dict[str, Counter] = {}
+        self.stats: Dict[str, RunningStats] = {}
+
+    def counter(self, name: str) -> Counter:
+        if name not in self.counters:
+            self.counters[name] = Counter(name)
+        return self.counters[name]
+
+    def running(self, name: str) -> RunningStats:
+        if name not in self.stats:
+            self.stats[name] = RunningStats(name)
+        return self.stats[name]
+
+    def snapshot(self) -> Dict[str, float]:
+        out: Dict[str, float] = {}
+        for name, c in self.counters.items():
+            out[name] = c.value
+        for name, s in self.stats.items():
+            out[f"{name}.mean"] = s.mean
+            out[f"{name}.count"] = s.count
+        return out

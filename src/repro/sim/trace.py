@@ -1,0 +1,58 @@
+"""Lightweight event tracing.
+
+Traces are (time, category, message) tuples kept in a bounded ring; tests
+and the examples use them to assert on protocol behaviour (e.g. "a fast
+retransmit happened before the RTO would have fired").
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Iterable, List, Optional, Tuple
+
+TraceRecord = Tuple[float, str, str]
+
+
+class Tracer:
+    def __init__(self, sim, capacity: int = 100_000, echo: bool = False):
+        self.sim = sim
+        self.records: Deque[TraceRecord] = deque(maxlen=capacity)
+        self.echo = echo
+        self.enabled_categories: Optional[set] = None  # None = all
+
+    def enable_only(self, categories: Iterable[str]) -> None:
+        self.enabled_categories = set(categories)
+
+    def log(self, category: str, message: str) -> None:
+        if self.enabled_categories is not None and category not in self.enabled_categories:
+            return
+        record = (self.sim.now, category, message)
+        self.records.append(record)
+        if self.echo:  # pragma: no cover - debugging aid
+            print(f"[{record[0]:12.3f}us] {category:12s} {message}")
+
+    def find(self, category: str, needle: str = "") -> List[TraceRecord]:
+        return [r for r in self.records
+                if r[1] == category and needle in r[2]]
+
+    def count(self, category: str, needle: str = "") -> int:
+        return len(self.find(category, needle))
+
+    def clear(self) -> None:
+        self.records.clear()
+
+
+class NullTracer:
+    """Tracer that drops everything (the default, for speed)."""
+
+    def log(self, category: str, message: str) -> None:
+        pass
+
+    def find(self, category: str, needle: str = "") -> List[TraceRecord]:
+        return []
+
+    def count(self, category: str, needle: str = "") -> int:
+        return 0
+
+    def clear(self) -> None:
+        pass

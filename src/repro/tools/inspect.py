@@ -1,0 +1,83 @@
+"""State inspectors: human-readable reports on connections, NICs, fabrics.
+
+These read simulation state the way `netstat`/`ethtool -S` read a real
+system — purely observational.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..net.tcp import TcpConnection
+
+
+def connection_report(conn: TcpConnection) -> str:
+    """A netstat-style dump of one TCP connection."""
+    s = conn.stats
+    lines = [
+        f"connection {conn.tuple} [{conn.state.value}]",
+        f"  snd: una={conn.snd_una} nxt={conn.snd_nxt} wnd={conn.snd_wnd} "
+        f"flight={conn.flight_size} unsent={conn.bytes_unsent}",
+        f"  rcv: nxt={conn.rcv_nxt} window={conn._advertisable_window()} "
+        f"adv_edge={conn.rcv_adv}",
+        f"  mss: eff={conn.effective_mss} peer={conn.peer_mss} "
+        f"opts: ts={conn.ts_ok} ws={conn.ws_ok} "
+        f"(snd<<{conn.snd_wscale}/rcv<<{conn.rcv_wscale}) ecn={conn.ecn_ok}",
+        f"  rtt: srtt={conn.rtt.srtt:.1f}us rttvar={conn.rtt.rttvar:.1f}us "
+        f"rto={conn.rtt.rto:.0f}us samples={conn.rtt.samples}",
+        f"  cc:  cwnd={conn.cc.cwnd} ssthresh={conn.cc.ssthresh} "
+        f"{'slow-start' if conn.cc.in_slow_start else 'cong-avoid'}"
+        f"{' RECOVERY' if conn.cc.in_recovery else ''}",
+        f"  io:  out={s.segs_out} segs/{s.bytes_out}B in={s.segs_in} "
+        f"segs/{s.bytes_in}B acks_out={s.acks_out}",
+        f"  err: retx={s.retransmitted_segs} fast_rtx={s.fast_retransmits} "
+        f"rto={s.rto_timeouts} dupacks={s.dup_acks_in} ooo={s.ooo_segments} "
+        f"(dropped {s.ooo_dropped}, queued {s.ooo_queued})",
+    ]
+    return "\n".join(lines)
+
+
+def nic_report(nic) -> str:
+    """Occupancy + per-stage breakdown for a ProgrammableNic."""
+    lines = [
+        f"nic {nic.name}: occupancy {nic.occupancy() * 100:.1f}% "
+        f"(tx {nic.packets_tx} pkts, rx {nic.packets_rx} pkts, "
+        f"doorbells {nic.doorbells_rung})",
+    ]
+    total = sum(nic.cycles.by_stage.values()) or 1.0
+    for stage, busy in sorted(nic.cycles.by_stage.items(),
+                              key=lambda kv: -kv[1]):
+        n = nic.cycles.samples[stage]
+        lines.append(f"  {stage:18s} {busy:10.1f}us  ({n:6d} x "
+                     f"{busy / n:6.2f}us)  {busy / total * 100:5.1f}%")
+    return "\n".join(lines)
+
+
+def fabric_report(fabric) -> str:
+    """Per-link utilization and switch counters for a fabric."""
+    lines: List[str] = []
+    now = fabric.sim.now or 1.0
+    if hasattr(fabric, "switches"):          # MyrinetFabric
+        for i, sw in enumerate(fabric.switches):
+            lines.append(f"switch {sw.name}: forwarded {sw.forwarded}, "
+                         f"dropped(no-route) {sw.dropped_no_route}")
+        for name, node in fabric.hosts.items():
+            link = node.attachment.link
+            d_out = link.direction_from(node.attachment)
+            lines.append(
+                f"host {name}: tx {d_out.packets_sent} pkts / "
+                f"{d_out.bytes_sent}B, util {d_out.utilization(0, now) * 100:.1f}%, "
+                f"drops {d_out.packets_dropped}")
+    else:                                     # EthernetFabric
+        sw = fabric.switch
+        extra = ""
+        if sw.red is not None:
+            extra = f", RED marked {sw.red_marked} dropped {sw.red_dropped}"
+        lines.append(f"switch {sw.name}: forwarded {sw.forwarded}, flooded "
+                     f"{sw.flooded}, overflow {sw.dropped_overflow}{extra}")
+        for name, attachment in fabric.hosts.items():
+            d_out = attachment.link.direction_from(attachment)
+            lines.append(
+                f"host {name}: tx {d_out.packets_sent} pkts / "
+                f"{d_out.bytes_sent}B, util {d_out.utilization(0, now) * 100:.1f}%")
+    return "\n".join(lines)

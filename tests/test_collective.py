@@ -1,0 +1,127 @@
+"""Tests for the ring collectives (allreduce, barrier) over QPIP."""
+
+import pytest
+
+from repro.apps.collective import (RingMember, build_ring, _pack, _unpack)
+from repro.bench.configs import build_qpip_cluster
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+def run_ring(sim, n, body_factory, until=120_000_000):
+    """Build an n-rank ring, run setup + body on every rank."""
+    nodes, fabric = build_qpip_cluster(sim, n)
+    ring = build_ring(nodes)
+    results = {}
+
+    def rank_proc(member):
+        yield from member.setup()
+        # Wait until every rank is wired before starting the collective.
+        for other in ring:
+            yield other._ready
+        result = yield from body_factory(member)
+        results[member.rank] = result
+
+    procs = [sim.process(rank_proc(m)) for m in ring]
+    sim.run(until=sim.now + until)
+    for p in procs:
+        assert p.triggered, "a rank did not finish"
+        if not p.ok:
+            raise p.value
+    return ring, results
+
+
+class TestCodec:
+    def test_pack_unpack(self):
+        values = [0.0, 1.5, -3.25, 1e12]
+        assert _unpack(_pack(values)) == values
+
+
+class TestAllreduce:
+    def test_sum_of_rank_vectors(self, sim):
+        n = 4
+
+        def body(member):
+            vec = [float(member.rank + 1)] * 8
+            out = yield from member.allreduce(vec)
+            return out
+
+        ring, results = run_ring(sim, n, body)
+        expected = [float(sum(range(1, n + 1)))] * 8   # 1+2+3+4 = 10
+        for rank in range(n):
+            assert results[rank] == pytest.approx(expected)
+
+    def test_all_ranks_agree(self, sim):
+        def body(member):
+            vec = [member.rank * 0.5, member.rank ** 2, 7.0]
+            return (yield from member.allreduce(vec))
+
+        _ring, results = run_ring(sim, 3, body)
+        assert results[0] == results[1] == results[2]
+
+    def test_two_ranks(self, sim):
+        def body(member):
+            return (yield from member.allreduce([1.0, 2.0]))
+
+        _ring, results = run_ring(sim, 2, body)
+        assert results[0] == pytest.approx([2.0, 4.0])
+
+    def test_repeated_allreduce(self, sim):
+        def body(member):
+            outs = []
+            for round_i in range(3):
+                out = yield from member.allreduce([float(round_i)] * 4)
+                outs.append(out[0])
+            return outs
+
+        _ring, results = run_ring(sim, 3, body)
+        for rank in range(3):
+            assert results[rank] == pytest.approx([0.0, 3.0, 6.0])
+
+    def test_steps_and_bytes_accounted(self, sim):
+        n = 4
+
+        def body(member):
+            yield from member.allreduce([1.0] * 16)
+            return member.stats
+
+        _ring, results = run_ring(sim, n, body)
+        for rank in range(n):
+            stats = results[rank]
+            assert stats.steps == n - 1
+            assert stats.bytes_sent == (n - 1) * 16 * 8
+            assert stats.wall_time_us > 0
+
+    def test_scales_with_ring_size(self, sim):
+        def body(member):
+            yield from member.allreduce([1.0] * 8)
+            return member.stats.wall_time_us
+
+        _r, three = run_ring(sim, 3, body)
+        sim2 = Simulator()
+        _r, five = run_ring(sim2, 5, body)
+        # More ranks, more ring steps, more time.
+        assert max(five.values()) > max(three.values())
+
+
+class TestBarrier:
+    def test_barrier_synchronizes(self, sim):
+        exit_times = {}
+
+        def body(member):
+            # Stagger arrival: rank r works for r*5 ms first.
+            yield member.sim.timeout(member.rank * 5000)
+            yield from member.barrier()
+            exit_times[member.rank] = member.sim.now
+            return True
+
+        run_ring(sim, 4, body)
+        times = sorted(exit_times.values())
+        # Nobody leaves the barrier before the slowest arrival (15 ms).
+        assert times[0] >= 15_000
+        # Exits are tightly clustered (within one ring trip).
+        assert times[-1] - times[0] < 2_000

@@ -1,0 +1,261 @@
+"""Tests for links, switches, and topology route computation."""
+
+import pytest
+
+from repro.errors import ConfigError, RouteError
+from repro.fabric import (Attachment, EthernetFabric, EthernetSwitch, Link,
+                          MyrinetFabric, MyrinetSwitch)
+from repro.net.addresses import MacAddress
+from repro.net.headers.link import EthernetHeader, MyrinetHeader
+from repro.net.packet import Packet, ZeroPayload
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+def sink(log):
+    def on_receive(pkt, at):
+        log.append((at.link.sim.now, pkt))
+    return on_receive
+
+
+def mk_packet(size=1000, route=None):
+    pkt = Packet(payload=ZeroPayload(size))
+    if route is not None:
+        pkt.push(MyrinetHeader(route=list(route)))
+        pkt.route = list(route)
+    return pkt
+
+
+class TestLink:
+    def test_serialization_plus_propagation(self, sim):
+        log = []
+        a = Attachment("a", lambda p, at: None)
+        b = Attachment("b", sink(log))
+        Link(sim, a, b, bandwidth=100.0, propagation=2.0)  # 100 B/us
+        pkt = mk_packet(1000)
+        a.transmit(pkt)
+        sim.run()
+        assert log[0][0] == pytest.approx(1000 / 100 + 2.0)
+
+    def test_fifo_serialization_backlog(self, sim):
+        log = []
+        a = Attachment("a", lambda p, at: None)
+        b = Attachment("b", sink(log))
+        Link(sim, a, b, bandwidth=100.0, propagation=0.0)
+        a.transmit(mk_packet(1000))
+        a.transmit(mk_packet(1000))
+        sim.run()
+        assert [t for t, _ in log] == [pytest.approx(10.0), pytest.approx(20.0)]
+
+    def test_full_duplex_no_interference(self, sim):
+        log_a, log_b = [], []
+        a = Attachment("a", sink(log_a))
+        b = Attachment("b", sink(log_b))
+        Link(sim, a, b, bandwidth=100.0, propagation=0.0)
+        a.transmit(mk_packet(1000))
+        b.transmit(mk_packet(1000))
+        sim.run()
+        assert log_a[0][0] == pytest.approx(10.0)
+        assert log_b[0][0] == pytest.approx(10.0)
+
+    def test_cut_through_receiver_sees_header_early(self, sim):
+        log = []
+        a = Attachment("a", lambda p, at: None)
+        b = Attachment("b", sink(log), rx_mode="cut_through")
+        Link(sim, a, b, bandwidth=100.0, propagation=1.0)
+        a.transmit(mk_packet(8000))
+        sim.run()
+        # 16 header bytes at 100 B/us + 1 us propagation, not 80 us.
+        assert log[0][0] == pytest.approx(16 / 100 + 1.0)
+
+    def test_loss_hook_drops(self, sim):
+        log = []
+        a = Attachment("a", lambda p, at: None)
+        b = Attachment("b", sink(log))
+        link = Link(sim, a, b, bandwidth=100.0)
+        link.set_loss(a, lambda pkt: True)
+        a.transmit(mk_packet(100))
+        sim.run()
+        assert not log
+        assert link.direction_from(a).packets_dropped == 1
+
+    def test_stats_and_utilization(self, sim):
+        a = Attachment("a", lambda p, at: None)
+        b = Attachment("b", lambda p, at: None)
+        link = Link(sim, a, b, bandwidth=100.0, propagation=0.0)
+        a.transmit(mk_packet(500))
+        sim.run()
+        d = link.direction_from(a)
+        assert d.bytes_sent == 500
+        assert d.packets_sent == 1
+        assert d.utilization(0, 10.0) == pytest.approx(0.5)
+
+    def test_transmit_without_link_raises(self):
+        a = Attachment("a", lambda p, at: None)
+        with pytest.raises(ConfigError):
+            a.transmit(mk_packet(10))
+
+    def test_bad_params_rejected(self, sim):
+        a = Attachment("a", lambda p, at: None)
+        b = Attachment("b", lambda p, at: None)
+        with pytest.raises(ConfigError):
+            Link(sim, a, b, bandwidth=0)
+        with pytest.raises(ConfigError):
+            Attachment("x", lambda p, at: None, rx_mode="warp")
+
+
+class TestMyrinetSwitch:
+    def test_source_routed_forwarding(self, sim):
+        sw = MyrinetSwitch(sim, 4, latency=0.5)
+        log = []
+        host_a = Attachment("ha", lambda p, at: None)
+        host_b = Attachment("hb", sink(log))
+        Link(sim, host_a, sw.port(0), bandwidth=250.0, propagation=0.1)
+        Link(sim, host_b, sw.port(2), bandwidth=250.0, propagation=0.1)
+        pkt = mk_packet(1000, route=[2])
+        host_a.transmit(pkt)
+        sim.run()
+        assert len(log) == 1
+        assert sw.forwarded == 1
+        # Cut-through: header flit + switch latency + full serialization.
+        expect = (16 / 250 + 0.1) + 0.5 + (pkt.wire_size / 250 + 0.1)
+        assert log[0][0] == pytest.approx(expect)
+
+    def test_route_exhausted_dropped(self, sim):
+        sw = MyrinetSwitch(sim, 4)
+        host_a = Attachment("ha", lambda p, at: None)
+        Link(sim, host_a, sw.port(0), bandwidth=250.0)
+        pkt = mk_packet(100, route=[])
+        host_a.transmit(pkt)
+        sim.run()
+        assert sw.dropped_no_route == 1
+
+    def test_bad_port_dropped(self, sim):
+        sw = MyrinetSwitch(sim, 2)
+        host_a = Attachment("ha", lambda p, at: None)
+        Link(sim, host_a, sw.port(0), bandwidth=250.0)
+        host_a.transmit(mk_packet(100, route=[9]))
+        sim.run()
+        assert sw.dropped_no_route == 1
+
+
+class TestEthernetSwitch:
+    def _wire(self, sim, n=3):
+        sw = EthernetSwitch(sim, n, latency=1.0)
+        hosts = []
+        logs = []
+        for i in range(n):
+            log = []
+            att = Attachment(f"h{i}", sink(log))
+            Link(sim, att, sw.port(i), bandwidth=125.0, propagation=0.1)
+            hosts.append(att)
+            logs.append(log)
+        return sw, hosts, logs
+
+    def _eth_packet(self, dst, src, size=500):
+        pkt = Packet(payload=ZeroPayload(size))
+        pkt.push(EthernetHeader(dst, src))
+        return pkt
+
+    def test_flood_then_learn(self, sim):
+        sw, hosts, logs = self._wire(sim)
+        m0, m1 = MacAddress.from_index(0), MacAddress.from_index(1)
+        hosts[0].transmit(self._eth_packet(m1, m0))
+        sim.run()
+        # Unknown destination: flooded to both other ports.
+        assert len(logs[1]) == 1 and len(logs[2]) == 1
+        assert sw.flooded == 1
+        # Reply teaches the switch where m0 lives; now unicast only.
+        hosts[1].transmit(self._eth_packet(m0, m1))
+        sim.run()
+        assert len(logs[0]) == 1
+        assert len(logs[2]) == 1    # no new flood copy
+        hosts[0].transmit(self._eth_packet(m1, m0))
+        sim.run()
+        assert len(logs[1]) == 2
+        assert sw.flooded == 1
+
+    def test_queue_overflow_drops(self, sim):
+        # Two senders converge on one egress port: 2:1 overcommit must
+        # overflow a small output queue and tail-drop.
+        sw, hosts, logs = self._wire(sim)
+        sw.queue_capacity = 4
+        m0, m1, m2 = (MacAddress.from_index(i) for i in range(3))
+        hosts[1].transmit(self._eth_packet(m0, m1))   # teach the MAC table
+        sim.run()
+        for _ in range(50):
+            hosts[0].transmit(self._eth_packet(m1, m0, size=1500))
+            hosts[2].transmit(self._eth_packet(m1, m2, size=1500))
+        sim.run()
+        assert sw.dropped_overflow > 0
+        assert len(logs[1]) < 100
+
+
+class TestMyrinetFabric:
+    def test_single_switch_routes(self, sim):
+        fab = MyrinetFabric(sim)
+        fab.add_switch(8)
+        log_a, log_b = [], []
+        fab.attach_host("a", Attachment("a", sink(log_a)))
+        fab.attach_host("b", Attachment("b", sink(log_b)))
+        route = fab.source_route("a", "b")
+        assert route == [fab.hosts["b"].switch_port]
+        pkt = mk_packet(2000, route=route)
+        fab.hosts["a"].attachment.transmit(pkt)
+        sim.run()
+        assert len(log_b) == 1
+
+    def test_multi_switch_route(self, sim):
+        fab = MyrinetFabric(sim)
+        s0 = fab.add_switch(4)
+        s1 = fab.add_switch(4)
+        s2 = fab.add_switch(4)
+        fab.connect_switches(s0, s1)
+        fab.connect_switches(s1, s2)
+        log = []
+        fab.attach_host("src", Attachment("src", lambda p, a: None), s0)
+        fab.attach_host("dst", Attachment("dst", sink(log)), s2)
+        route = fab.source_route("src", "dst")
+        assert len(route) == 3        # two trunks + final host port
+        pkt = mk_packet(512, route=route)
+        fab.hosts["src"].attachment.transmit(pkt)
+        sim.run()
+        assert len(log) == 1
+
+    def test_route_to_self_rejected(self, sim):
+        fab = MyrinetFabric(sim)
+        fab.add_switch(4)
+        fab.attach_host("x", Attachment("x", lambda p, a: None))
+        with pytest.raises(RouteError):
+            fab.source_route("x", "x")
+
+    def test_unknown_host_rejected(self, sim):
+        fab = MyrinetFabric(sim)
+        fab.add_switch(4)
+        with pytest.raises(RouteError):
+            fab.source_route("nope", "also-nope")
+
+    def test_port_exhaustion(self, sim):
+        fab = MyrinetFabric(sim)
+        fab.add_switch(1)
+        fab.attach_host("a", Attachment("a", lambda p, a: None))
+        with pytest.raises(ConfigError):
+            fab.attach_host("b", Attachment("b", lambda p, a: None))
+
+
+class TestEthernetFabric:
+    def test_two_hosts_exchange(self, sim):
+        fab = EthernetFabric(sim)
+        log_b = []
+        fab.attach_host("a", Attachment("a", lambda p, at: None))
+        fab.attach_host("b", Attachment("b", sink(log_b)))
+        m_a, m_b = MacAddress.from_index(0), MacAddress.from_index(1)
+        pkt = Packet(payload=ZeroPayload(100))
+        pkt.push(EthernetHeader(m_b, m_a))
+        fab.hosts["a"].transmit(pkt)
+        sim.run()
+        assert len(log_b) == 1

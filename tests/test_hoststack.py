@@ -1,0 +1,316 @@
+"""Integration tests: sockets over the host kernel, GigE and GM testbeds,
+loopback, and CPU accounting."""
+
+import pytest
+
+from repro.bench.configs import build_gige_pair, build_gm_pair
+from repro.errors import ConnectionRefused, SocketError
+from repro.hoststack import TcpSocket, UdpSocket, attach_loopback
+from repro.hoststack.kernel import HostKernel
+from repro.hw import Host
+from repro.net.addresses import Endpoint, IPv4Address
+from repro.net.packet import BytesPayload, ZeroPayload
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+@pytest.fixture
+def gige(sim):
+    return build_gige_pair(sim)
+
+
+def run_pair(sim, client_gen, server_gen, until=30_000_000):
+    cp = sim.process(client_gen)
+    sp = sim.process(server_gen)
+    sim.run(until=until)
+    assert cp.triggered, "client did not finish"
+    assert sp.triggered, "server did not finish"
+    if not cp.ok:
+        raise cp.value
+    if not sp.ok:
+        raise sp.value
+    return cp.value, sp.value
+
+
+class TestTcpSockets:
+    def test_connect_send_recv(self, sim, gige):
+        a, b, _fabric = gige
+        results = {}
+
+        def server():
+            lsock = TcpSocket(b.kernel, b.addr)
+            lsock.listen(5000)
+            conn = yield from lsock.accept()
+            data = yield from conn.recv_exact(11)
+            results["server_got"] = data.to_bytes()
+            yield from conn.send(BytesPayload(b"pong"))
+
+        def client():
+            sock = TcpSocket(a.kernel, a.addr)
+            yield from sock.connect(Endpoint(b.addr, 5000))
+            yield from sock.send(BytesPayload(b"hello world"))
+            reply = yield from sock.recv_exact(4)
+            results["client_got"] = reply.to_bytes()
+
+        run_pair(sim, client(), server())
+        assert results["server_got"] == b"hello world"
+        assert results["client_got"] == b"pong"
+
+    def test_connection_refused(self, sim, gige):
+        a, b, _fabric = gige
+
+        def client():
+            sock = TcpSocket(a.kernel, a.addr)
+            with pytest.raises(ConnectionRefused):
+                yield from sock.connect(Endpoint(b.addr, 9999))
+
+        sim.run_process(client(), until=10_000_000)
+
+    def test_bulk_transfer_integrity(self, sim, gige):
+        a, b, _fabric = gige
+        blob = bytes(range(256)) * 256    # 64 KiB patterned data
+        results = {}
+
+        def server():
+            lsock = TcpSocket(b.kernel, b.addr)
+            lsock.listen(5000)
+            conn = yield from lsock.accept()
+            data = yield from conn.recv_exact(len(blob))
+            results["got"] = data.to_bytes()
+
+        def client():
+            sock = TcpSocket(a.kernel, a.addr)
+            yield from sock.connect(Endpoint(b.addr, 5000))
+            yield from sock.send(BytesPayload(blob))
+
+        run_pair(sim, client(), server())
+        assert results["got"] == blob
+
+    def test_mss_derived_from_route_mtu(self, sim, gige):
+        a, b, _fabric = gige
+
+        def server():
+            lsock = TcpSocket(b.kernel, b.addr)
+            lsock.listen(5000)
+            conn = yield from lsock.accept()
+            yield from conn.recv(10)
+
+        def client():
+            sock = TcpSocket(a.kernel, a.addr)
+            yield from sock.connect(Endpoint(b.addr, 5000))
+            # IPv4 over 1500 MTU: MSS 1460 on the wire.
+            assert sock.conn.config.mss == 1460
+            yield from sock.send(ZeroPayload(10))
+
+        run_pair(sim, client(), server())
+
+    def test_transfer_consumes_cpu(self, sim, gige):
+        a, b, _fabric = gige
+        a.host.reset_cpu_stats()
+        window = {}
+
+        def server():
+            lsock = TcpSocket(b.kernel, b.addr)
+            lsock.listen(5000)
+            conn = yield from lsock.accept()
+            yield from conn.recv_exact(1_000_000)
+
+        def client():
+            sock = TcpSocket(a.kernel, a.addr)
+            yield from sock.connect(Endpoint(b.addr, 5000))
+            window["start"] = sim.now
+            yield from sock.send(ZeroPayload(1_000_000))
+            window["end"] = sim.now
+
+        run_pair(sim, client(), server())
+        busy = a.host.cpu.busy_by_category
+        assert busy.get("copy", 0) > 0
+        assert busy.get("net-tx", 0) > 0
+        elapsed = window["end"] - window["start"]
+        assert a.host.cpu.busy_time / elapsed > 0.1   # the point of the baseline
+
+    def test_checksum_corruption_detected_and_recovered(self, sim, gige):
+        a, b, _fabric = gige
+        link = _fabric.host_link("h0")
+        state = {"hit": False}
+
+        def corrupt_one(pkt):
+            if pkt.payload.length > 100 and not state["hit"]:
+                state["hit"] = True
+                pkt.corrupted = True     # bit error on the wire
+            return False
+
+        link.set_loss(a.nic.attachment, corrupt_one)
+        results = {}
+
+        def server():
+            lsock = TcpSocket(b.kernel, b.addr)
+            lsock.listen(5000)
+            conn = yield from lsock.accept()
+            data = yield from conn.recv_exact(5000)
+            results["got"] = data.length
+
+        def client():
+            sock = TcpSocket(a.kernel, a.addr)
+            yield from sock.connect(Endpoint(b.addr, 5000))
+            yield from sock.send(ZeroPayload(5000))
+
+        run_pair(sim, client(), server())
+        assert state["hit"]
+        assert results["got"] == 5000
+        assert b.kernel.stack.checksum_errors >= 1
+        assert a.kernel.stack.tcp.connections  # still alive
+
+    def test_socket_misuse_raises(self, sim, gige):
+        a, _b, _fabric = gige
+        sock = TcpSocket(a.kernel, a.addr)
+        with pytest.raises(SocketError):
+            sock.listen(1)
+            sock.listen(2)
+
+    def test_close_propagates_eof(self, sim, gige):
+        a, b, _fabric = gige
+        results = {}
+
+        def server():
+            lsock = TcpSocket(b.kernel, b.addr)
+            lsock.listen(5000)
+            conn = yield from lsock.accept()
+            data = yield from conn.recv(100)
+            results["data"] = data.length
+            eof = yield from conn.recv(100)
+            results["eof"] = eof.length
+
+        def client():
+            sock = TcpSocket(a.kernel, a.addr)
+            yield from sock.connect(Endpoint(b.addr, 5000))
+            yield from sock.send(BytesPayload(b"bye"))
+            sock.close()
+
+        run_pair(sim, client(), server())
+        assert results["data"] == 3
+        assert results["eof"] == 0
+
+
+class TestUdpSockets:
+    def test_datagram_roundtrip(self, sim, gige):
+        a, b, _fabric = gige
+        results = {}
+
+        def server():
+            sock = UdpSocket(b.kernel, b.addr)
+            sock.bind(7000)
+            dg = yield from sock.recvfrom()
+            results["got"] = dg.payload.to_bytes()
+            reply = UdpSocket(b.kernel, b.addr)
+            reply.bind()
+            yield from reply.sendto(dg.src, BytesPayload(b"ack!"))
+
+        def client():
+            sock = UdpSocket(a.kernel, a.addr)
+            sock.bind(7001)
+            yield from sock.sendto(Endpoint(b.addr, 7000), BytesPayload(b"data"))
+            dg = yield from sock.recvfrom()
+            results["reply"] = dg.payload.to_bytes()
+
+        run_pair(sim, client(), server())
+        assert results["got"] == b"data"
+        assert results["reply"] == b"ack!"
+
+    def test_unbound_port_drops(self, sim, gige):
+        a, b, _fabric = gige
+
+        def client():
+            sock = UdpSocket(a.kernel, a.addr)
+            sock.bind()
+            yield from sock.sendto(Endpoint(b.addr, 4242), ZeroPayload(64))
+
+        sim.run_process(client(), until=1_000_000)
+        sim.run(until=sim.now + 1_000_000)
+        assert b.kernel.stack.udp.rx_no_port == 1
+
+
+class TestLoopback:
+    def test_loopback_roundtrip(self, sim):
+        host = Host(sim, "solo")
+        kernel = HostKernel(sim, host)
+        addr = IPv4Address.parse("127.0.0.1")
+        attach_loopback(kernel, addr)
+        results = {}
+
+        def server():
+            lsock = TcpSocket(kernel, addr)
+            lsock.listen(6000)
+            conn = yield from lsock.accept()
+            data = yield from conn.recv_exact(4)
+            yield from conn.send(data)
+
+        def client():
+            sock = TcpSocket(kernel, addr)
+            yield from sock.connect(Endpoint(addr, 6000))
+            yield from sock.send(BytesPayload(b"loop"))
+            echo = yield from sock.recv_exact(4)
+            results["echo"] = echo.to_bytes()
+
+        run_pair(sim, client(), server())
+        assert results["echo"] == b"loop"
+
+    def test_loopback_rtt_matches_table1_scale(self, sim):
+        # Table 1: ~29.9 us host overhead per send+receive (= RTT/2).
+        host = Host(sim, "solo")
+        kernel = HostKernel(sim, host)
+        addr = IPv4Address.parse("127.0.0.1")
+        attach_loopback(kernel, addr)
+        rtts = []
+
+        def server():
+            lsock = TcpSocket(kernel, addr)
+            lsock.listen(6000)
+            conn = yield from lsock.accept()
+            while True:
+                data = yield from conn.recv(1)
+                if data.length == 0:
+                    return
+                yield from conn.send(data)
+
+        def client():
+            sock = TcpSocket(kernel, addr)
+            yield from sock.connect(Endpoint(addr, 6000))
+            for _ in range(50):
+                t0 = sim.now
+                yield from sock.send(ZeroPayload(1))
+                yield from sock.recv_exact(1)
+                rtts.append(sim.now - t0)
+            sock.close()
+
+        run_pair(sim, client(), server())
+        overhead = (sum(rtts) / len(rtts)) / 2
+        assert 20 <= overhead <= 45    # same scale as the paper's 29.9 us
+
+
+class TestGmBaseline:
+    def test_gm_pair_exchanges_data(self, sim):
+        a, b, _fabric = build_gm_pair(sim)
+        results = {}
+
+        def server():
+            lsock = TcpSocket(b.kernel, b.addr)
+            lsock.listen(5000)
+            conn = yield from lsock.accept()
+            data = yield from conn.recv_exact(100_000)
+            results["got"] = data.length
+
+        def client():
+            sock = TcpSocket(a.kernel, a.addr)
+            yield from sock.connect(Endpoint(b.addr, 5000))
+            # 9000 MTU: bigger segments than GigE.
+            assert sock.conn.config.mss == 8960
+            yield from sock.send(ZeroPayload(100_000))
+
+        run_pair(sim, client(), server())
+        assert results["got"] == 100_000
+        assert a.nic.firmware.items_completed > 0   # LANai fw on the path

@@ -1,0 +1,218 @@
+"""Host-stack edge cases: backlog, UDP overflow, concurrent sockets,
+kernel-context sockets, and the loopback device."""
+
+import pytest
+
+from repro.bench.configs import build_gige_pair
+from repro.errors import SocketError
+from repro.hoststack import TcpSocket, UdpSocket, attach_loopback
+from repro.hoststack.kernel import HostKernel
+from repro.hw import Host
+from repro.net.addresses import Endpoint, IPv4Address
+from repro.net.packet import BytesPayload, ZeroPayload
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+@pytest.fixture
+def gige(sim):
+    return build_gige_pair(sim)
+
+
+def run_all(sim, *gens, until=30_000_000):
+    procs = [sim.process(g) for g in gens]
+    sim.run(until=sim.now + until)
+    for p in procs:
+        assert p.triggered, "process did not finish"
+        if not p.ok:
+            raise p.value
+    return [p.value for p in procs]
+
+
+class TestListenerBacklog:
+    def test_syn_dropped_beyond_backlog_then_retried(self, sim, gige):
+        a, b, _f = gige
+        lsock = TcpSocket(b.kernel, b.addr)
+        lsock.listen(5000, backlog=1)
+        results = {}
+
+        def client(tag, delay):
+            yield sim.timeout(delay)
+            sock = TcpSocket(a.kernel, a.addr)
+            yield from sock.connect(Endpoint(b.addr, 5000))
+            results[tag] = sim.now
+
+        def acceptor():
+            # Accept slowly: the second SYN must wait for a slot.
+            for _ in range(2):
+                yield sim.timeout(5_000)
+                yield from lsock.accept()
+
+        run_all(sim, client("a", 0), client("b", 10), acceptor(),
+                until=60_000_000)
+        assert "a" in results and "b" in results
+        # The second client needed SYN retransmission -> visibly later.
+        assert lsock.listener.syn_drops >= 1
+
+    def test_many_concurrent_connections_one_port(self, sim, gige):
+        a, b, _f = gige
+        lsock = TcpSocket(b.kernel, b.addr)
+        lsock.listen(5000, backlog=16)
+        got = []
+
+        def server():
+            for _ in range(5):
+                conn = yield from lsock.accept()
+                data = yield from conn.recv_exact(4)
+                got.append(data.to_bytes())
+
+        def client(i):
+            sock = TcpSocket(a.kernel, a.addr)
+            yield from sock.connect(Endpoint(b.addr, 5000))
+            yield from sock.send(BytesPayload(f"c{i:03d}".encode()))
+
+        run_all(sim, server(), *[client(i) for i in range(5)])
+        assert sorted(got) == [f"c{i:03d}".encode() for i in range(5)]
+
+
+class TestUdpEdges:
+    def test_rx_queue_overflow_drops(self, sim, gige):
+        a, b, _f = gige
+        server_sock = UdpSocket(b.kernel, b.addr)
+        server_sock.bind(7000)
+        server_sock.endpoint.rx.capacity = 2
+
+        def client():
+            sock = UdpSocket(a.kernel, a.addr)
+            sock.bind()
+            for _ in range(10):
+                yield from sock.sendto(Endpoint(b.addr, 7000), ZeroPayload(64))
+            yield sim.timeout(1_000_000)
+
+        run_all(sim, client())
+        assert server_sock.endpoint.dropped == 8
+        assert len(server_sock.endpoint.rx) == 2
+
+    def test_recv_before_bind_raises(self, sim, gige):
+        a, _b, _f = gige
+        sock = UdpSocket(a.kernel, a.addr)
+
+        def proc():
+            with pytest.raises(SocketError):
+                yield from sock.recvfrom()
+
+        run_all(sim, proc())
+
+    def test_double_bind_rejected(self, sim, gige):
+        a, _b, _f = gige
+        s1 = UdpSocket(a.kernel, a.addr)
+        s1.bind(7000)
+        s2 = UdpSocket(a.kernel, a.addr)
+        with pytest.raises(SocketError):
+            s2.bind(7000)
+
+
+class TestKernelContext:
+    def test_in_kernel_socket_skips_syscall_cost(self, sim, gige):
+        a, b, _f = gige
+
+        def server():
+            lsock = TcpSocket(b.kernel, b.addr)
+            lsock.listen(5000)
+            conn = yield from lsock.accept()
+            yield from conn.recv_exact(100_000)
+
+        def client():
+            sock = TcpSocket(a.kernel, a.addr, in_kernel=True)
+            yield from sock.connect(Endpoint(b.addr, 5000))
+            a.host.reset_cpu_stats()
+            yield from sock.send(ZeroPayload(100_000))
+            return a.host.cpu.busy_by_category.get("syscall", 0.0)
+
+        results = run_all(sim, server(), client())
+        kernel_syscall = results[1]
+        # In-kernel callers still pay socket-layer cost but not the
+        # user/kernel boundary crossing; per-send cost stays small.
+        assert kernel_syscall < 30.0
+
+
+class TestLoopbackEdges:
+    def _solo(self, sim):
+        host = Host(sim, "solo")
+        kernel = HostKernel(sim, host)
+        addr = IPv4Address.parse("127.0.0.1")
+        attach_loopback(kernel, addr)
+        return host, kernel, addr
+
+    def test_two_simultaneous_loopback_connections(self, sim):
+        host, kernel, addr = self._solo(sim)
+        results = {}
+
+        def server(port):
+            lsock = TcpSocket(kernel, addr)
+            lsock.listen(port)
+            conn = yield from lsock.accept()
+            data = yield from conn.recv_exact(5)
+            results[port] = data.to_bytes()
+
+        def client(port, tag):
+            sock = TcpSocket(kernel, addr)
+            yield from sock.connect(Endpoint(addr, port))
+            yield from sock.send(BytesPayload(tag))
+
+        run_all(sim, server(6000), server(6001),
+                client(6000, b"alpha"), client(6001, b"bravo"))
+        assert results == {6000: b"alpha", 6001: b"bravo"}
+
+    def test_loopback_large_transfer(self, sim):
+        host, kernel, addr = self._solo(sim)
+        results = {}
+
+        def server():
+            lsock = TcpSocket(kernel, addr)
+            lsock.listen(6000)
+            conn = yield from lsock.accept()
+            data = yield from conn.recv_exact(1_000_000)
+            results["got"] = data.length
+
+        def client():
+            sock = TcpSocket(kernel, addr)
+            yield from sock.connect(Endpoint(addr, 6000))
+            yield from sock.send(ZeroPayload(1_000_000))
+
+        run_all(sim, server(), client(), until=120_000_000)
+        assert results["got"] == 1_000_000
+
+
+class TestCpuContention:
+    def test_network_and_compute_share_the_host(self, sim, gige):
+        """A compute hog on the receiver slows the transfer (the paper's
+        whole point: host-based stacks steal application cycles)."""
+        a, b, _f = gige
+
+        def hog():
+            # 60% duty-cycle compute load on the receiving host.
+            while sim.now < 60_000_000:
+                yield b.host.cpu.submit(600, category="app-compute")
+                yield sim.timeout(400)
+
+        def run_transfer(with_hog):
+            s = Simulator()
+            aa, bb, _ff = build_gige_pair(s)
+            if with_hog:
+                def hog2():
+                    while True:
+                        yield bb.host.cpu.submit(600, category="app-compute")
+                        yield s.timeout(400)
+                s.process(hog2())
+            from repro.apps.ttcp import socket_ttcp
+            r = socket_ttcp(s, aa, bb, total_bytes=2 * 1024 * 1024)
+            return r.mb_per_sec
+
+        clean = run_transfer(False)
+        loaded = run_transfer(True)
+        assert loaded < clean * 0.8

@@ -1,0 +1,194 @@
+"""Tests for the RDMA key-value store application."""
+
+import pytest
+
+from repro.apps.kvstore import (KvClient, KvServer, SlotTable, _decode_req,
+                                _encode_req, _hash_key)
+from repro.bench.configs import build_qpip_pair
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+class TestCodec:
+    def test_request_roundtrip(self):
+        raw = _encode_req(1, b"key", b"value!")
+        op, key, value = _decode_req(raw)
+        assert (op, key, value) == (1, b"key", b"value!")
+
+    def test_empty_value(self):
+        op, key, value = _decode_req(_encode_req(2, b"k"))
+        assert (op, key, value) == (2, b"k", b"")
+
+    def test_hash_stable_and_in_range(self):
+        for key in (b"a", b"abc", b"x" * 100):
+            h = _hash_key(key, 256)
+            assert 0 <= h < 256
+            assert h == _hash_key(key, 256)
+
+
+def setup_kv(sim, slot_count=64, slot_size=128):
+    a, b, _f = build_qpip_pair(sim)
+    server = KvServer(b, slot_count=slot_count, slot_size=slot_size)
+    sim.process(server.run())
+    client = KvClient(a, b.addr)
+    return a, b, server, client
+
+
+def run_client(sim, server, client, body, until=60_000_000):
+    def proc():
+        info = yield server.ready
+        yield sim.timeout(500)
+        yield from client.connect(info)
+        result = yield from body()
+        return result
+
+    p = sim.process(proc())
+    sim.run(until=sim.now + until)
+    assert p.triggered, "kv client did not finish"
+    if not p.ok:
+        raise p.value
+    return p.value
+
+
+class TestPutGet:
+    def test_put_then_two_sided_get(self, sim):
+        a, b, server, client = setup_kv(sim)
+
+        def body():
+            yield from client.put(b"alpha", b"first value")
+            value = yield from client.get(b"alpha")
+            return value
+
+        assert run_client(sim, server, client, body) == b"first value"
+        assert server.stats.puts == 1
+        assert server.stats.gets_two_sided == 1
+
+    def test_put_then_one_sided_get(self, sim):
+        a, b, server, client = setup_kv(sim)
+
+        def body():
+            yield from client.put(b"beta", b"read me remotely")
+            value = yield from client.get_rdma(b"beta")
+            return value
+
+        assert run_client(sim, server, client, body) == b"read me remotely"
+        assert client.stats.gets_one_sided == 1
+        # One-sided GETs never ran server code.
+        assert server.stats.gets_two_sided == 0
+
+    def test_get_missing_key(self, sim):
+        a, b, server, client = setup_kv(sim)
+
+        def body():
+            two = yield from client.get(b"ghost")
+            one = yield from client.get_rdma(b"ghost")
+            return two, one
+
+        two, one = run_client(sim, server, client, body)
+        assert two is None and one is None
+
+    def test_overwrite_value(self, sim):
+        a, b, server, client = setup_kv(sim)
+
+        def body():
+            yield from client.put(b"k", b"v1")
+            yield from client.put(b"k", b"v2-longer")
+            return (yield from client.get_rdma(b"k"))
+
+        assert run_client(sim, server, client, body) == b"v2-longer"
+
+    def test_many_keys_and_collisions(self, sim):
+        a, b, server, client = setup_kv(sim, slot_count=16, slot_size=128)
+        keys = [f"key-{i}".encode() for i in range(12)]
+
+        def body():
+            stored = []
+            for k in keys:
+                try:
+                    yield from client.put(k, b"=" + k)
+                    stored.append(k)
+                except Exception:
+                    pass        # table full past the probe limit
+            ok = 0
+            for k in stored:
+                v = yield from client.get_rdma(k)
+                if v == b"=" + k:
+                    ok += 1
+            return len(stored), ok
+
+        stored, ok = run_client(sim, server, client, body)
+        assert stored >= 8          # most keys fit despite collisions
+        assert ok == stored         # everything stored is readable one-sided
+
+    def test_one_sided_get_leaves_server_cpu_idle(self, sim):
+        a, b, server, client = setup_kv(sim)
+
+        def body():
+            yield from client.put(b"hot", b"x" * 64)
+            b.host.reset_cpu_stats()
+            for _ in range(20):
+                yield from client.get_rdma(b"hot")
+            one_sided_busy = b.host.cpu.busy_by_category.get("kv-server", 0.0)
+            b.host.reset_cpu_stats()
+            for _ in range(20):
+                yield from client.get(b"hot")
+            two_sided_busy = b.host.cpu.busy_by_category.get("kv-server", 0.0)
+            return one_sided_busy, two_sided_busy
+
+        one, two = run_client(sim, server, client, body)
+        assert one == 0.0            # the paper's §2.1 RDMA promise
+        assert two > 0.0
+
+
+class TestSlotTable:
+    def test_geometry_validation(self, sim):
+        a, b, _f = build_qpip_pair(sim)
+
+        def proc():
+            buf = yield from a.iface.register_memory(1024)
+            with pytest.raises(Exception):
+                SlotTable(buf, slot_count=100, slot_size=128)  # too small
+            return True
+
+        p = sim.process(proc())
+        sim.run(until=1_000_000)
+        assert p.ok and p.value
+
+
+class TestMultiClient:
+    def test_three_clients_share_one_store(self, sim):
+        from repro.bench.configs import build_qpip_cluster
+        nodes, _fabric = build_qpip_cluster(sim, 4)
+        server = KvServer(nodes[0], slot_count=64, slot_size=128)
+        sim.process(server.run(max_clients=3))
+        results = {}
+
+        def client_proc(i):
+            client = KvClient(nodes[i], nodes[0].addr)
+            info = yield server.ready
+            yield sim.timeout(500 + i * 200)
+            yield from client.connect(info)
+            # Each client writes its own key...
+            yield from client.put(f"owner-{i}".encode(), f"node{i}".encode())
+            yield sim.timeout(50_000)   # let everyone write
+            # ...and reads everyone's keys one-sided.
+            out = {}
+            for j in (1, 2, 3):
+                v = yield from client.get_rdma(f"owner-{j}".encode())
+                out[j] = v
+            results[i] = out
+
+        procs = [sim.process(client_proc(i)) for i in (1, 2, 3)]
+        sim.run(until=sim.now + 120_000_000)
+        for p in procs:
+            assert p.triggered, "kv client hung"
+            if not p.ok:
+                raise p.value
+        for i in (1, 2, 3):
+            for j in (1, 2, 3):
+                assert results[i][j] == f"node{j}".encode()
+        assert server.stats.puts == 3

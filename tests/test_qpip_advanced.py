@@ -1,0 +1,313 @@
+"""Advanced QPIP scenarios: shared CQs, separate send/recv CQs, many
+hosts on one fabric, many QPs per NIC, CQ overruns."""
+
+import pytest
+
+from repro.bench.configs import build_qpip_pair
+from repro.core import (QPState, QPTransport, QpipFirmware, QpipInterface,
+                        WROpcode)
+from repro.fabric import MyrinetFabric
+from repro.hw import Host, ProgrammableNic
+from repro.net.addresses import Endpoint, IPv6Address
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+def run_procs(sim, *gens, until=60_000_000):
+    procs = [sim.process(g) for g in gens]
+    sim.run(until=sim.now + until)
+    for p in procs:
+        assert p.triggered, "process did not finish"
+        if not p.ok:
+            raise p.value
+    return [p.value for p in procs]
+
+
+def build_qpip_cluster(sim, n):
+    """n QPIP hosts on one Myrinet switch."""
+    fabric = MyrinetFabric(sim)
+    fabric.add_switch(max(8, n + 2))
+    nodes = []
+    for i in range(n):
+        host = Host(sim, f"node{i}")
+        nic = ProgrammableNic(sim, host, name="qpnic")
+        addr = IPv6Address.from_index(i + 1)
+        fw = QpipFirmware(nic, addr, isn_seed=i)
+        fabric.attach_host(f"h{i}", nic.attachment)
+        iface = QpipInterface(fw, host, process_name=f"app{i}")
+        nodes.append((host, nic, fw, iface, addr))
+    for i in range(n):
+        for j in range(n):
+            if i != j:
+                nodes[i][2].add_route(nodes[j][4],
+                                      source_route=fabric.source_route(
+                                          f"h{i}", f"h{j}"))
+    return nodes, fabric
+
+
+class TestSharedCq:
+    def test_one_cq_monitors_many_qps(self, sim):
+        """Paper §2.1: "The binding of multiple queues to a CQ permits
+        applications to group related QPs into a single monitoring
+        point." One server CQ serves three client connections."""
+        a, b, _f = build_qpip_pair(sim)
+        got = {}
+
+        def server():
+            iface = b.iface
+            shared_cq = yield from iface.create_cq()
+            listener = yield from iface.listen(9000)
+            qps = []
+            for _ in range(3):
+                qp = yield from iface.create_qp(QPTransport.TCP, shared_cq)
+                buf = yield from iface.register_memory(4096)
+                yield from iface.post_recv(qp, [buf.sge()])
+                yield from iface.accept(listener, qp)
+                qps.append((qp, buf))
+            # One wait loop over the single CQ sees traffic from all QPs.
+            seen_qps = set()
+            while len(seen_qps) < 3:
+                cqes = yield from iface.wait(shared_cq)
+                for cqe in cqes:
+                    if cqe.opcode is WROpcode.RECV:
+                        seen_qps.add(cqe.qp_num)
+            got["qps"] = seen_qps
+
+        def client():
+            iface = a.iface
+            cq = yield from iface.create_cq()
+            yield sim.timeout(1000)
+            for i in range(3):
+                qp = yield from iface.create_qp(QPTransport.TCP, cq)
+                buf = yield from iface.register_memory(4096)
+                yield from iface.connect(qp, Endpoint(b.addr, 9000))
+                yield from iface.post_send(qp, [buf.sge(0, 8)])
+            # Reap the three send completions.
+            done = 0
+            while done < 3:
+                done += len((yield from iface.wait(cq)))
+
+        run_procs(sim, server(), client())
+        assert len(got["qps"]) == 3
+
+    def test_separate_send_and_recv_cqs(self, sim):
+        a, b, _f = build_qpip_pair(sim)
+        results = {}
+
+        def server():
+            iface = b.iface
+            cq = yield from iface.create_cq()
+            qp = yield from iface.create_qp(QPTransport.TCP, cq)
+            buf = yield from iface.register_memory(4096)
+            yield from iface.post_recv(qp, [buf.sge()])
+            listener = yield from iface.listen(9000)
+            yield from iface.accept(listener, qp)
+            yield from iface.wait(cq)
+
+        def client():
+            iface = a.iface
+            send_cq = yield from iface.create_cq()
+            recv_cq = yield from iface.create_cq()
+            qp = yield from iface.create_qp(QPTransport.TCP, send_cq,
+                                            recv_cq=recv_cq)
+            buf = yield from iface.register_memory(4096)
+            yield sim.timeout(1000)
+            yield from iface.connect(qp, Endpoint(b.addr, 9000))
+            yield from iface.post_send(qp, [buf.sge(0, 16)])
+            cqes = yield from iface.wait(send_cq)
+            results["send_cq"] = [c.opcode for c in cqes]
+            results["recv_cq_len"] = len(recv_cq)
+
+        run_procs(sim, server(), client())
+        assert results["send_cq"] == [WROpcode.SEND]
+        assert results["recv_cq_len"] == 0      # sends never land there
+
+
+class TestCqOverrun:
+    def test_overrun_counted_and_excess_dropped(self, sim):
+        a, b, _f = build_qpip_pair(sim)
+
+        def server():
+            iface = b.iface
+            cq = yield from iface.create_cq(capacity=4)   # tiny ring
+            qp = yield from iface.create_qp(QPTransport.TCP, cq,
+                                            max_recv_wr=64)
+            bufs = []
+            for _ in range(16):
+                buf = yield from iface.register_memory(2048)
+                yield from iface.post_recv(qp, [buf.sge()])
+                bufs.append(buf)
+            listener = yield from iface.listen(9000)
+            yield from iface.accept(listener, qp)
+            # Never polls: the ring must overflow.
+            yield sim.timeout(30_000_000)
+            return cq
+
+        def client():
+            iface = a.iface
+            cq = yield from iface.create_cq()
+            qp = yield from iface.create_qp(QPTransport.TCP, cq,
+                                            max_send_wr=32)
+            buf = yield from iface.register_memory(2048)
+            yield sim.timeout(1000)
+            yield from iface.connect(qp, Endpoint(b.addr, 9000))
+            for _ in range(10):
+                yield from iface.post_send(qp, [buf.sge(0, 64)])
+            yield sim.timeout(5_000_000)
+
+        (cq, _c) = run_procs(sim, server(), client())
+        assert len(cq) == 4
+        assert cq.overruns == 6
+
+
+class TestCluster:
+    def test_all_pairs_exchange(self, sim):
+        """Four hosts, six bidirectional connections, all concurrent."""
+        nodes, fabric = build_qpip_cluster(sim, 4)
+        results = {}
+
+        def node_proc(i):
+            host, nic, fw, iface, addr = nodes[i]
+            cq = yield from iface.create_cq()
+            listener = yield from iface.listen(9000)
+            server_qps = []
+            # Accept one connection from every lower-numbered node.
+            for _ in range(i):
+                qp = yield from iface.create_qp(QPTransport.TCP, cq)
+                buf = yield from iface.register_memory(4096)
+                yield from iface.post_recv(qp, [buf.sge()])
+                yield from iface.accept(listener, qp)
+                server_qps.append(qp)
+            # Connect to every higher-numbered node and send a message.
+            yield sim.timeout(2000 * (i + 1))
+            client_qps = []
+            for j in range(i + 1, len(nodes)):
+                qp = yield from iface.create_qp(QPTransport.TCP, cq)
+                buf = yield from iface.register_memory(4096)
+                yield from iface.post_recv(qp, [buf.sge()])
+                yield from iface.connect(qp, Endpoint(nodes[j][4], 9000))
+                yield from iface.post_send(qp, [buf.sge(0, 32)])
+                client_qps.append(qp)
+            # Expect: one RECV per inbound connection + one SEND completion
+            # per outbound connection.
+            want = i + (len(nodes) - 1 - i)
+            seen = 0
+            while seen < want:
+                cqes = yield from iface.wait(cq)
+                seen += len([c for c in cqes if c.ok])
+            results[i] = seen
+            return server_qps + client_qps
+
+        all_qps = run_procs(sim, *[node_proc(i) for i in range(4)])
+        assert all(results[i] >= 3 for i in range(4))
+        for qps in all_qps:
+            assert all(qp.state is QPState.CONNECTED for qp in qps)
+
+    def test_multi_switch_cluster(self, sim):
+        """QPIP across a two-switch fabric (multi-hop source routes)."""
+        fabric = MyrinetFabric(sim)
+        s0 = fabric.add_switch(4)
+        s1 = fabric.add_switch(4)
+        fabric.connect_switches(s0, s1)
+        nodes = []
+        for i, switch in enumerate((s0, s1)):
+            host = Host(sim, f"node{i}")
+            nic = ProgrammableNic(sim, host, name="qpnic")
+            addr = IPv6Address.from_index(i + 1)
+            fw = QpipFirmware(nic, addr, isn_seed=i)
+            fabric.attach_host(f"h{i}", nic.attachment, switch)
+            iface = QpipInterface(fw, host, process_name=f"app{i}")
+            nodes.append((host, nic, fw, iface, addr))
+        nodes[0][2].add_route(nodes[1][4],
+                              source_route=fabric.source_route("h0", "h1"))
+        nodes[1][2].add_route(nodes[0][4],
+                              source_route=fabric.source_route("h1", "h0"))
+        results = {}
+
+        def server():
+            iface = nodes[1][3]
+            cq = yield from iface.create_cq()
+            qp = yield from iface.create_qp(QPTransport.TCP, cq)
+            buf = yield from iface.register_memory(4096)
+            yield from iface.post_recv(qp, [buf.sge()])
+            listener = yield from iface.listen(9000)
+            yield from iface.accept(listener, qp)
+            cqes = yield from iface.wait(cq)
+            results["got"] = buf.read(cqes[0].byte_len)
+
+        def client():
+            iface = nodes[0][3]
+            cq = yield from iface.create_cq()
+            qp = yield from iface.create_qp(QPTransport.TCP, cq)
+            buf = yield from iface.register_memory(4096)
+            buf.write(b"over two switches")
+            yield sim.timeout(1000)
+            yield from iface.connect(qp, Endpoint(nodes[1][4], 9000))
+            yield from iface.post_send(qp, [buf.sge(0, 17)])
+            yield from iface.wait(cq)
+
+        run_procs(sim, server(), client())
+        assert results["got"] == b"over two switches"
+        assert fabric.switches[0].forwarded > 0
+        assert fabric.switches[1].forwarded > 0
+
+
+class TestNicFairness:
+    def test_two_active_qps_share_the_interface(self, sim):
+        """Two streams on one NIC: neither starves."""
+        nodes, fabric = build_qpip_cluster(sim, 3)
+        received = {}
+
+        def receiver(i, port):
+            iface = nodes[i][3]
+            cq = yield from iface.create_cq()
+            qp = yield from iface.create_qp(QPTransport.TCP, cq,
+                                            max_recv_wr=64)
+            bufs = []
+            for _ in range(16):
+                buf = yield from iface.register_memory(16 * 1024)
+                yield from iface.post_recv(qp, [buf.sge()])
+                bufs.append(buf)
+            listener = yield from iface.listen(port)
+            yield from iface.accept(listener, qp)
+            got = 0
+            ring = 0
+            while got < 50:
+                cqes = yield from iface.wait(cq)
+                for cqe in cqes:
+                    if cqe.opcode is WROpcode.RECV:
+                        got += 1
+                        received[i] = got
+                        yield from iface.post_recv(qp, [bufs[ring].sge()])
+                        ring = (ring + 1) % len(bufs)
+
+        def sender():
+            iface = nodes[0][3]
+            cq = yield from iface.create_cq()
+            qps = []
+            buf = yield from iface.register_memory(16 * 1024)
+            yield sim.timeout(2000)
+            for i in (1, 2):
+                qp = yield from iface.create_qp(QPTransport.TCP, cq,
+                                                max_send_wr=128)
+                yield from iface.connect(qp, Endpoint(nodes[i][4], 9000 + i))
+                qps.append(qp)
+            # Interleave 50 sends to each peer from the same NIC.
+            inflight = 0
+            sent = 0
+            while sent < 100 or inflight > 0:
+                while sent < 100 and inflight < 16:
+                    qp = qps[sent % 2]
+                    yield from iface.post_send(qp, [buf.sge(0, 8000)])
+                    sent += 1
+                    inflight += 1
+                cqes = yield from iface.wait(cq)
+                inflight -= len(cqes)
+
+        run_procs(sim, receiver(1, 9001), receiver(2, 9002), sender(),
+                  until=120_000_000)
+        assert received[1] == 50 and received[2] == 50

@@ -1,0 +1,341 @@
+"""Tests for the RDMA extension (one-sided WRITE/READ over QPIP).
+
+The paper's QP model (§2.1) includes RDMA; the prototype implements only
+send-receive.  This extension adds it with DDP-style framing — see
+``repro.core.rdma`` for the rationale.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bench.configs import build_qpip_pair
+from repro.core import QPTransport, WROpcode, WRStatus
+from repro.core.rdma import RDMA_HDR_LEN, RdmaHeader, RdmaOpcode, frame, unframe
+from repro.errors import NetworkError, VerbsError
+from repro.mem import SGE, Access
+from repro.net.packet import BytesPayload, ZeroPayload
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+def run_procs(sim, *gens, until=60_000_000):
+    procs = [sim.process(g) for g in gens]
+    sim.run(until=sim.now + until)
+    for p in procs:
+        assert p.triggered, "process did not finish"
+        if not p.ok:
+            raise p.value
+    return [p.value for p in procs]
+
+
+class TestRdmaHeader:
+    def test_roundtrip(self):
+        h = RdmaHeader(RdmaOpcode.WRITE, rkey=0x123, remote_addr=0x1000_0040,
+                       length=5000, sink_key=7, sink_addr=0x2000_0000)
+        decoded = RdmaHeader.decode(h.encode())
+        assert decoded == h
+        assert len(h.encode()) == RDMA_HDR_LEN
+
+    def test_bad_opcode_rejected(self):
+        raw = bytearray(RdmaHeader(RdmaOpcode.SEND).encode())
+        raw[0] = 0xEE
+        with pytest.raises(NetworkError):
+            RdmaHeader.decode(bytes(raw))
+
+    def test_short_header_rejected(self):
+        with pytest.raises(NetworkError):
+            RdmaHeader.decode(b"\x00" * 8)
+
+    @settings(max_examples=50, deadline=None)
+    @given(op=st.sampled_from(list(RdmaOpcode)),
+           rkey=st.integers(0, 0xFFFFFFFF),
+           addr=st.integers(0, (1 << 64) - 1),
+           length=st.integers(0, 0xFFFFFFFF))
+    def test_roundtrip_property(self, op, rkey, addr, length):
+        h = RdmaHeader(op, rkey=rkey, remote_addr=addr, length=length)
+        assert RdmaHeader.decode(h.encode()) == h
+
+    def test_frame_unframe(self):
+        h = RdmaHeader(RdmaOpcode.WRITE, rkey=1, remote_addr=2, length=3)
+        framed = frame(h, BytesPayload(b"xyz"))
+        hdr, body = unframe(framed)
+        assert hdr == h
+        assert body.to_bytes() == b"xyz"
+
+    def test_frame_keeps_bulk_zero_virtual(self):
+        h = RdmaHeader(RdmaOpcode.WRITE, length=1 << 20)
+        framed = frame(h, ZeroPayload(1 << 20))
+        # The megabyte of zeros must not materialize.
+        from repro.net.packet import ChainPayload
+        assert isinstance(framed, ChainPayload)
+        hdr, body = unframe(framed)
+        assert hdr == h and body.length == 1 << 20
+
+
+def setup_rdma_qps(sim, a, b, port=9100):
+    """Connected rdma-enabled QPs plus an exposed remote buffer on b."""
+    rig = {}
+
+    def server():
+        iface = b.iface
+        cq = yield from iface.create_cq()
+        qp = yield from iface.create_qp(QPTransport.TCP, cq, rdma=True)
+        rbuf = yield from iface.register_memory(
+            256 * 1024, access=Access.local() | Access.REMOTE_WRITE
+            | Access.REMOTE_READ)
+        recv = yield from iface.register_memory(16 * 1024)
+        yield from iface.post_recv(qp, [recv.sge()])
+        listener = yield from iface.listen(port)
+        yield from iface.accept(listener, qp)
+        rig.update(server_qp=qp, server_cq=cq, rbuf=rbuf, server_recv=recv)
+
+    def client():
+        iface = a.iface
+        cq = yield from iface.create_cq()
+        qp = yield from iface.create_qp(QPTransport.TCP, cq, rdma=True)
+        recv = yield from iface.register_memory(16 * 1024)
+        yield from iface.post_recv(qp, [recv.sge()])
+        lbuf = yield from iface.register_memory(256 * 1024)
+        yield sim.timeout(500)
+        yield from iface.connect(qp, Endpoint(b.addr, port))
+        rig.update(client_qp=qp, client_cq=cq, lbuf=lbuf, client_recv=recv)
+
+    from repro.net.addresses import Endpoint
+    run_procs(sim, server(), client())
+    return rig
+
+
+from repro.net.addresses import Endpoint  # noqa: E402  (used in helper)
+
+
+class TestRdmaWrite:
+    def test_write_places_data_without_target_involvement(self, sim):
+        a, b, _f = build_qpip_pair(sim)
+        rig = setup_rdma_qps(sim, a, b)
+        rbuf = rig["rbuf"]
+
+        def client():
+            iface = a.iface
+            lbuf = rig["lbuf"]
+            lbuf.write(b"one-sided!")
+            yield from iface.post_rdma_write(
+                rig["client_qp"], [lbuf.sge(0, 10)],
+                remote_addr=rbuf.addr + 100, rkey=rbuf.lkey)
+            cqes = yield from iface.wait(rig["client_cq"])
+            return cqes[0]
+
+        (cqe,) = run_procs(sim, client())
+        assert cqe.ok and cqe.opcode is WROpcode.RDMA_WRITE
+        # Data landed in the server's registered memory; its CQ is silent.
+        assert rbuf.read(10, offset=100) == b"one-sided!"
+        assert len(rig["server_cq"]) == 0
+
+    def test_large_write_spans_many_segments(self, sim):
+        a, b, _f = build_qpip_pair(sim)
+        rig = setup_rdma_qps(sim, a, b)
+        rbuf = rig["rbuf"]
+        pattern = bytes(range(256)) * 256     # 64 KiB
+
+        def client():
+            iface = a.iface
+            lbuf = rig["lbuf"]
+            lbuf.write(pattern)
+            yield from iface.post_rdma_write(
+                rig["client_qp"], [lbuf.sge(0, len(pattern))],
+                remote_addr=rbuf.addr, rkey=rbuf.lkey)
+            cqes = yield from iface.wait(rig["client_cq"])
+            return cqes[0]
+
+        (cqe,) = run_procs(sim, client())
+        assert cqe.ok
+        assert rbuf.read(len(pattern)) == pattern
+        # More than one TCP segment was needed (16K MTU, 64K payload).
+        assert a.nic.packets_tx >= 4
+
+    def test_write_to_bad_rkey_errors_connection(self, sim):
+        a, b, _f = build_qpip_pair(sim)
+        rig = setup_rdma_qps(sim, a, b)
+
+        def client():
+            iface = a.iface
+            yield from iface.post_rdma_write(
+                rig["client_qp"], [rig["lbuf"].sge(0, 16)],
+                remote_addr=0xDEAD0000, rkey=0x7777)
+            yield sim.timeout(5_000_000)
+
+        run_procs(sim, client())
+        from repro.core import QPState
+        assert rig["server_qp"].state is QPState.ERROR
+        assert rig["client_qp"].state is QPState.ERROR   # RST came back
+
+    def test_write_outside_region_rejected(self, sim):
+        a, b, _f = build_qpip_pair(sim)
+        rig = setup_rdma_qps(sim, a, b)
+        rbuf = rig["rbuf"]
+
+        def client():
+            iface = a.iface
+            yield from iface.post_rdma_write(
+                rig["client_qp"], [rig["lbuf"].sge(0, 4096)],
+                remote_addr=rbuf.addr + rbuf.length - 100, rkey=rbuf.lkey)
+            yield sim.timeout(5_000_000)
+
+        run_procs(sim, client())
+        from repro.core import QPState
+        assert rig["server_qp"].state is QPState.ERROR
+
+
+class TestRdmaRead:
+    def test_read_pulls_remote_data(self, sim):
+        a, b, _f = build_qpip_pair(sim)
+        rig = setup_rdma_qps(sim, a, b)
+        rig["rbuf"].write(b"pull me across the SAN", offset=64)
+
+        def client():
+            iface = a.iface
+            lbuf = rig["lbuf"]
+            yield from iface.post_rdma_read(
+                rig["client_qp"], lbuf.sge(0, 22),
+                remote_addr=rig["rbuf"].addr + 64, rkey=rig["rbuf"].lkey)
+            cqes = yield from iface.wait(rig["client_cq"])
+            return cqes[0]
+
+        (cqe,) = run_procs(sim, client())
+        assert cqe.ok and cqe.opcode is WROpcode.RDMA_READ
+        assert cqe.byte_len == 22
+        assert rig["lbuf"].read(22) == b"pull me across the SAN"
+
+    def test_large_read_chunks_and_completes_once(self, sim):
+        a, b, _f = build_qpip_pair(sim)
+        rig = setup_rdma_qps(sim, a, b)
+        pattern = bytes(reversed(range(256))) * 200    # 51200 B
+        rig["rbuf"].write(pattern)
+
+        def client():
+            iface = a.iface
+            yield from iface.post_rdma_read(
+                rig["client_qp"], rig["lbuf"].sge(0, len(pattern)),
+                remote_addr=rig["rbuf"].addr, rkey=rig["rbuf"].lkey)
+            cqes = yield from iface.wait(rig["client_cq"])
+            return cqes
+
+        (cqes,) = run_procs(sim, client())
+        assert len(cqes) == 1
+        assert rig["lbuf"].read(len(pattern)) == pattern
+
+    def test_read_from_unreadable_region_errors(self, sim):
+        a, b, _f = build_qpip_pair(sim)
+        rig = setup_rdma_qps(sim, a, b)
+        # The server's recv buffer was registered without REMOTE_READ.
+        target = rig["server_recv"]
+
+        def client():
+            iface = a.iface
+            yield from iface.post_rdma_read(
+                rig["client_qp"], rig["lbuf"].sge(0, 64),
+                remote_addr=target.addr, rkey=target.lkey)
+            yield sim.timeout(5_000_000)
+
+        run_procs(sim, client())
+        from repro.core import QPState
+        assert rig["server_qp"].state is QPState.ERROR
+
+
+class TestRdmaSendInterleave:
+    def test_sends_still_work_on_rdma_qp(self, sim):
+        a, b, _f = build_qpip_pair(sim)
+        rig = setup_rdma_qps(sim, a, b)
+
+        def client():
+            iface = a.iface
+            lbuf = rig["lbuf"]
+            lbuf.write(b"untagged")
+            yield from iface.post_send(rig["client_qp"], [lbuf.sge(0, 8)])
+            cqes = yield from iface.wait(rig["client_cq"])
+            return cqes[0]
+
+        def server():
+            iface = b.iface
+            cqes = yield from iface.wait(rig["server_cq"])
+            return cqes[0], rig["server_recv"].read(8)
+
+        (send_cqe, (recv_cqe, data)) = run_procs(sim, client(), server())
+        assert send_cqe.ok
+        assert recv_cqe.opcode is WROpcode.RECV
+        assert recv_cqe.byte_len == 8
+        assert data == b"untagged"
+
+    def test_write_then_send_ordering(self, sim):
+        """The classic RDMA idiom: bulk WRITE, then a SEND to notify."""
+        a, b, _f = build_qpip_pair(sim)
+        rig = setup_rdma_qps(sim, a, b)
+        rbuf = rig["rbuf"]
+
+        def client():
+            iface = a.iface
+            lbuf = rig["lbuf"]
+            lbuf.write(b"B" * 20000)
+            yield from iface.post_rdma_write(
+                rig["client_qp"], [lbuf.sge(0, 20000)],
+                remote_addr=rbuf.addr, rkey=rbuf.lkey)
+            yield from iface.post_send(rig["client_qp"], [lbuf.sge(0, 4)])
+            done = 0
+            while done < 2:
+                done += len((yield from iface.wait(rig["client_cq"])))
+
+        def server():
+            iface = b.iface
+            cqes = yield from iface.wait(rig["server_cq"])
+            assert cqes[0].opcode is WROpcode.RECV
+            # TCP ordering: by the time the notify SEND arrives, the
+            # preceding WRITE's data is already placed.
+            return rbuf.read(20000)
+
+        _c, data = run_procs(sim, client(), server())
+        assert data == b"B" * 20000
+
+
+class TestRdmaValidation:
+    def test_rdma_on_plain_qp_rejected(self, sim):
+        a, b, _f = build_qpip_pair(sim)
+
+        def client():
+            iface = a.iface
+            cq = yield from iface.create_cq()
+            qp = yield from iface.create_qp(QPTransport.TCP, cq)   # no rdma
+            buf = yield from iface.register_memory(4096)
+            with pytest.raises(VerbsError):
+                yield from iface.post_rdma_write(qp, [buf.sge(0, 4)],
+                                                 remote_addr=1, rkey=1)
+
+        run_procs(sim, client())
+
+    def test_rdma_on_udp_rejected(self, sim):
+        a, b, _f = build_qpip_pair(sim)
+
+        def client():
+            iface = a.iface
+            cq = yield from iface.create_cq()
+            qp = yield from iface.create_qp(QPTransport.UDP, cq, rdma=True)
+            buf = yield from iface.register_memory(4096)
+            with pytest.raises(VerbsError):
+                yield from iface.post_rdma_write(qp, [buf.sge(0, 4)],
+                                                 remote_addr=1, rkey=1)
+
+        run_procs(sim, client())
+
+    def test_read_requires_single_sink(self):
+        from repro.core import WorkRequest
+        with pytest.raises(VerbsError):
+            WorkRequest(1, WROpcode.RDMA_READ,
+                        [SGE(0, 4, 1), SGE(8, 4, 1)], remote_addr=0, rkey=1)
+
+    def test_rdma_wr_requires_remote_info(self):
+        from repro.core import WorkRequest
+        with pytest.raises(VerbsError):
+            WorkRequest(1, WROpcode.RDMA_WRITE, [SGE(0, 4, 1)])

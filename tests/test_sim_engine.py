@@ -1,0 +1,438 @@
+"""Unit tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.sim import (AllOf, AnyOf, Event, Interrupt, SimulationError,
+                       Simulator)
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+class TestScheduling:
+    def test_clock_starts_at_zero(self, sim):
+        assert sim.now == 0.0
+
+    def test_call_later_runs_in_time_order(self, sim):
+        order = []
+        sim.call_later(5, order.append, "b")
+        sim.call_later(1, order.append, "a")
+        sim.call_later(9, order.append, "c")
+        sim.run()
+        assert order == ["a", "b", "c"]
+        assert sim.now == 9
+
+    def test_ties_broken_in_submission_order(self, sim):
+        order = []
+        for tag in range(10):
+            sim.call_later(3.0, order.append, tag)
+        sim.run()
+        assert order == list(range(10))
+
+    def test_cancelled_callback_does_not_run(self, sim):
+        hits = []
+        handle = sim.call_later(2, hits.append, 1)
+        handle.cancel()
+        sim.run()
+        assert hits == []
+
+    def test_negative_delay_rejected(self, sim):
+        with pytest.raises(SimulationError):
+            sim.call_later(-1, lambda: None)
+
+    def test_run_until_stops_clock_exactly(self, sim):
+        sim.call_later(100, lambda: None)
+        sim.run(until=40)
+        assert sim.now == 40
+
+    def test_run_until_with_empty_heap_advances_clock(self, sim):
+        sim.run(until=77)
+        assert sim.now == 77
+
+    def test_nested_scheduling(self, sim):
+        seen = []
+
+        def outer():
+            seen.append(("outer", sim.now))
+            sim.call_later(3, inner)
+
+        def inner():
+            seen.append(("inner", sim.now))
+
+        sim.call_later(2, outer)
+        sim.run()
+        assert seen == [("outer", 2), ("inner", 5)]
+
+    def test_max_events_budget(self, sim):
+        def respawn():
+            sim.call_later(1, respawn)
+
+        sim.call_later(1, respawn)
+        with pytest.raises(SimulationError):
+            sim.run(max_events=50)
+
+    def test_peek(self, sim):
+        assert sim.peek() == float("inf")
+        sim.call_later(4, lambda: None)
+        assert sim.peek() == 4
+
+
+class TestEvents:
+    def test_succeed_value_delivered(self, sim):
+        ev = sim.event()
+        got = []
+        ev.callbacks.append(lambda e: got.append(e.value))
+        ev.succeed(42)
+        sim.run()
+        assert got == [42]
+
+    def test_double_trigger_rejected(self, sim):
+        ev = sim.event()
+        ev.succeed()
+        with pytest.raises(SimulationError):
+            ev.succeed()
+
+    def test_fail_requires_exception(self, sim):
+        ev = sim.event()
+        with pytest.raises(TypeError):
+            ev.fail("not an exception")
+
+    def test_unhandled_failure_crashes_run(self, sim):
+        ev = sim.event()
+        ev.fail(ValueError("boom"))
+        with pytest.raises(ValueError):
+            sim.run()
+
+    def test_defused_failure_does_not_crash(self, sim):
+        ev = sim.event()
+        ev.fail(ValueError("boom"))
+        ev.defuse()
+        sim.run()
+
+    def test_timeout_value(self, sim):
+        results = []
+
+        def proc():
+            v = yield sim.timeout(5, value="hello")
+            results.append((sim.now, v))
+
+        sim.process(proc())
+        sim.run()
+        assert results == [(5, "hello")]
+
+
+class TestProcesses:
+    def test_sequential_timeouts(self, sim):
+        log = []
+
+        def proc():
+            yield sim.timeout(10)
+            log.append(sim.now)
+            yield sim.timeout(5)
+            log.append(sim.now)
+
+        sim.process(proc())
+        sim.run()
+        assert log == [10, 15]
+
+    def test_process_return_value(self, sim):
+        def proc():
+            yield sim.timeout(1)
+            return "done"
+
+        assert sim.run_process(proc()) == "done"
+
+    def test_process_waits_on_event(self, sim):
+        ev = sim.event()
+        log = []
+
+        def waiter():
+            val = yield ev
+            log.append((sim.now, val))
+
+        sim.process(waiter())
+        sim.call_later(30, ev.succeed, "sig")
+        sim.run()
+        assert log == [(30, "sig")]
+
+    def test_two_processes_interleave(self, sim):
+        log = []
+
+        def ticker(tag, period):
+            for _ in range(3):
+                yield sim.timeout(period)
+                log.append((tag, sim.now))
+
+        sim.process(ticker("a", 2))
+        sim.process(ticker("b", 3))
+        sim.run()
+        # At t=6 both fire; b's timeout was scheduled earlier (at t=3) so it
+        # wins the tie-break.
+        assert log == [("a", 2), ("b", 3), ("a", 4), ("b", 6), ("a", 6), ("b", 9)]
+
+    def test_process_exception_propagates(self, sim):
+        def bad():
+            yield sim.timeout(1)
+            raise RuntimeError("kaput")
+
+        sim.process(bad())
+        with pytest.raises(RuntimeError):
+            sim.run()
+
+    def test_failed_event_raises_inside_process(self, sim):
+        ev = sim.event()
+        caught = []
+
+        def proc():
+            try:
+                yield ev
+            except ValueError as exc:
+                caught.append(str(exc))
+
+        sim.process(proc())
+        sim.call_later(2, lambda: ev.fail(ValueError("inner")))
+        sim.run()
+        assert caught == ["inner"]
+
+    def test_wait_on_already_processed_event(self, sim):
+        ev = sim.event()
+        ev.succeed("early")
+        log = []
+
+        def proc():
+            yield sim.timeout(10)
+            v = yield ev  # processed long ago
+            log.append((sim.now, v))
+
+        sim.process(proc())
+        sim.run()
+        assert log == [(10, "early")]
+
+    def test_yielding_non_event_raises_in_process(self, sim):
+        def proc():
+            yield 42
+
+        sim.process(proc())
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_process_is_event(self, sim):
+        def child():
+            yield sim.timeout(7)
+            return "child-val"
+
+        log = []
+
+        def parent():
+            v = yield sim.process(child())
+            log.append((sim.now, v))
+
+        sim.process(parent())
+        sim.run()
+        assert log == [(7, "child-val")]
+
+    def test_run_process_helper_raises_process_error(self, sim):
+        def bad():
+            yield sim.timeout(1)
+            raise KeyError("x")
+
+        with pytest.raises(KeyError):
+            sim.run_process(bad())
+
+
+class TestInterrupts:
+    def test_interrupt_while_sleeping(self, sim):
+        log = []
+
+        def sleeper():
+            try:
+                yield sim.timeout(100)
+            except Interrupt as i:
+                log.append((sim.now, i.cause))
+
+        proc = sim.process(sleeper())
+        sim.call_later(10, proc.interrupt, "wake")
+        sim.run()
+        assert log == [(10, "wake")]
+
+    def test_interrupt_before_first_run(self, sim):
+        log = []
+
+        def sleeper():
+            try:
+                yield sim.timeout(100)
+            except Interrupt:
+                log.append(sim.now)
+                return
+            log.append("not interrupted")
+
+        proc = sim.process(sleeper())
+        proc.interrupt()
+        sim.run()
+        assert log == [0]
+
+    def test_interrupt_finished_process_rejected(self, sim):
+        def quick():
+            yield sim.timeout(1)
+
+        proc = sim.process(quick())
+        sim.run()
+        with pytest.raises(SimulationError):
+            proc.interrupt()
+
+    def test_interrupted_process_can_continue(self, sim):
+        log = []
+
+        def worker():
+            try:
+                yield sim.timeout(100)
+            except Interrupt:
+                pass
+            yield sim.timeout(5)
+            log.append(sim.now)
+
+        proc = sim.process(worker())
+        sim.call_later(20, proc.interrupt)
+        sim.run()
+        assert log == [25]
+
+
+class TestConditions:
+    def test_any_of(self, sim):
+        log = []
+
+        def proc():
+            t1 = sim.timeout(5, value="fast")
+            t2 = sim.timeout(50, value="slow")
+            done = yield sim.any_of([t1, t2])
+            log.append((sim.now, list(done.values())))
+
+        sim.process(proc())
+        sim.run()
+        assert log[0][0] == 5
+        assert log[0][1] == ["fast"]
+
+    def test_all_of(self, sim):
+        log = []
+
+        def proc():
+            t1 = sim.timeout(5)
+            t2 = sim.timeout(50)
+            yield sim.all_of([t1, t2])
+            log.append(sim.now)
+
+        sim.process(proc())
+        sim.run()
+        assert log == [50]
+
+    def test_all_of_empty_fires_immediately(self, sim):
+        def proc():
+            yield sim.all_of([])
+            return sim.now
+
+        assert sim.run_process(proc()) == 0.0
+
+
+class TestDeterminism:
+    def test_identical_runs_identical_traces(self):
+        def build_and_run():
+            s = Simulator()
+            log = []
+
+            def proc(tag):
+                for i in range(5):
+                    yield s.timeout(1.5 * (tag + 1))
+                    log.append((tag, s.now, i))
+
+            for t in range(4):
+                s.process(proc(t))
+            s.run()
+            return log
+
+        assert build_and_run() == build_and_run()
+
+
+class TestConditionFailures:
+    def test_all_of_propagates_child_failure(self, sim):
+        bad = sim.event()
+        good = sim.timeout(10)
+        caught = []
+
+        def proc():
+            try:
+                yield sim.all_of([good, bad])
+            except ValueError as exc:
+                caught.append(str(exc))
+
+        sim.process(proc())
+        sim.call_later(5, lambda: bad.fail(ValueError("child died")))
+        sim.run()
+        assert caught == ["child died"]
+
+    def test_any_of_propagates_first_failure(self, sim):
+        bad = sim.event()
+        slow = sim.timeout(50)
+        caught = []
+
+        def proc():
+            try:
+                yield sim.any_of([slow, bad])
+            except ValueError:
+                caught.append(sim.now)
+
+        sim.process(proc())
+        sim.call_later(5, lambda: bad.fail(ValueError("x")))
+        sim.run()
+        assert caught == [5]
+
+    def test_any_of_with_pre_processed_child(self, sim):
+        early = sim.event()
+        early.succeed("pre")
+
+        def proc():
+            yield sim.timeout(3)
+            done = yield sim.any_of([early, sim.timeout(100)])
+            return list(done.values())
+
+        assert sim.run_process(proc(), until=50) == ["pre"]
+
+
+class TestRunProcessEdges:
+    def test_run_process_unfinished_raises(self, sim):
+        def forever():
+            while True:
+                yield sim.timeout(10)
+
+        with pytest.raises(SimulationError):
+            sim.run_process(forever(), until=35)
+
+    def test_cross_simulator_event_rejected(self, sim):
+        other = Simulator()
+        foreign = other.event()
+
+        def proc():
+            yield foreign
+
+        sim.process(proc())
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_deep_process_chain(self, sim):
+        def leaf(n):
+            yield sim.timeout(1)
+            return n * 2
+
+        def mid(n):
+            v = yield sim.process(leaf(n))
+            return v + 1
+
+        def top():
+            total = 0
+            for i in range(5):
+                total += yield sim.process(mid(i))
+            return total
+
+        # sum of (2i + 1) for i in 0..4 = 25
+        assert sim.run_process(top()) == 25

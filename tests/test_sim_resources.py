@@ -1,0 +1,325 @@
+"""Unit tests for Store, Mutex, WorkQueue, Timer and stats instruments."""
+
+import pytest
+
+from repro.sim import (Mutex, SimulationError, Simulator, Store, Timer,
+                       PeriodicTimer, WorkQueue)
+from repro.sim.stats import Counter, Histogram, RateMeter, RunningStats
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+class TestStore:
+    def test_put_then_get(self, sim):
+        st = Store(sim)
+        st.put("x")
+
+        def proc():
+            v = yield st.get()
+            return v
+
+        assert sim.run_process(proc()) == "x"
+
+    def test_get_blocks_until_put(self, sim):
+        st = Store(sim)
+
+        def getter():
+            v = yield st.get()
+            return (sim.now, v)
+
+        sim.call_later(25, st.put, "late")
+        assert sim.run_process(getter()) == (25, "late")
+
+    def test_fifo_order(self, sim):
+        st = Store(sim)
+        for i in range(5):
+            st.put(i)
+        got = []
+
+        def proc():
+            for _ in range(5):
+                got.append((yield st.get()))
+
+        sim.run_process(proc())
+        assert got == [0, 1, 2, 3, 4]
+
+    def test_multiple_getters_fifo(self, sim):
+        st = Store(sim)
+        got = []
+
+        def getter(tag):
+            v = yield st.get()
+            got.append((tag, v))
+
+        sim.process(getter("a"))
+        sim.process(getter("b"))
+        sim.call_later(1, st.put, 1)
+        sim.call_later(2, st.put, 2)
+        sim.run()
+        assert got == [("a", 1), ("b", 2)]
+
+    def test_capacity_overflow_raises(self, sim):
+        st = Store(sim, capacity=2)
+        st.put(1)
+        st.put(2)
+        assert st.is_full
+        assert not st.try_put(3)
+        with pytest.raises(SimulationError):
+            st.put(3)
+
+    def test_try_get_nonblocking(self, sim):
+        st = Store(sim)
+        assert st.try_get() is None
+        st.put(9)
+        assert st.try_get() == 9
+
+    def test_peek_does_not_remove(self, sim):
+        st = Store(sim)
+        st.put("a")
+        assert st.peek() == "a"
+        assert len(st) == 1
+
+    def test_counters(self, sim):
+        st = Store(sim)
+        st.put(1)
+        st.put(2)
+        st.try_get()
+        assert st.total_put == 2
+        assert st.total_got == 1
+
+
+class TestMutex:
+    def test_exclusive_hold(self, sim):
+        m = Mutex(sim)
+        order = []
+
+        def worker(tag, hold):
+            yield m.acquire()
+            order.append((tag, "in", sim.now))
+            yield sim.timeout(hold)
+            order.append((tag, "out", sim.now))
+            m.release()
+
+        sim.process(worker("a", 10))
+        sim.process(worker("b", 10))
+        sim.run()
+        assert order == [("a", "in", 0), ("a", "out", 10),
+                         ("b", "in", 10), ("b", "out", 20)]
+
+    def test_release_unlocked_raises(self, sim):
+        m = Mutex(sim)
+        with pytest.raises(SimulationError):
+            m.release()
+
+
+class TestWorkQueue:
+    def test_serial_execution(self, sim):
+        wq = WorkQueue(sim)
+        done_times = []
+        wq.submit(10, fn=lambda: done_times.append(sim.now))
+        wq.submit(5, fn=lambda: done_times.append(sim.now))
+        sim.run()
+        assert done_times == [10, 15]
+
+    def test_priority_dispatch(self, sim):
+        wq = WorkQueue(sim)
+        order = []
+        # First item starts immediately; the rest queue and sort by priority.
+        wq.submit(10, fn=lambda: order.append("first"))
+        wq.submit(1, priority=5, fn=lambda: order.append("low"))
+        wq.submit(1, priority=0, fn=lambda: order.append("high"))
+        sim.run()
+        assert order == ["first", "high", "low"]
+
+    def test_done_event_fires(self, sim):
+        wq = WorkQueue(sim)
+
+        def proc():
+            yield wq.submit(7, category="syscall")
+            return sim.now
+
+        assert sim.run_process(proc()) == 7
+
+    def test_busy_accounting(self, sim):
+        wq = WorkQueue(sim)
+        wq.submit(10, category="copy")
+        wq.submit(30, category="checksum")
+        sim.run()
+        assert wq.busy_time == 40
+        assert wq.busy_by_category == {"copy": 10, "checksum": 30}
+        assert wq.items_completed == 2
+
+    def test_utilization_window(self, sim):
+        wq = WorkQueue(sim)
+        wq.submit(25, category="work")
+        sim.call_later(100, lambda: None)
+        sim.run()
+        assert sim.now == 100
+        assert wq.utilization() == pytest.approx(0.25)
+        assert wq.utilization_of("work") == pytest.approx(0.25)
+
+    def test_reset_stats(self, sim):
+        wq = WorkQueue(sim)
+        wq.submit(10)
+        sim.run()
+        wq.reset_stats()
+        assert wq.busy_time == 0
+        assert wq.utilization() == 0.0
+
+    def test_zero_duration_work(self, sim):
+        wq = WorkQueue(sim)
+        hits = []
+        wq.submit(0, fn=lambda: hits.append(sim.now))
+        sim.run()
+        assert hits == [0]
+
+    def test_negative_duration_rejected(self, sim):
+        wq = WorkQueue(sim)
+        with pytest.raises(SimulationError):
+            wq.submit(-1)
+
+    def test_queue_depth(self, sim):
+        wq = WorkQueue(sim)
+        wq.submit(10)
+        wq.submit(10)
+        wq.submit(10)
+        assert wq.queue_depth == 2  # one is in service
+        assert wq.busy
+
+
+class TestTimer:
+    def test_fires_once(self, sim):
+        hits = []
+        t = Timer(sim, lambda: hits.append(sim.now))
+        t.start(12)
+        sim.run()
+        assert hits == [12]
+        assert not t.armed
+        assert t.fire_count == 1
+
+    def test_cancel(self, sim):
+        hits = []
+        t = Timer(sim, lambda: hits.append(sim.now))
+        t.start(12)
+        sim.call_later(5, t.cancel)
+        sim.run()
+        assert hits == []
+
+    def test_restart_supersedes(self, sim):
+        hits = []
+        t = Timer(sim, lambda: hits.append(sim.now))
+        t.start(10)
+        sim.call_later(5, t.start, 10)  # re-arm at t=5 -> fires at 15
+        sim.run()
+        assert hits == [15]
+
+    def test_start_if_idle(self, sim):
+        hits = []
+        t = Timer(sim, lambda: hits.append(sim.now))
+        t.start(10)
+        t.start_if_idle(100)  # ignored; already armed
+        sim.run()
+        assert hits == [10]
+
+    def test_deadline_and_remaining(self, sim):
+        t = Timer(sim, lambda: None)
+        t.start(10)
+        assert t.deadline == 10
+        assert t.remaining == 10
+        t.cancel()
+        assert t.deadline is None
+        assert t.remaining is None
+
+    def test_rearm_from_callback(self, sim):
+        hits = []
+
+        def cb():
+            hits.append(sim.now)
+            if len(hits) < 3:
+                t.start(10)
+
+        t = Timer(sim, cb)
+        t.start(10)
+        sim.run()
+        assert hits == [10, 20, 30]
+
+    def test_periodic(self, sim):
+        hits = []
+        p = PeriodicTimer(sim, 5, lambda: hits.append(sim.now))
+        p.start()
+        sim.call_later(17, p.stop)
+        sim.run()
+        assert hits == [5, 10, 15]
+
+
+class TestInstruments:
+    def test_counter(self):
+        c = Counter()
+        c.add()
+        c.add(4)
+        assert c.value == 5
+        c.reset()
+        assert c.value == 0
+
+    def test_running_stats(self):
+        s = RunningStats()
+        for x in [2.0, 4.0, 6.0]:
+            s.add(x)
+        assert s.mean == pytest.approx(4.0)
+        assert s.min == 2.0
+        assert s.max == 6.0
+        assert s.variance == pytest.approx(4.0)
+        assert s.stddev == pytest.approx(2.0)
+
+    def test_running_stats_empty(self):
+        s = RunningStats()
+        assert s.mean == 0.0
+        assert s.variance == 0.0
+
+    def test_histogram_buckets(self):
+        h = Histogram(0, 100, buckets=10)
+        for x in [5, 15, 15, 95, -1, 100]:
+            h.add(x)
+        assert h.counts[0] == 1
+        assert h.counts[1] == 2
+        assert h.counts[9] == 1
+        assert h.underflow == 1
+        assert h.overflow == 1
+        assert h.total == 6
+
+    def test_histogram_percentile(self):
+        h = Histogram(0, 100, buckets=100)
+        for x in range(100):
+            h.add(x)
+        assert h.percentile(50) == pytest.approx(50, abs=1)
+        assert h.percentile(99) == pytest.approx(99, abs=1)
+
+    def test_rate_meter(self):
+        r = RateMeter()
+        r.observe(0.0, 100)
+        r.observe(10.0, 100)
+        assert r.rate() == pytest.approx(20.0)
+        assert r.rate_over(0, 100) == pytest.approx(2.0)
+
+    def test_rate_meter_empty(self):
+        assert RateMeter().rate() == 0.0
+
+
+class TestRng:
+    def test_streams_independent_and_deterministic(self):
+        from repro.sim import RngHub
+        h1 = RngHub(seed=7)
+        h2 = RngHub(seed=7)
+        a1 = [h1.stream("loss").random() for _ in range(5)]
+        a2 = [h2.stream("loss").random() for _ in range(5)]
+        assert a1 == a2
+        b = [h1.stream("workload").random() for _ in range(5)]
+        assert a1 != b
+
+    def test_same_stream_returned(self):
+        from repro.sim import RngHub
+        h = RngHub()
+        assert h.stream("x") is h.stream("x")

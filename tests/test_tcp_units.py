@@ -1,0 +1,183 @@
+"""Unit + property tests for TCP building blocks: sequence space, RTT
+estimation, Reno congestion control."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.tcp import (DUPACK_THRESHOLD, RenoCongestion, RttEstimator,
+                           seq_add, seq_between, seq_ge, seq_gt, seq_le,
+                           seq_lt, seq_max, seq_sub)
+
+MOD = 1 << 32
+
+
+class TestSeqSpace:
+    def test_basic_ordering(self):
+        assert seq_lt(1, 2)
+        assert seq_gt(2, 1)
+        assert seq_le(2, 2)
+        assert seq_ge(2, 2)
+
+    def test_wraparound_ordering(self):
+        near_top = MOD - 10
+        assert seq_lt(near_top, 5)          # 5 is "after" near_top
+        assert seq_gt(5, near_top)
+        assert seq_sub(5, near_top) == 15
+
+    def test_seq_add_wraps(self):
+        assert seq_add(MOD - 1, 1) == 0
+        assert seq_add(MOD - 1, 2) == 1
+
+    def test_between_across_wrap(self):
+        low = MOD - 5
+        high = 10
+        assert seq_between(low, MOD - 1, high)
+        assert seq_between(low, 0, high)
+        assert not seq_between(low, 10, high)
+        assert not seq_between(low, MOD - 6, high)
+
+    def test_seq_max(self):
+        assert seq_max(MOD - 1, 3) == 3   # 3 is later across the wrap
+        assert seq_max(5, 3) == 5
+
+    @settings(max_examples=200, deadline=None)
+    @given(base=st.integers(0, MOD - 1), da=st.integers(0, 2**30),
+           db=st.integers(0, 2**30))
+    def test_translation_invariance(self, base, da, db):
+        a = seq_add(base, da)
+        b = seq_add(base, db)
+        assert seq_lt(a, b) == (da < db)
+        assert seq_sub(b, a) == db - da
+
+
+class TestRttEstimator:
+    def test_first_sample_initializes(self):
+        r = RttEstimator(min_rto=1000)
+        r.sample(500)
+        assert r.srtt == 500
+        assert r.rttvar == 250
+        assert r.rto >= 1000  # floored
+
+    def test_converges_to_constant_rtt(self):
+        r = RttEstimator(min_rto=10)
+        for _ in range(100):
+            r.sample(200)
+        assert r.srtt == pytest.approx(200, rel=0.01)
+        assert r.rttvar == pytest.approx(0, abs=1.0)
+
+    def test_rto_tracks_variance(self):
+        r = RttEstimator(min_rto=10)
+        for x in [100, 300, 100, 300, 100, 300]:
+            r.sample(x)
+        assert r.rto > r.srtt   # variance keeps RTO above the mean
+
+    def test_backoff_doubles_and_resets(self):
+        r = RttEstimator(min_rto=1000, initial_rto=1000)
+        r.sample(900)
+        base = r.rto
+        r.on_timeout()
+        assert r.rto == pytest.approx(2 * base)
+        r.on_timeout()
+        assert r.rto == pytest.approx(4 * base)
+        r.sample(900)
+        assert r.rto == pytest.approx(base, rel=0.2)
+
+    def test_max_rto_cap(self):
+        r = RttEstimator(min_rto=1000, max_rto=8000, initial_rto=1000)
+        for _ in range(10):
+            r.on_timeout()
+        assert r.rto == 8000
+
+    def test_negative_sample_rejected(self):
+        with pytest.raises(ValueError):
+            RttEstimator().sample(-1)
+
+    @settings(max_examples=50, deadline=None)
+    @given(samples=st.lists(st.floats(1, 1e6), min_size=1, max_size=50))
+    def test_rto_bounds_invariant(self, samples):
+        r = RttEstimator(min_rto=5000, max_rto=1e7)
+        for s in samples:
+            r.sample(s)
+            assert 5000 <= r.rto <= 1e7
+
+
+class TestReno:
+    def test_initial_window(self):
+        cc = RenoCongestion(mss=1460)
+        assert cc.cwnd == 2 * 1460
+        assert cc.in_slow_start
+
+    def test_slow_start_doubles_per_window(self):
+        cc = RenoCongestion(mss=1000)
+        # ACK a full window's worth: cwnd should roughly double.
+        start = cc.cwnd
+        for _ in range(start // 1000):
+            cc.on_ack_of_new_data(1000, flight_size=start)
+        assert cc.cwnd == 2 * start
+
+    def test_congestion_avoidance_linear(self):
+        cc = RenoCongestion(mss=1000)
+        cc.ssthresh = 4000
+        cc.cwnd = 4000
+        before = cc.cwnd
+        for _ in range(4):   # one window of ACKs
+            cc.on_ack_of_new_data(1000, flight_size=4000)
+        assert before < cc.cwnd <= before + 1000 + 4  # ~1 MSS per RTT
+
+    def test_fast_retransmit_trigger(self):
+        cc = RenoCongestion(mss=1000)
+        cc.cwnd = 10_000
+        cc.ssthresh = 5
+        fired = [cc.on_duplicate_ack(flight_size=10_000)
+                 for _ in range(DUPACK_THRESHOLD)]
+        assert fired == [False, False, True]
+        assert cc.in_recovery
+        assert cc.ssthresh == 5000
+        assert cc.cwnd == 5000 + 3 * 1000
+
+    def test_recovery_inflation_and_deflation(self):
+        cc = RenoCongestion(mss=1000)
+        cc.cwnd = 10_000
+        for _ in range(DUPACK_THRESHOLD):
+            cc.on_duplicate_ack(flight_size=10_000)
+        inflated = cc.cwnd
+        cc.on_duplicate_ack(flight_size=10_000)
+        assert cc.cwnd == inflated + 1000
+        cc.exit_recovery()
+        assert not cc.in_recovery
+        assert cc.cwnd == cc.ssthresh
+
+    def test_timeout_collapses_window(self):
+        cc = RenoCongestion(mss=1000)
+        cc.cwnd = 64_000
+        cc.on_retransmission_timeout(flight_size=64_000)
+        assert cc.cwnd == 1000
+        assert cc.ssthresh == 32_000
+        assert cc.timeouts == 1
+
+    def test_ssthresh_floor(self):
+        cc = RenoCongestion(mss=1000)
+        cc.on_retransmission_timeout(flight_size=1000)
+        assert cc.ssthresh == 2000
+
+    def test_bad_mss_rejected(self):
+        with pytest.raises(ValueError):
+            RenoCongestion(mss=0)
+
+    @settings(max_examples=50, deadline=None)
+    @given(ops=st.lists(st.sampled_from(["ack", "dup", "rto"]), max_size=60))
+    def test_cwnd_never_below_one_mss(self, ops):
+        cc = RenoCongestion(mss=1000)
+        for op in ops:
+            if op == "ack":
+                if cc.in_recovery:
+                    cc.exit_recovery()
+                else:
+                    cc.on_ack_of_new_data(1000, flight_size=cc.cwnd)
+            elif op == "dup":
+                cc.on_duplicate_ack(flight_size=cc.cwnd)
+            else:
+                cc.on_retransmission_timeout(flight_size=cc.cwnd)
+            assert cc.cwnd >= 1000
+            assert cc.ssthresh >= 2000

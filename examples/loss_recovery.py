@@ -2,15 +2,18 @@
 """TCP loss recovery — inside the network interface.
 
 QPIP's whole point is that a *real* transport runs on the NIC: inject
-packet loss on the Myrinet link and watch the on-NIC TCP retransmit,
-fast-retransmit, and shrink its congestion window, while the
-application only ever sees clean completions.
+packet loss and corruption on the Myrinet link and watch the on-NIC TCP
+retransmit, fast-retransmit, and shrink its congestion window, while
+the application only ever sees clean completions.
+
+Faults come from the declarative `repro.faults` plans (docs/faults.md);
+corrupted packets die in the receiver's real ones-complement checksum
+and are recovered exactly like losses.
 
 Run:  python examples/loss_recovery.py
 """
 
 import os
-import random
 import sys
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
@@ -20,42 +23,53 @@ import dataclasses
 from repro.apps.ttcp import qpip_ttcp
 from repro.bench import build_qpip_pair
 from repro.core import default_qpip_tcp_config
-from repro.sim import Simulator
+from repro.faults import FaultPlan, install_on_link
+from repro.sim import RngHub, Simulator
 from repro.units import MB
 
 
-def run(loss_rate, reassembly):
+def run(loss_rate, corrupt_rate, reassembly):
     sim = Simulator()
     cfg = dataclasses.replace(default_qpip_tcp_config(16384),
                               reassembly=reassembly)
     a, b, fabric = build_qpip_pair(sim, tcp_config=cfg)
-    rng = random.Random(11)
-    fabric.host_link("h0").set_loss(
-        a.nic.attachment,
-        lambda pkt: pkt.payload.length > 0 and rng.random() < loss_rate)
+    plan = FaultPlan()
+    if loss_rate:
+        plan.drop(loss_rate, match=lambda pkt: pkt.payload.length > 0)
+    if corrupt_rate:
+        plan.corrupt(corrupt_rate, match=lambda pkt: pkt.payload.length > 0)
+    injector = install_on_link(fabric.host_link("h0"), a.nic.attachment,
+                               plan, RngHub(1).stream("faults"))
     result = qpip_ttcp(sim, a, b, total_bytes=4 * MB)
     conn = next(iter(a.firmware.stack.tcp.connections.values()))
-    return result, conn.stats, conn.cc
+    checksum_drops = b.firmware.stack.checksum_errors
+    return result, conn.stats, injector, checksum_drops
 
 
 def main():
-    print("4 MB QP-to-QP transfer with injected loss on the send link\n")
-    header = (f"{'loss':>6s} {'reasm':>6s} {'MB/s':>7s} {'retx':>5s} "
-              f"{'fast-rtx':>8s} {'RTOs':>5s} {'dupACKs':>8s}")
+    print("4 MB QP-to-QP transfer with loss + corruption on the send link\n")
+    header = (f"{'loss':>6s} {'corr':>6s} {'reasm':>6s} {'MB/s':>7s} "
+              f"{'retx':>5s} {'fast-rtx':>8s} {'RTOs':>5s} {'csum-drop':>9s}")
     print(header)
     print("-" * len(header))
-    for loss in (0.0, 0.005, 0.02):
+    for loss, corrupt in ((0.0, 0.0), (0.005, 0.0), (0.02, 0.0),
+                          (0.0, 0.01), (0.01, 0.01)):
         for reassembly in (False, True):
-            result, stats, cc = run(loss, reassembly)
-            print(f"{loss * 100:5.1f}% {str(reassembly):>6s} "
+            result, stats, inj, csum = run(loss, corrupt, reassembly)
+            print(f"{loss * 100:5.1f}% {corrupt * 100:5.1f}% "
+                  f"{str(reassembly):>6s} "
                   f"{result.mb_per_sec:7.1f} {stats.retransmitted_segs:5d} "
                   f"{stats.fast_retransmits:8d} {stats.rto_timeouts:5d} "
-                  f"{stats.dup_acks_in:8d}")
+                  f"{csum:9d}")
+            assert csum == inj.counts()["corruptions"], \
+                "every corrupted packet must die in the checksum"
     print(
-        "\nThe prototype ships without out-of-order reassembly (paper "
-        "§4.1):\nevery hole costs a round of retransmissions.  The "
-        "reassembly flag is\nthis library's 'future work' extension — "
-        "same engine, one config bit.")
+        "\nA flipped bit is just a loss with extra steps: the receiver's "
+        "checksum\ncatches it (csum-drop == packets corrupted) and "
+        "retransmission repairs it.\nThe prototype ships without "
+        "out-of-order reassembly (paper §4.1): every\nhole costs a round "
+        "of retransmissions.  The reassembly flag is this\nlibrary's "
+        "'future work' extension — same engine, one config bit.")
 
 
 if __name__ == "__main__":

@@ -11,6 +11,7 @@ Usage::
     python -m repro fig7 [--mb 409]
     python -m repro ablation
     python -m repro all [--mb 409]
+    python -m repro chaos --seed 1 [--drop 0.02 --corrupt 0.01 ...]
 """
 
 from __future__ import annotations
@@ -59,7 +60,62 @@ def build_parser() -> argparse.ArgumentParser:
                            help="working-set size in MB (paper: 409)")
     all_p = sub.add_parser("all", help="run every experiment")
     all_p.add_argument("--mb", type=int, default=409)
+    chaos_p = sub.add_parser(
+        "chaos", help="run a workload under fault injection and check "
+                      "the delivery/completion invariants")
+    chaos_p.add_argument("--seed", type=int, default=1,
+                         help="RNG seed (same seed => identical run)")
+    chaos_p.add_argument("--workload", choices=("ttcp", "pingpong"),
+                         default="ttcp")
+    chaos_p.add_argument("--messages", type=int, default=64)
+    chaos_p.add_argument("--size", type=int, default=4096,
+                         help="message size in bytes")
+    chaos_p.add_argument("--drop", type=float, default=0.02,
+                         help="per-packet drop probability")
+    chaos_p.add_argument("--corrupt", type=float, default=0.01,
+                         help="per-packet bit-flip probability")
+    chaos_p.add_argument("--reorder", type=float, default=0.0,
+                         help="per-packet reorder (delay) probability")
+    chaos_p.add_argument("--duplicate", type=float, default=0.0,
+                         help="per-packet duplication probability")
+    chaos_p.add_argument("--kill", choices=("none", "rst", "dma"),
+                         default="none",
+                         help="kill the QP mid-transfer and check that "
+                              "every outstanding WR is flushed")
+    chaos_p.add_argument("--kill-at", type=float, default=5000.0,
+                         help="kill time in simulated microseconds")
+    chaos_p.add_argument("--check-determinism", action="store_true",
+                         help="run twice and compare completion traces")
     return parser
+
+
+def run_chaos_cmd(args) -> int:
+    from .errors import ReproError
+    from .faults import FaultPlan, check_determinism, run_chaos
+    try:
+        plan = FaultPlan()
+        if args.drop:
+            plan.drop(args.drop)
+        if args.corrupt:
+            plan.corrupt(args.corrupt)
+        if args.reorder:
+            plan.reorder(args.reorder, delay=40.0, jitter=20.0)
+        if args.duplicate:
+            plan.duplicate(args.duplicate)
+        kwargs = dict(workload=args.workload, plan=plan,
+                      messages=args.messages, msg_size=args.size,
+                      kill=args.kill, kill_at=args.kill_at)
+        if args.check_determinism:
+            result, _again = check_determinism(seed=args.seed, **kwargs)
+            print(result.summary())
+            print("  determinism: identical traces across two runs")
+        else:
+            result = run_chaos(seed=args.seed, **kwargs)
+            print(result.summary())
+    except ReproError as exc:
+        print(f"repro chaos: error: {exc}", file=sys.stderr)
+        return 2
+    return 0 if result.ok else 1
 
 
 def main(argv=None) -> int:
@@ -69,7 +125,10 @@ def main(argv=None) -> int:
         for name, (desc, _fn) in EXPERIMENTS.items():
             print(f"  {name:10s} {desc}")
         print("  all        run everything (slow: full-size NBD)")
+        print("  chaos      fault-injection run with invariant checks")
         return 0
+    if args.command == "chaos":
+        return run_chaos_cmd(args)
     names = list(EXPERIMENTS) if args.command == "all" else [args.command]
     for name in names:
         desc, fn = EXPERIMENTS[name]

@@ -16,7 +16,8 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Deque, Dict, List, Optional, Tuple
 
-from ..errors import QPStateError, VerbsError
+from ..errors import (ConnectionReset, DmaError, QPStateError,
+                      ResourceExhausted, VerbsError)
 from ..hw.lanai import ProgrammableNic
 from ..mem import Access, TranslationTable
 from ..net import InetStack
@@ -97,19 +98,19 @@ class FwEndpoint:
         self.fw._queue_tx(self)
 
     def deliver(self, conn, payload, psh) -> None:
-        self.fw._actions.append(("deliver", self, payload))
+        self.fw._push_action(("deliver", self, payload))
 
     def on_established(self, conn) -> None:
-        self.fw._actions.append(("established", self))
+        self.fw._push_action(("established", self))
 
     def on_remote_fin(self, conn) -> None:
-        self.fw._actions.append(("remote_fin", self))
+        self.fw._push_action(("remote_fin", self))
 
     def on_closed(self, conn) -> None:
-        self.fw._actions.append(("closed", self, None))
+        self.fw._push_action(("closed", self, None))
 
     def on_reset(self, conn, exc) -> None:
-        self.fw._actions.append(("closed", self, exc))
+        self.fw._push_action(("closed", self, exc))
 
     def on_send_complete(self, conn, msg_id) -> None:
         wr = self.msg_map.pop(msg_id, None)
@@ -167,6 +168,13 @@ class QpipFirmware:
         self._rx_turn = True
         self._current_done = None
         self.udp_drops_no_wr = 0
+        # Finite interface resources (None = unlimited).  When exhausted,
+        # mgmt commands fail with ResourceExhausted — an error reply to
+        # the driver, never a firmware crash.
+        self.max_qps: Optional[int] = None
+        self.max_regions: Optional[int] = None
+        self.mgmt_rejections = 0
+        self.dma_wr_errors = 0
         nic.wake = self._wake
         self._iface = _FwIface(nic)
         self.sim.process(self._main_loop())
@@ -187,9 +195,21 @@ class QpipFirmware:
             self._idle.succeed()
             self._idle = None
 
+    def _push_action(self, action: tuple) -> None:
+        """Queue a connection event and make sure the loop services it.
+
+        Not every action is born inside packet processing: RTO give-up
+        and keepalive failures arrive from timers, aborts can arrive
+        from the driver.  Those must still reach :meth:`_drain_actions`
+        (QP flush, error CQEs) even if no further packet ever arrives.
+        """
+        self._actions.append(action)
+        self._wake()
+
     def _has_work(self) -> bool:
         return bool(self.nic.doorbell_fifo or self.nic.mgmt_queue
-                    or self.nic.rx_queue or self._tx_ring)
+                    or self.nic.rx_queue or self._tx_ring
+                    or self.nic.doorbell_overflow or self._actions)
 
     def _main_loop(self):
         t = self.nic.timing
@@ -198,6 +218,14 @@ class QpipFirmware:
                 token = self.nic.doorbell_fifo.popleft()
                 yield self.nic.stage("doorbell", t.doorbell_process)
                 self._doorbell(token)
+            elif self.nic.doorbell_overflow:
+                # The doorbell FIFO overflowed and posted writes were
+                # lost.  Clear the sticky bit and rescan every QP: any
+                # send queue with work gets scheduled, any receive queue
+                # refreshes its credit — no WR is left behind.
+                self.nic.doorbell_overflow = False
+                yield self.nic.stage("doorbell_rescan", t.mgmt_command)
+                self._doorbell_rescan()
             elif self.nic.mgmt_queue:
                 cmd = self.nic.mgmt_queue.popleft()
                 yield self.nic.stage("mgmt", t.mgmt_command)
@@ -208,6 +236,10 @@ class QpipFirmware:
             elif self._tx_ring:
                 self._rx_turn = True
                 yield from self._transmit_one()
+            elif self._actions:
+                # Timer/driver-originated events (RTO give-up, abort)
+                # queued outside packet processing.
+                yield from self._drain_actions()
             else:
                 self._idle = Event(self.sim)
                 yield self._idle
@@ -223,6 +255,18 @@ class QpipFirmware:
             self._queue_tx(ep)
         elif which == "recv" and ep.conn is not None and ep.qp is not None:
             ep.conn.set_receive_credit(self._qp_credit(ep.qp))
+        self._drain_actions_sync()
+
+    def _doorbell_rescan(self) -> None:
+        """Recover from doorbell-FIFO overflow: treat every QP as if its
+        doorbell had rung (the driver's overflow ISR does the same)."""
+        for ep in list(self.endpoints.values()):
+            if ep.qp is None:
+                continue
+            if ep.qp.send_queue:
+                self._queue_tx(ep)
+            if ep.conn is not None:
+                ep.conn.set_receive_credit(self._qp_credit(ep.qp))
         self._drain_actions_sync()
 
     def _qp_credit(self, qp: QueuePair) -> int:
@@ -259,6 +303,10 @@ class QpipFirmware:
     def _mgmt_create_qp(self, qp: QueuePair) -> QueuePair:
         if qp.qp_num in self.endpoints:
             raise VerbsError(f"QP{qp.qp_num} already exists")
+        if self.max_qps is not None and len(self.endpoints) >= self.max_qps:
+            self.mgmt_rejections += 1
+            raise ResourceExhausted(
+                f"{self.nic.name}: out of QP slots ({self.max_qps})")
         self.endpoints[qp.qp_num] = FwEndpoint(self, qp)
         return qp
 
@@ -266,10 +314,19 @@ class QpipFirmware:
         ep = self.endpoints.pop(qp.qp_num, None)
         if ep is not None and ep.conn is not None:
             ep.conn.abort()
-        self._flush_qp(qp, WRStatus.FLUSHED)
+        if ep is not None:
+            self._flush_endpoint(ep, WRStatus.FLUSHED)
+        else:
+            self._flush_qp(qp, WRStatus.FLUSHED)
         qp.state = QPState.DISCONNECTED
 
     def _mgmt_register(self, aspace, addr, length, access) -> object:
+        if (self.max_regions is not None
+                and len(self.translation) >= self.max_regions):
+            self.mgmt_rejections += 1
+            raise ResourceExhausted(
+                f"{self.nic.name}: out of translation entries "
+                f"({self.max_regions})")
         return self.translation.register(aspace, addr, length, access)
 
     def _mgmt_deregister(self, lkey) -> None:
@@ -380,7 +437,6 @@ class QpipFirmware:
                 yield self.nic.stage("tcp_parse_data", t.tcp_parse_data)
         else:
             yield self.nic.stage("udp_parse", t.udp_parse)
-        self._actions.clear()
         self.stack.packet_in(pkt)
         yield from self._drain_actions()
 
@@ -444,7 +500,11 @@ class QpipFirmware:
             self._fail_endpoint(ep, WRStatus.LOCAL_LENGTH_ERROR)
             return
         yield self.nic.stage("put_data", t.put_data)
-        dma = self.nic.dma_to_host(payload.length)
+        try:
+            dma = self.nic.dma_to_host(payload.length)
+        except DmaError:
+            self._dma_wr_error(ep, wr)
+            return
         if not t.overlap_dma:
             yield dma
         self._write_wr_data(wr, payload)
@@ -467,7 +527,11 @@ class QpipFirmware:
         yield self.nic.stage("get_wr", t.get_wr)
         wr = qp.recv_queue.popleft()
         yield self.nic.stage("put_data", t.put_data)
-        dma = self.nic.dma_to_host(payload.length)
+        try:
+            dma = self.nic.dma_to_host(payload.length)
+        except DmaError:
+            self._dma_wr_error(ep, wr)
+            return
         if not t.overlap_dma:
             yield dma
         self._write_wr_data(wr, payload)
@@ -529,13 +593,14 @@ class QpipFirmware:
         try:
             payload = self._read_wr_data(wr)
         except Exception:
-            self._post_cqe(qp.send_cq, Completion(
-                wr.wr_id, qp.qp_num, WROpcode.SEND,
-                status=WRStatus.LOCAL_PROTECTION_ERROR))
-            qp.state = QPState.ERROR
+            self._local_wr_error(ep, wr, WRStatus.LOCAL_PROTECTION_ERROR)
             return
         yield self.nic.stage("get_data", t.get_data)
-        dma = self.nic.dma_from_host(payload.length)
+        try:
+            dma = self.nic.dma_from_host(payload.length)
+        except DmaError:
+            self._local_wr_error(ep, wr, WRStatus.LOCAL_DMA_ERROR)
+            return
         if not t.overlap_dma:
             yield dma
         if qp.transport is QPTransport.UDP:
@@ -544,8 +609,14 @@ class QpipFirmware:
             self._send_rdma(ep, wr, payload)
         else:
             msg_id = next(ep._msg_ids)
+            try:
+                ep.conn.send_message(payload, msg_id=msg_id)
+            except ConnectionReset:
+                # The connection died between the doorbell and this fetch
+                # (peer RST, RTO give-up): fail the WR like a remote abort.
+                self._local_wr_error(ep, wr, WRStatus.REMOTE_ABORTED)
+                return
             ep.msg_map[msg_id] = wr
-            ep.conn.send_message(payload, msg_id=msg_id)
 
     def _read_wr_data(self, wr: WorkRequest) -> Payload:
         parts: List[Payload] = []
@@ -592,8 +663,13 @@ class QpipFirmware:
         if desc.kind == "data" and desc.retransmit:
             # Retransmission: the data must be fetched from host memory again.
             yield self.nic.stage("get_data", t.get_data)
-            dma = self.nic.dma_from_host(
-                desc.chunk.payload.length if desc.chunk else 0)
+            try:
+                dma = self.nic.dma_from_host(
+                    desc.chunk.payload.length if desc.chunk else 0)
+            except DmaError:
+                self.dma_wr_errors += 1
+                self._fail_endpoint(ep, WRStatus.LOCAL_DMA_ERROR)
+                return
             if not t.overlap_dma:
                 yield dma
         built = conn.build_segment(desc)
@@ -652,9 +728,27 @@ class QpipFirmware:
 
     def _local_wr_error(self, ep: FwEndpoint, wr: WorkRequest,
                         status: WRStatus) -> None:
+        """A WR failed locally (protection, length, DMA): complete it
+        with its specific error, move the QP to ERROR, terminate the
+        connection, and flush everything else still outstanding."""
+        if status is WRStatus.LOCAL_DMA_ERROR:
+            self.dma_wr_errors += 1
         ep.qp.state = QPState.ERROR
         self._post_cqe(ep.qp.send_cq, Completion(
             wr.wr_id, ep.qp.qp_num, wr.opcode, status=status))
+        if ep.conn is not None:
+            ep.conn.abort()
+        self._flush_endpoint(ep, WRStatus.FLUSHED)
+
+    def _dma_wr_error(self, ep: FwEndpoint, wr: WorkRequest) -> None:
+        """A receive-side DMA fault: the popped WR dies with a DMA error
+        and the endpoint fails (data was lost after TCP ACKed it, so the
+        stream cannot be resynchronized)."""
+        self.dma_wr_errors += 1
+        qp = ep.qp
+        self._post_cqe(qp.recv_cq, Completion(
+            wr.wr_id, qp.qp_num, wr.opcode, status=WRStatus.LOCAL_DMA_ERROR))
+        self._fail_endpoint(ep, WRStatus.FLUSHED)
 
     def _deliver_rdma(self, ep: FwEndpoint, payload: Payload):
         """Receive path for framed (rdma-enabled) QPs."""
@@ -692,7 +786,11 @@ class QpipFirmware:
             self._fail_endpoint(ep, WRStatus.LOCAL_LENGTH_ERROR)
             return
         yield self.nic.stage("put_data", t.put_data)
-        dma = self.nic.dma_to_host(body.length)
+        try:
+            dma = self.nic.dma_to_host(body.length)
+        except DmaError:
+            self._dma_wr_error(ep, wr)
+            return
         if not t.overlap_dma:
             yield dma
         self._write_wr_data(wr, body)
@@ -719,7 +817,12 @@ class QpipFirmware:
             ep.conn.abort() if ep.conn else None
             return
         yield self.nic.stage("put_data", t.put_data)
-        dma = self.nic.dma_to_host(body.length)
+        try:
+            dma = self.nic.dma_to_host(body.length)
+        except DmaError:
+            self.dma_wr_errors += 1
+            self._fail_endpoint(ep, WRStatus.LOCAL_DMA_ERROR)
+            return
         if not t.overlap_dma:
             yield dma
         if not isinstance(body, ZeroPayload):
@@ -762,7 +865,13 @@ class QpipFirmware:
             self._fail_endpoint(ep, WRStatus.REMOTE_ACCESS_ERROR)
             return
         yield self.nic.stage("get_data", t.get_data)
-        dma = self.nic.dma_from_host(n)
+        try:
+            dma = self.nic.dma_from_host(n)
+        except DmaError:
+            ep.read_responses.popleft()
+            self.dma_wr_errors += 1
+            self._fail_endpoint(ep, WRStatus.LOCAL_DMA_ERROR)
+            return
         if not t.overlap_dma:
             yield dma
         if region.aspace.is_all_zero(req.remote_addr + served, n):
@@ -812,10 +921,13 @@ class QpipFirmware:
         if exc is not None:
             qp.error = exc
             qp.state = QPState.ERROR
-            self._flush_qp(qp, WRStatus.REMOTE_ABORTED)
+            self._flush_endpoint(ep, WRStatus.REMOTE_ABORTED)
         else:
-            qp.state = QPState.DISCONNECTED
-            self._flush_qp(qp, WRStatus.FLUSHED)
+            # ERROR is sticky: an orderly-close action queued behind an
+            # abort must not downgrade the QP back to DISCONNECTED.
+            if qp.state is not QPState.ERROR:
+                qp.state = QPState.DISCONNECTED
+            self._flush_endpoint(ep, WRStatus.FLUSHED)
         if ep.established_event is not None and not ep.established_event.triggered:
             ev, ep.established_event = ep.established_event, None
             ev.fail(exc or QPStateError(f"QP{qp.qp_num} closed"))
@@ -825,7 +937,26 @@ class QpipFirmware:
             ep.conn.abort()
         if ep.qp is not None:
             ep.qp.state = QPState.ERROR
-            self._flush_qp(ep.qp, status)
+            self._flush_endpoint(ep, status)
+
+    def _flush_endpoint(self, ep: FwEndpoint, status: WRStatus) -> None:
+        """Error-complete every WR the endpoint still owes a CQE for:
+        in-flight sends awaiting ACK (msg_map), outstanding RDMA READs,
+        and everything still queued on the QP.  After this the
+        application can account for 100% of its posted WRs."""
+        qp = ep.qp
+        if qp is None:
+            return
+        for msg_id in list(ep.msg_map):
+            wr = ep.msg_map.pop(msg_id)
+            self._post_cqe(qp.send_cq, Completion(
+                wr.wr_id, qp.qp_num, wr.opcode, status=status))
+        for base in list(ep.outstanding_reads):
+            wr, _left = ep.outstanding_reads.pop(base)
+            self._post_cqe(qp.send_cq, Completion(
+                wr.wr_id, qp.qp_num, wr.opcode, status=status))
+        ep.read_responses.clear()
+        self._flush_qp(qp, status)
 
     def _flush_qp(self, qp: QueuePair, status: WRStatus) -> None:
         while qp.recv_queue:
@@ -835,17 +966,22 @@ class QpipFirmware:
         while qp.send_queue:
             wr = qp.send_queue.popleft()
             self._post_cqe(qp.send_cq, Completion(
-                wr.wr_id, qp.qp_num, WROpcode.SEND, status=status))
+                wr.wr_id, qp.qp_num, wr.opcode, status=status))
 
     # -- host notification ---------------------------------------------------------
 
     def _post_cqe(self, cq, cqe: Completion) -> None:
-        """DMA the CQE into the host-memory ring (posted; firmware moves on)."""
-        dma = self.nic.dma_to_host(CQE_BYTES)
+        """DMA the CQE into the host-memory ring (posted; firmware moves on).
+
+        Completion writes use the "cqe" DMA class: fault injectors leave
+        them alone, so applications never lose a completion — the flush
+        guarantee depends on it.
+        """
+        dma = self.nic.dma_to_host(CQE_BYTES, kind="cqe")
         dma.callbacks.append(lambda _ev: cq.push(cqe))
 
     def _notify_host(self, event: Event, value) -> None:
-        dma = self.nic.dma_to_host(CQE_BYTES)
+        dma = self.nic.dma_to_host(CQE_BYTES, kind="cqe")
         dma.callbacks.append(lambda _ev: event.succeed(value)
                              if not event.triggered else None)
 

@@ -84,8 +84,10 @@ class QueuePair:
     def enqueue_recv(self, wr: WorkRequest) -> None:
         if wr.opcode is not WROpcode.RECV:
             raise VerbsError("post_recv requires a RECV work request")
-        if self.state is QPState.ERROR:
-            raise QPStateError(f"QP{self.qp_num} is in ERROR")
+        if self.state in (QPState.ERROR, QPState.DISCONNECTED):
+            # A WR accepted here could never complete: the flush already
+            # ran.  Reject so the application keeps its WR accounting.
+            raise QPStateError(f"QP{self.qp_num} is {self.state.value}")
         if len(self.recv_queue) >= self.max_recv_wr:
             raise VerbsError(f"QP{self.qp_num} receive queue full")
         self.recv_queue.append(wr)

@@ -27,6 +27,7 @@ class WRStatus(enum.Enum):
     SUCCESS = "SUCCESS"
     LOCAL_LENGTH_ERROR = "LOCAL_LENGTH_ERROR"     # message overflowed the WR
     LOCAL_PROTECTION_ERROR = "LOCAL_PROTECTION_ERROR"
+    LOCAL_DMA_ERROR = "LOCAL_DMA_ERROR"           # host-DMA transfer fault
     REMOTE_ACCESS_ERROR = "REMOTE_ACCESS_ERROR"   # bad rkey/bounds at the peer
     REMOTE_ABORTED = "REMOTE_ABORTED"             # connection reset under us
     FLUSHED = "FLUSHED"                           # QP torn down with WRs posted
@@ -75,3 +76,10 @@ class Completion:
     @property
     def ok(self) -> bool:
         return self.status is WRStatus.SUCCESS
+
+    def raise_for_status(self) -> "Completion":
+        """Return self if successful; raise :class:`CompletionError` otherwise."""
+        if not self.ok:
+            from ..errors import CompletionError
+            raise CompletionError(self)
+        return self

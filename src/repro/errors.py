@@ -39,8 +39,18 @@ class SocketError(ReproError):
     """Misuse of the sockets API."""
 
 
+class DmaError(ReproError):
+    """A host-DMA transfer failed (injected or hardware fault)."""
+
+
 class VerbsError(ReproError):
     """Misuse of the QP verbs API (the QPIP user library)."""
+
+
+class ResourceExhausted(VerbsError):
+    """The interface is out of a finite resource (QP slots, SRAM
+    translation entries); management commands fail with this instead of
+    crashing the firmware."""
 
 
 class MemoryRegistrationError(VerbsError):
@@ -52,7 +62,18 @@ class QPStateError(VerbsError):
 
 
 class CompletionError(VerbsError):
-    """A work request completed in error; carried in the CQE status."""
+    """A work request completed in error; carries the failed CQE.
+
+    Raised by :meth:`repro.core.wr.Completion.raise_for_status` so
+    applications can turn error completions into typed exceptions.
+    """
+
+    def __init__(self, completion):
+        self.completion = completion
+        self.status = completion.status
+        super().__init__(
+            f"WR {completion.wr_id} on QP{completion.qp_num} "
+            f"({completion.opcode.value}) failed: {completion.status.value}")
 
 
 class NBDError(ReproError):

@@ -1,4 +1,4 @@
-"""Point-to-point links: serialization, propagation, loss injection.
+"""Point-to-point links: serialization, propagation, fault injection.
 
 A link is full duplex: each direction serializes packets FIFO at the link
 bandwidth, then delivers after the propagation delay.  Receivers declare
@@ -7,6 +7,18 @@ how much of the packet they need before acting:
 * ``store_forward`` — the full packet (hosts, Ethernet switches);
 * ``cut_through`` — just the header flit (Myrinet switches), so
   forwarding latency is ~header time, as in the paper's SAN.
+
+Every direction (and, in :mod:`repro.fabric.switch`, every switch egress
+port) exposes a uniform per-packet hook chain.  A hook receives the
+packet about to go on the wire and returns:
+
+* falsy — pass the packet through untouched;
+* ``True`` — drop it (the legacy loss-hook contract);
+* a :class:`FaultVerdict` — drop, duplicate, delay, or substitute a
+  (e.g. corrupted) replacement packet.
+
+Hooks compose: ``loss + corruption + reorder`` can all be installed on
+one direction and each packet folds through the whole chain.
 """
 
 from __future__ import annotations
@@ -18,6 +30,69 @@ from ..net.packet import Packet
 from ..sim import Simulator
 
 CUT_THROUGH_HEADER_BYTES = 16    # flit carrying route + type + start of IP hdr
+
+
+class FaultVerdict:
+    """What a per-packet hook wants done with one packet.
+
+    ``drop`` wins over everything else.  ``copies`` schedules that many
+    extra deliveries of (shallow copies of) the packet.  ``delay`` adds
+    to the delivery time — later traffic overtakes, which is how reorder
+    is modelled.  ``packet`` substitutes a replacement (a corrupted
+    copy); ``corrupted`` marks the verdict for the corruption counter.
+    """
+
+    __slots__ = ("drop", "copies", "delay", "packet", "corrupted")
+
+    def __init__(self, drop: bool = False, copies: int = 0,
+                 delay: float = 0.0, packet: Optional[Packet] = None,
+                 corrupted: bool = False):
+        self.drop = drop
+        self.copies = copies
+        self.delay = max(0.0, delay)
+        self.packet = packet
+        self.corrupted = corrupted
+
+    def __repr__(self):
+        bits = []
+        if self.drop:
+            bits.append("drop")
+        if self.copies:
+            bits.append(f"dup x{self.copies}")
+        if self.delay:
+            bits.append(f"delay {self.delay:.1f}us")
+        if self.corrupted:
+            bits.append("corrupt")
+        return f"<FaultVerdict {' '.join(bits) or 'pass'}>"
+
+
+def run_packet_hooks(pkt: Packet, hooks) -> Tuple[Packet, bool, int, float, bool]:
+    """Fold a packet through a hook chain.
+
+    Returns ``(packet, drop, copies, delay, corrupted)`` where ``packet``
+    may be a replacement produced by a hook.  Used by both link
+    directions and switch egress ports so all injection points share one
+    contract.
+    """
+    drop = False
+    copies = 0
+    delay = 0.0
+    corrupted = False
+    current = pkt
+    for hook in hooks:
+        verdict = hook(current)
+        if not verdict:
+            continue
+        if verdict is True:
+            return current, True, copies, delay, corrupted
+        if verdict.packet is not None:
+            current = verdict.packet
+        corrupted = corrupted or verdict.corrupted
+        copies += verdict.copies
+        delay += verdict.delay
+        if verdict.drop:
+            return current, True, copies, delay, corrupted
+    return current, drop, copies, delay, corrupted
 
 
 class Attachment:
@@ -56,8 +131,23 @@ class _Direction:
         self.bytes_sent = 0
         self.packets_sent = 0
         self.packets_dropped = 0
+        self.packets_duplicated = 0
+        self.packets_delayed = 0
+        self.packets_corrupted = 0
         self.busy_time = 0.0
         self.loss_hook: Optional[Callable[[Packet], bool]] = None
+        self.hooks: List[Callable] = []
+
+    def add_hook(self, hook) -> None:
+        self.hooks.append(hook)
+
+    def remove_hook(self, hook) -> None:
+        self.hooks.remove(hook)
+
+    def _active_hooks(self) -> List[Callable]:
+        if self.loss_hook is None:
+            return self.hooks
+        return [self.loss_hook] + self.hooks
 
     def transmit(self, pkt: Packet) -> None:
         size = pkt.wire_size
@@ -67,16 +157,32 @@ class _Direction:
         self.busy_time += tx_time
         self.bytes_sent += size
         self.packets_sent += 1
-        if self.loss_hook is not None and self.loss_hook(pkt):
-            self.packets_dropped += 1
-            return
+        copies = 0
+        extra_delay = 0.0
+        hooks = self._active_hooks()
+        if hooks:
+            pkt, drop, copies, extra_delay, corrupted = \
+                run_packet_hooks(pkt, hooks)
+            if corrupted:
+                self.packets_corrupted += 1
+            if drop:
+                self.packets_dropped += 1
+                return
+            if copies:
+                self.packets_duplicated += copies
+            if extra_delay:
+                self.packets_delayed += 1
         if self.dst.rx_mode == "cut_through":
             header_time = min(size, CUT_THROUGH_HEADER_BYTES) / self.bandwidth
             deliver_at = start + header_time + self.propagation
         else:
             deliver_at = start + tx_time + self.propagation
+        deliver_at += extra_delay
         self.sim.call_later(deliver_at - self.sim.now, self.dst.on_receive,
                             pkt, self.dst)
+        for _ in range(copies):
+            self.sim.call_later(deliver_at - self.sim.now, self.dst.on_receive,
+                                pkt.copy_shallow(), self.dst)
 
     def utilization(self, since: float, now: float) -> float:
         span = now - since
@@ -119,5 +225,18 @@ class Link:
 
     def set_loss(self, from_attachment: Attachment,
                  hook: Optional[Callable[[Packet], bool]]) -> None:
-        """Install a loss filter on the direction leaving ``from_attachment``."""
+        """Install (or clear) the legacy replace-only loss filter on the
+        direction leaving ``from_attachment``.  Composable hooks go
+        through :meth:`add_hook` instead."""
         self.direction_from(from_attachment).loss_hook = hook
+
+    def add_hook(self, from_attachment: Attachment, hook) -> None:
+        """Append a fault hook to the direction leaving ``from_attachment``.
+
+        Unlike :meth:`set_loss`, hooks stack: each transmitted packet
+        folds through every installed hook in order.
+        """
+        self.direction_from(from_attachment).add_hook(hook)
+
+    def remove_hook(self, from_attachment: Attachment, hook) -> None:
+        self.direction_from(from_attachment).remove_hook(hook)

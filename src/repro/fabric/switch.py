@@ -17,7 +17,40 @@ from ..net.headers.ip import ECN_CE, ECN_ECT0, ECN_ECT1, IPv4Header, IPv6Header
 from ..net.headers.link import EthernetHeader, MyrinetHeader
 from ..net.packet import Packet
 from ..sim import Simulator
-from .link import Attachment
+from .link import Attachment, run_packet_hooks
+
+
+class _EgressHooksMixin:
+    """Per-egress-port fault hooks, same contract as link directions
+    (see :func:`repro.fabric.link.run_packet_hooks`)."""
+
+    def _init_egress_hooks(self) -> None:
+        self._egress_hooks: Dict[int, List] = {}
+        self.dropped_fault = 0
+        self.duplicated_fault = 0
+        self.corrupted_fault = 0
+
+    def add_egress_hook(self, port: int, hook) -> None:
+        if not 0 <= port < len(self.ports):
+            raise ConfigError(f"{self.name}: no egress port {port}")
+        self._egress_hooks.setdefault(port, []).append(hook)
+
+    def remove_egress_hook(self, port: int, hook) -> None:
+        self._egress_hooks.get(port, []).remove(hook)
+
+    def _apply_egress_hooks(self, pkt: Packet, port: int):
+        """Returns (pkt, copies, delay) or None if the packet was dropped."""
+        hooks = self._egress_hooks.get(port)
+        if not hooks:
+            return pkt, 0, 0.0
+        pkt, drop, copies, delay, corrupted = run_packet_hooks(pkt, hooks)
+        if corrupted:
+            self.corrupted_fault += 1
+        if drop:
+            self.dropped_fault += 1
+            return None
+        self.duplicated_fault += copies
+        return pkt, copies, delay
 
 
 @dataclass
@@ -35,7 +68,7 @@ class RedParams:
     seed: int = 0xECD
 
 
-class MyrinetSwitch:
+class MyrinetSwitch(_EgressHooksMixin):
     """Source-routed cut-through crossbar."""
 
     def __init__(self, sim: Simulator, num_ports: int, name: str = "myr-sw",
@@ -48,6 +81,7 @@ class MyrinetSwitch:
             for i in range(num_ports)]
         self.forwarded = 0
         self.dropped_no_route = 0
+        self._init_egress_hooks()
 
     def port(self, i: int) -> Attachment:
         return self.ports[i]
@@ -62,11 +96,18 @@ class MyrinetSwitch:
             self.dropped_no_route += 1
             return
         pkt.route_cursor += 1
+        verdict = self._apply_egress_hooks(pkt, out)
+        if verdict is None:
+            return
+        pkt, copies, delay = verdict
         self.forwarded += 1
-        self.sim.call_later(self.latency, self.ports[out].transmit, pkt)
+        self.sim.call_later(self.latency + delay, self.ports[out].transmit, pkt)
+        for _ in range(copies):
+            self.sim.call_later(self.latency + delay, self.ports[out].transmit,
+                                pkt.copy_shallow())
 
 
-class EthernetSwitch:
+class EthernetSwitch(_EgressHooksMixin):
     """MAC-learning store-and-forward switch with per-port output queues."""
 
     def __init__(self, sim: Simulator, num_ports: int, name: str = "eth-sw",
@@ -90,6 +131,7 @@ class EthernetSwitch:
         self.dropped_overflow = 0
         self._queues: List[List[Packet]] = [[] for _ in range(num_ports)]
         self._draining: List[bool] = [False] * num_ports
+        self._init_egress_hooks()
 
     def port(self, i: int) -> Attachment:
         return self.ports[i]
@@ -115,6 +157,18 @@ class EthernetSwitch:
         self._enqueue(pkt, out)
 
     def _enqueue(self, pkt: Packet, out_port: int) -> None:
+        verdict = self._apply_egress_hooks(pkt, out_port)
+        if verdict is None:
+            return
+        pkt, copies, delay = verdict
+        if delay > 0:
+            self.sim.call_later(delay, self._admit, pkt, out_port)
+        else:
+            self._admit(pkt, out_port)
+        for _ in range(copies):
+            self.sim.call_later(delay, self._admit, pkt.copy_shallow(), out_port)
+
+    def _admit(self, pkt: Packet, out_port: int) -> None:
         q = self._queues[out_port]
         if self.red is not None and not self._red_admit(pkt, out_port):
             return

@@ -1,0 +1,44 @@
+"""Deterministic fault injection (`repro.faults`).
+
+The QPIP paper's reliability claims — "TCP/IP provides needed features
+such as ... end-to-end flow control, congestion control, and a
+well-provisioned protection model" (§1) — are only believable if the
+simulated system is actually exercised under faults.  This package
+provides three layers:
+
+* :mod:`repro.faults.plan` — declarative :class:`FaultPlan`: scripted
+  drop / duplicate / reorder / delay / corrupt specs with rates, bursts,
+  time windows, and packet predicates;
+* :mod:`repro.faults.inject` — compiles a plan plus a named
+  :class:`repro.sim.RngHub` stream into a per-packet hook installable on
+  any link direction or switch egress port;
+* :mod:`repro.faults.nicfaults` — NIC-level faults: firmware stalls,
+  host-DMA errors, doorbell-FIFO overflow, QP-slot / translation-entry
+  exhaustion;
+* :mod:`repro.faults.chaos` — a chaos harness: runs a workload under a
+  plan and checks the invariants (delivered == sent, no duplicates, all
+  WRs complete, identical seeds give identical traces).
+
+Everything is driven by seeded RNG streams: the same seed and plan give
+a bit-identical run.
+"""
+
+from .chaos import ChaosResult, check_determinism, run_chaos
+from .inject import FaultInjector, corrupt_packet, install_on_link, \
+    install_on_switch
+from .nicfaults import DmaFaultWindow, NicFaultController
+from .plan import FaultPlan, FaultSpec
+
+__all__ = [
+    "ChaosResult",
+    "DmaFaultWindow",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "NicFaultController",
+    "check_determinism",
+    "corrupt_packet",
+    "install_on_link",
+    "install_on_switch",
+    "run_chaos",
+]

@@ -1,0 +1,396 @@
+"""Chaos harness: run a QPIP workload under faults, check invariants.
+
+:func:`run_chaos` builds a two-node QPIP testbed, installs a
+:class:`~repro.faults.plan.FaultPlan` on both host links, runs a
+sequence-stamped verified workload, and returns a :class:`ChaosResult`
+whose :meth:`~ChaosResult.violations` checks the contract the system
+must keep **under any wire fault**:
+
+* every byte the application sent is delivered exactly once, intact
+  (TCP's loss/corruption/duplication/reordering recovery);
+* every posted WR eventually completes — success or a typed error CQE,
+  never silence;
+* the run is deterministic: the same seed and plan give an identical
+  completion trace (:func:`check_determinism`).
+
+Kill scenarios (``kill="rst"`` / ``kill="dma"``) murder the transfer
+mid-flight and check the failure semantics instead: the QP lands in
+ERROR, *all* outstanding WRs come back as error CQEs, and the
+application survives to count them.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..bench.configs import build_qpip_pair
+from ..core import QPTransport
+from ..core.qp import QPState
+from ..core.wr import WRStatus
+from ..errors import QPStateError, VerbsError
+from ..net.addresses import Endpoint
+from ..sim import RngHub, Simulator
+from .inject import install_on_link
+from .nicfaults import NicFaultController
+from .plan import FaultPlan
+
+CHAOS_PORT = 5099
+SEQ_HDR = 8           # big-endian sequence number stamped into each message
+
+KILL_MODES = ("none", "rst", "dma")
+WORKLOADS = ("ttcp", "pingpong")
+
+
+def message_bytes(seq: int, size: int) -> bytes:
+    """The verified payload for message ``seq``: an 8-byte sequence stamp
+    followed by a seq-derived fill pattern.  Any undetected corruption,
+    loss, duplication, or reordering shows up as a stamp or pattern
+    mismatch at the receiver."""
+    if size < SEQ_HDR:
+        raise VerbsError(f"chaos message size {size} < {SEQ_HDR}")
+    fill = (seq * 31 + 7) & 0xFF
+    return seq.to_bytes(SEQ_HDR, "big") + bytes([fill]) * (size - SEQ_HDR)
+
+
+@dataclass
+class ChaosResult:
+    """Everything one chaos run observed, plus the invariant checker."""
+
+    workload: str
+    seed: int
+    plan: str
+    kill: str
+    messages: int
+    msg_size: int
+    elapsed_us: float = 0.0
+    bytes_sent: int = 0
+    bytes_delivered: int = 0
+    messages_delivered: int = 0
+    duplicate_messages: int = 0
+    payload_mismatches: int = 0
+    client_posted: int = 0
+    client_completed: int = 0
+    server_posted: int = 0
+    server_completed: int = 0
+    error_completions: int = 0
+    client_qp_state: str = ""
+    cqe_trace: List[Tuple] = field(default_factory=list)
+    tcp_stats: Dict[str, int] = field(default_factory=dict)
+    fault_counts: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def killed(self) -> bool:
+        return self.kill != "none"
+
+    def violations(self) -> List[str]:
+        """Check the chaos invariants; empty list means the run is clean."""
+        bad: List[str] = []
+        if self.duplicate_messages:
+            bad.append(f"{self.duplicate_messages} duplicate deliveries")
+        if self.payload_mismatches:
+            bad.append(f"{self.payload_mismatches} corrupted deliveries")
+        if self.client_completed != self.client_posted:
+            bad.append(f"client WRs leaked: {self.client_posted} posted, "
+                       f"{self.client_completed} completed")
+        if self.server_completed != self.server_posted:
+            bad.append(f"server WRs leaked: {self.server_posted} posted, "
+                       f"{self.server_completed} completed")
+        if not self.killed:
+            if self.bytes_delivered != self.bytes_sent:
+                bad.append(f"delivered {self.bytes_delivered}B of "
+                           f"{self.bytes_sent}B sent")
+            if self.messages_delivered != self.messages:
+                bad.append(f"delivered {self.messages_delivered} of "
+                           f"{self.messages} messages")
+            if self.error_completions:
+                bad.append(f"{self.error_completions} unexpected error CQEs")
+        else:
+            if self.client_qp_state != QPState.ERROR.name:
+                bad.append(f"killed QP ended {self.client_qp_state}, "
+                           f"not ERROR")
+            if self.bytes_delivered > self.bytes_sent:
+                bad.append("delivered more bytes than were sent")
+        return bad
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations()
+
+    def trace_key(self) -> Tuple:
+        """The determinism fingerprint: the full completion trace plus
+        the client connection's TCP counters."""
+        return (tuple(self.cqe_trace), tuple(sorted(self.tcp_stats.items())))
+
+    def summary(self) -> str:
+        lines = [
+            f"chaos[{self.workload}] seed={self.seed} kill={self.kill}",
+            f"  plan: {self.plan}",
+            f"  {self.messages_delivered}/{self.messages} messages, "
+            f"{self.bytes_delivered}/{self.bytes_sent} bytes, "
+            f"{self.elapsed_us / 1000.0:.2f} ms",
+            f"  WRs: client {self.client_completed}/{self.client_posted}, "
+            f"server {self.server_completed}/{self.server_posted}, "
+            f"{self.error_completions} errors; QP {self.client_qp_state}",
+        ]
+        if self.fault_counts:
+            faults = ", ".join(f"{k}={v}" for k, v in
+                               sorted(self.fault_counts.items()) if v)
+            lines.append(f"  faults: {faults or 'none fired'}")
+        retrans = self.tcp_stats.get("retransmitted_segs", 0)
+        rto = self.tcp_stats.get("rto_timeouts", 0)
+        lines.append(f"  tcp: {self.tcp_stats.get('segs_out', 0)} segs out, "
+                     f"{retrans} retransmitted, {rto} RTOs")
+        verdict = self.violations()
+        lines.append("  INVARIANTS OK" if not verdict
+                     else "  VIOLATIONS: " + "; ".join(verdict))
+        return "\n".join(lines)
+
+
+class _Receiver:
+    """Shared receive-side bookkeeping: stamp/pattern verification."""
+
+    def __init__(self, result: ChaosResult):
+        self.result = result
+        self.seen = set()
+        self.next_echo: List[int] = []     # pingpong: seqs owed an echo
+
+    def consume(self, data: bytes) -> None:
+        res = self.result
+        res.bytes_delivered += len(data)
+        res.messages_delivered += 1
+        if len(data) < SEQ_HDR:
+            res.payload_mismatches += 1
+            return
+        seq = int.from_bytes(data[:SEQ_HDR], "big")
+        if seq in self.seen:
+            res.duplicate_messages += 1
+            return
+        self.seen.add(seq)
+        if data != message_bytes(seq, len(data)):
+            res.payload_mismatches += 1
+        self.next_echo.append(seq)
+
+
+def run_chaos(seed: int = 1,
+              workload: str = "ttcp",
+              plan: Optional[FaultPlan] = None,
+              messages: int = 64,
+              msg_size: int = 4096,
+              kill: str = "none",
+              kill_at: float = 5_000.0,
+              queue_depth: int = 8,
+              recv_buffers: int = 16,
+              mtu: int = 16384,
+              deadline: float = 600_000_000.0) -> ChaosResult:
+    """One chaos run.  See the module docstring for the contract.
+
+    ``kill="rst"`` aborts the server's connection at ``kill_at`` (the
+    client sees an RST); ``kill="dma"`` breaks the client NIC's host-DMA
+    engine from ``kill_at`` on.  Both must leave the client QP in ERROR
+    with every posted WR completed.
+    """
+    if workload not in WORKLOADS:
+        raise VerbsError(f"unknown chaos workload {workload!r} "
+                         f"(one of {WORKLOADS})")
+    if kill not in KILL_MODES:
+        raise VerbsError(f"unknown kill mode {kill!r} (one of {KILL_MODES})")
+    plan = plan if plan is not None else FaultPlan()
+    sim = Simulator()
+    hub = RngHub(seed)
+    node_a, node_b, fabric = build_qpip_pair(sim, mtu=mtu)
+    result = ChaosResult(workload=workload, seed=seed, plan=plan.describe(),
+                         kill=kill, messages=messages, msg_size=msg_size)
+    injectors = []
+    if len(plan):
+        for name, node in (("h0", node_a), ("h1", node_b)):
+            injectors.append(install_on_link(
+                fabric.host_link(name), node.nic.attachment, plan,
+                hub.stream(f"fault.{name}")))
+    nic_faults = NicFaultController(node_a.nic, node_a.firmware,
+                                    hub.stream("fault.nic"))
+    if kill == "dma":
+        nic_faults.fail_dma(rate=1.0, start=kill_at)
+
+    trace = result.cqe_trace
+    state: dict = {}
+    receiver = _Receiver(result)
+
+    def record(side: str, cqe) -> None:
+        trace.append((round(sim.now, 3), side, cqe.qp_num, cqe.opcode.value,
+                      cqe.status.value, cqe.byte_len))
+
+    def server():
+        iface = node_b.iface
+        cq = yield from iface.create_cq()
+        qp = yield from iface.create_qp(
+            QPTransport.TCP, cq, max_recv_wr=recv_buffers + 4,
+            max_send_wr=queue_depth + 4)
+        state["server_qp"] = qp
+        bufs = []
+        for _ in range(recv_buffers):
+            buf = yield from iface.register_memory(max(msg_size, 4096))
+            yield from iface.post_recv(qp, [buf.sge()])
+            bufs.append(buf)
+        result.server_posted = recv_buffers
+        echo_buf = yield from iface.register_memory(max(msg_size, 4096))
+        listener = yield from iface.listen(CHAOS_PORT)
+        yield from iface.accept(listener, qp)
+        state["server_conn"] = node_b.firmware.endpoints[qp.qp_num].conn
+        ring = 0            # recv WRs complete in posting order
+        dead = False
+        while True:
+            done = result.messages_delivered >= messages
+            if result.server_completed >= result.server_posted \
+                    and (done or dead):
+                break
+            cqes = yield from iface.wait(cq)
+            for cqe in cqes:
+                result.server_completed += 1
+                record("s", cqe)
+                if not cqe.ok:
+                    if cqe.status is not WRStatus.FLUSHED:
+                        result.error_completions += 1
+                    dead = True
+                    continue
+                if cqe.opcode.value != "RECV":
+                    continue        # pingpong echo-send completions
+                buf = bufs[ring % recv_buffers]
+                ring += 1
+                receiver.consume(buf.read(cqe.byte_len))
+                if workload == "pingpong" and receiver.next_echo:
+                    seq = receiver.next_echo.pop(0)
+                    echo_buf.write(message_bytes(seq, msg_size))
+                    try:
+                        yield from iface.post_send(
+                            qp, [echo_buf.sge(0, msg_size)])
+                        result.server_posted += 1
+                    except (QPStateError, VerbsError):
+                        dead = True
+                if result.messages_delivered < messages and not dead:
+                    try:
+                        yield from iface.post_recv(qp, [buf.sge()])
+                        result.server_posted += 1
+                    except (QPStateError, VerbsError):
+                        dead = True
+
+    def client():
+        iface = node_a.iface
+        cq = yield from iface.create_cq()
+        qp = yield from iface.create_qp(
+            QPTransport.TCP, cq, max_send_wr=queue_depth + 4,
+            max_recv_wr=queue_depth + 4)
+        state["client_qp"] = qp
+        sbufs = []
+        for _ in range(queue_depth):
+            sbufs.append((yield from iface.register_memory(msg_size)))
+        pong_bufs = []
+        if workload == "pingpong":
+            for _ in range(min(queue_depth, messages)):
+                buf = yield from iface.register_memory(max(msg_size, 4096))
+                yield from iface.post_recv(qp, [buf.sge()])
+                pong_bufs.append(buf)
+        yield sim.timeout(1000)
+        yield from iface.connect(qp, Endpoint(node_b.addr, CHAOS_PORT))
+        state["client_conn"] = node_a.firmware.endpoints[qp.qp_num].conn
+        state["t_start"] = sim.now
+        result.client_posted = len(pong_bufs)
+        seq = 0
+        pongs = 0
+        sends_out = 0       # pipelining gate: outstanding *send* WRs only
+        dead = False
+        while True:
+            while (not dead and seq < messages
+                   and sends_out < queue_depth):
+                buf = sbufs[seq % queue_depth]
+                buf.write(message_bytes(seq, msg_size))
+                try:
+                    yield from iface.post_send(qp, [buf.sge(0, msg_size)])
+                except (QPStateError, VerbsError):
+                    dead = True
+                    break
+                result.client_posted += 1
+                sends_out += 1
+                seq += 1
+                result.bytes_sent += msg_size
+            if result.client_completed >= result.client_posted and (dead or (
+                    seq >= messages
+                    and (workload != "pingpong" or pongs >= messages))):
+                break
+            cqes = yield from iface.wait(cq)
+            for cqe in cqes:
+                result.client_completed += 1
+                record("c", cqe)
+                if not cqe.ok:
+                    if cqe.status is not WRStatus.FLUSHED:
+                        result.error_completions += 1
+                    dead = True
+                    continue
+                if cqe.opcode.value != "RECV":
+                    sends_out -= 1
+                if cqe.opcode.value == "RECV":
+                    pongs += 1
+                    if pongs + len(pong_bufs) <= messages and not dead:
+                        buf = pong_bufs[(pongs - 1) % len(pong_bufs)]
+                        try:
+                            yield from iface.post_recv(qp, [buf.sge()])
+                            result.client_posted += 1
+                        except (QPStateError, VerbsError):
+                            dead = True
+        state["t_end"] = sim.now
+        if not dead:
+            yield from iface.disconnect(qp)
+
+    if kill == "rst":
+        def do_rst():
+            conn = state.get("server_conn")
+            if conn is not None:
+                conn.abort()
+        sim.call_later(kill_at, do_rst)
+
+    procs = [sim.process(server()), sim.process(client())]
+    sim.run(until=sim.now + deadline)
+    for proc in procs:
+        if not proc.triggered:
+            raise RuntimeError(
+                f"chaos workload hung (seed={seed}, kill={kill}): "
+                f"the invariant 'all WRs eventually complete' is broken "
+                f"(client {result.client_completed}/{result.client_posted}, "
+                f"server {result.server_completed}/{result.server_posted} "
+                f"at t={sim.now:.0f}us)")
+        if not proc.ok:
+            raise proc.value
+
+    result.elapsed_us = state.get("t_end", sim.now) - state.get("t_start", 0.0)
+    qp = state.get("client_qp")
+    result.client_qp_state = qp.state.name if qp is not None else "NONE"
+    conn = state.get("client_conn")
+    if conn is not None:
+        result.tcp_stats = dataclasses.asdict(conn.stats)
+    counts: Dict[str, int] = dict(nic_faults.counts())
+    for injector in injectors:
+        for key, value in injector.counts().items():
+            if key != "seen":
+                counts[f"wire_{key}"] = counts.get(f"wire_{key}", 0) + value
+    counts["checksum_drops"] = (node_a.firmware.stack.checksum_errors
+                                + node_b.firmware.stack.checksum_errors)
+    result.fault_counts = counts
+    return result
+
+
+def check_determinism(seed: int = 1, **kwargs) -> Tuple[ChaosResult,
+                                                        ChaosResult]:
+    """Run the same scenario twice; raise if the traces differ.
+
+    Identical seeds must give bit-identical completion traces and TCP
+    counters — the property that makes any chaos failure replayable.
+    """
+    first = run_chaos(seed=seed, **kwargs)
+    second = run_chaos(seed=seed, **kwargs)
+    if first.trace_key() != second.trace_key():
+        raise AssertionError(
+            f"chaos run is not deterministic for seed {seed}: "
+            f"trace lengths {len(first.cqe_trace)} vs "
+            f"{len(second.cqe_trace)}")
+    return first, second

@@ -1,0 +1,136 @@
+"""Compile a :class:`FaultPlan` into a per-packet hook.
+
+A :class:`FaultInjector` is callable with the hook contract of
+:func:`repro.fabric.link.run_packet_hooks`, so one class serves every
+injection point in the system: either direction of any host or trunk
+link, and any switch egress port.  All randomness comes from the RNG
+stream handed in at construction (usually a named
+:class:`repro.sim.RngHub` stream), so runs are reproducible.
+
+Corruption never mutates a packet in place: payload and header objects
+are shared with the sender's retransmission state, so the injector
+substitutes a shallow copy carrying a bit-flipped payload.  The flipped
+bit makes the real transport checksum fail at the receiver; the intact
+original stays available for the retransmit that recovers the stream.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Optional
+
+from ..fabric.link import FaultVerdict, Link
+from ..net.packet import BytesPayload, Packet
+from .plan import FaultPlan
+
+
+def corrupt_packet(pkt: Packet, rng: random.Random) -> Packet:
+    """A shallow copy of ``pkt`` with one payload bit flipped.
+
+    Packets without payload bytes (pure ACKs, SYNs) get the
+    ``corrupted`` flag instead, which forces the checksum check at the
+    receiver to fail — modelling a header bit-flip without corrupting
+    the shared header objects.
+    """
+    clone = pkt.copy_shallow()
+    if pkt.payload.length > 0:
+        data = bytearray(pkt.payload.to_bytes())
+        index = rng.randrange(len(data))
+        data[index] ^= 1 << rng.randrange(8)
+        clone.payload = BytesPayload(bytes(data))
+    else:
+        clone.corrupted = True
+    return clone
+
+
+class FaultInjector:
+    """A fault plan bound to one injection point and one RNG stream."""
+
+    def __init__(self, sim, plan: FaultPlan, rng: random.Random):
+        self.sim = sim
+        self.plan = plan
+        self.rng = rng
+        self._burst_left: Dict[int, int] = {}
+        self.packets_seen = 0
+        self.drops = 0
+        self.duplicates = 0
+        self.delays = 0
+        self.corruptions = 0
+        self._detach = None
+
+    def __call__(self, pkt: Packet) -> Optional[FaultVerdict]:
+        self.packets_seen += 1
+        now = self.sim.now
+        copies = 0
+        delay = 0.0
+        replacement: Optional[Packet] = None
+        corrupted = False
+        current = pkt
+        for index, spec in enumerate(self.plan.specs):
+            if not spec.active(now) or not spec.matches(current):
+                continue
+            left = self._burst_left.get(index, 0)
+            if left > 0:
+                self._burst_left[index] = left - 1
+            else:
+                if self.rng.random() >= spec.rate:
+                    continue
+                if spec.burst > 1:
+                    self._burst_left[index] = spec.burst - 1
+            if spec.kind == "drop":
+                self.drops += 1
+                return FaultVerdict(drop=True)
+            if spec.kind == "duplicate":
+                copies += spec.copies
+                self.duplicates += spec.copies
+            elif spec.kind in ("delay", "reorder"):
+                extra = spec.delay
+                if spec.jitter:
+                    extra += self.rng.random() * spec.jitter
+                delay += extra
+                self.delays += 1
+            elif spec.kind == "corrupt":
+                current = corrupt_packet(current, self.rng)
+                replacement = current
+                corrupted = True
+                self.corruptions += 1
+        if copies or delay or replacement is not None:
+            return FaultVerdict(copies=copies, delay=delay,
+                                packet=replacement, corrupted=corrupted)
+        return None
+
+    def remove(self) -> None:
+        """Uninstall from wherever :func:`install_on_link` /
+        :func:`install_on_switch` put this injector."""
+        if self._detach is not None:
+            self._detach()
+            self._detach = None
+
+    def counts(self) -> Dict[str, int]:
+        return {"seen": self.packets_seen, "drops": self.drops,
+                "duplicates": self.duplicates, "delays": self.delays,
+                "corruptions": self.corruptions}
+
+    def __repr__(self):
+        return (f"<FaultInjector {self.plan.describe()} "
+                f"seen={self.packets_seen} drop={self.drops} "
+                f"dup={self.duplicates} delay={self.delays} "
+                f"corrupt={self.corruptions}>")
+
+
+def install_on_link(link: Link, from_attachment, plan: FaultPlan,
+                    rng: random.Random) -> FaultInjector:
+    """Install a plan on the link direction leaving ``from_attachment``."""
+    injector = FaultInjector(link.sim, plan, rng)
+    link.add_hook(from_attachment, injector)
+    injector._detach = lambda: link.remove_hook(from_attachment, injector)
+    return injector
+
+
+def install_on_switch(switch, port: int, plan: FaultPlan,
+                      rng: random.Random) -> FaultInjector:
+    """Install a plan on a switch egress port (Myrinet or Ethernet)."""
+    injector = FaultInjector(switch.sim, plan, rng)
+    switch.add_egress_hook(port, injector)
+    injector._detach = lambda: switch.remove_egress_hook(port, injector)
+    return injector

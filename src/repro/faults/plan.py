@@ -1,0 +1,136 @@
+"""Declarative fault plans.
+
+A :class:`FaultPlan` is an ordered list of :class:`FaultSpec` entries.
+Each spec names one fault kind and scopes it by probability, burst
+length, active time window, and an optional packet predicate.  Plans are
+pure data: the same plan can be installed on several injection points,
+each with its own RNG stream (see :mod:`repro.faults.inject`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator, List, Optional
+
+from ..errors import ConfigError
+from ..net.packet import Packet
+
+FAULT_KINDS = ("drop", "duplicate", "reorder", "delay", "corrupt")
+
+
+@dataclass
+class FaultSpec:
+    """One scripted fault.
+
+    ``kind``    one of :data:`FAULT_KINDS`.  ``reorder`` and ``delay``
+                are the same mechanism (extra delivery delay lets later
+                traffic overtake); they are kept distinct for counters
+                and intent.
+    ``rate``    per-packet trigger probability in [0, 1].
+    ``start``/``stop``  active sim-time window in µs (stop=None: forever).
+    ``burst``   once triggered, also hit the next ``burst - 1`` matching
+                packets unconditionally (correlated loss / error bursts).
+    ``delay``/``jitter``  base extra delay plus uniform jitter (µs), for
+                ``delay`` and ``reorder`` kinds.
+    ``copies``  extra deliveries for ``duplicate``.
+    ``match``   optional predicate on the :class:`Packet`; None = all.
+    """
+
+    kind: str
+    rate: float = 1.0
+    start: float = 0.0
+    stop: Optional[float] = None
+    burst: int = 1
+    delay: float = 0.0
+    jitter: float = 0.0
+    copies: int = 1
+    match: Optional[Callable[[Packet], bool]] = None
+
+    def __post_init__(self):
+        if self.kind not in FAULT_KINDS:
+            raise ConfigError(f"unknown fault kind {self.kind!r} "
+                              f"(one of {FAULT_KINDS})")
+        if not 0.0 <= self.rate <= 1.0:
+            raise ConfigError(f"fault rate {self.rate} outside [0, 1]")
+        if self.burst < 1:
+            raise ConfigError("burst must be >= 1")
+        if self.copies < 1:
+            raise ConfigError("copies must be >= 1")
+        if self.delay < 0 or self.jitter < 0:
+            raise ConfigError("delay and jitter must be non-negative")
+        if self.stop is not None and self.stop < self.start:
+            raise ConfigError("fault window ends before it starts")
+
+    def active(self, now: float) -> bool:
+        return now >= self.start and (self.stop is None or now < self.stop)
+
+    def matches(self, pkt: Packet) -> bool:
+        return self.match is None or bool(self.match(pkt))
+
+    def describe(self) -> str:
+        window = ""
+        if self.start or self.stop is not None:
+            stop = "inf" if self.stop is None else f"{self.stop:g}"
+            window = f" @[{self.start:g},{stop})us"
+        extra = ""
+        if self.kind in ("delay", "reorder"):
+            extra = f" +{self.delay:g}us" + \
+                (f"~{self.jitter:g}" if self.jitter else "")
+        elif self.kind == "duplicate" and self.copies > 1:
+            extra = f" x{self.copies}"
+        burst = f" burst={self.burst}" if self.burst > 1 else ""
+        return f"{self.kind} p={self.rate:g}{extra}{burst}{window}"
+
+
+class FaultPlan:
+    """An ordered collection of fault specs with a builder interface::
+
+        plan = (FaultPlan()
+                .drop(0.02)
+                .corrupt(0.01, start=5_000, stop=50_000)
+                .reorder(0.05, delay=40.0, jitter=20.0))
+    """
+
+    def __init__(self, specs: Optional[List[FaultSpec]] = None):
+        self.specs: List[FaultSpec] = list(specs or [])
+
+    # -- builder -----------------------------------------------------------
+
+    def add(self, spec: FaultSpec) -> "FaultPlan":
+        self.specs.append(spec)
+        return self
+
+    def drop(self, rate: float, **kw) -> "FaultPlan":
+        return self.add(FaultSpec("drop", rate=rate, **kw))
+
+    def duplicate(self, rate: float, copies: int = 1, **kw) -> "FaultPlan":
+        return self.add(FaultSpec("duplicate", rate=rate, copies=copies, **kw))
+
+    def reorder(self, rate: float, delay: float, jitter: float = 0.0,
+                **kw) -> "FaultPlan":
+        return self.add(FaultSpec("reorder", rate=rate, delay=delay,
+                                  jitter=jitter, **kw))
+
+    def delay(self, rate: float, delay: float, jitter: float = 0.0,
+              **kw) -> "FaultPlan":
+        return self.add(FaultSpec("delay", rate=rate, delay=delay,
+                                  jitter=jitter, **kw))
+
+    def corrupt(self, rate: float, **kw) -> "FaultPlan":
+        return self.add(FaultSpec("corrupt", rate=rate, **kw))
+
+    # -- container protocol ------------------------------------------------
+
+    def __iter__(self) -> Iterator[FaultSpec]:
+        return iter(self.specs)
+
+    def __len__(self) -> int:
+        return len(self.specs)
+
+    def describe(self) -> str:
+        if not self.specs:
+            return "no faults"
+        return "; ".join(s.describe() for s in self.specs)
+
+    def __repr__(self):
+        return f"<FaultPlan {self.describe()}>"

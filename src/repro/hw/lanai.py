@@ -19,6 +19,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Callable, Deque, Optional
 
+from ..errors import DmaError
 from ..fabric.link import Attachment
 from ..net.packet import Packet
 from ..sim import Event, Simulator, WorkQueue
@@ -53,7 +54,8 @@ class ProgrammableNic:
     """The hardware substrate for an on-NIC protocol implementation."""
 
     def __init__(self, sim: Simulator, host: Host, timing: Optional[LanaiTiming] = None,
-                 mtu: int = 16384, name: str = "qpnic", sram_bytes: int = 2 << 20):
+                 mtu: int = 16384, name: str = "qpnic", sram_bytes: int = 2 << 20,
+                 doorbell_capacity: Optional[int] = None):
         self.sim = sim
         self.host = host
         self.timing = timing or LanaiTiming()
@@ -72,12 +74,31 @@ class ProgrammableNic:
         self.doorbells_rung = 0
         self.packets_rx = 0
         self.packets_tx = 0
+        # -- fault machinery (see repro.faults) --------------------------
+        # Bounded SRAM doorbell FIFO: None = unbounded (ideal hardware).
+        self.doorbell_capacity = doorbell_capacity
+        self.doorbells_dropped = 0
+        self.doorbell_overflow = False     # sticky status bit; fw rescans
+        # Called as hook(kind, nbytes) before each host DMA; returning
+        # True fails the transfer with DmaError.  kind is "data" for
+        # payload movement, "cqe" for completion/notification writes.
+        self.dma_fault_hook: Optional[Callable[[str, int], bool]] = None
+        self.dma_faults = 0
+        self.stalls_injected = 0
 
     # -- host-facing mechanisms (costs charged by the caller on host CPU) --
 
     def ring_doorbell(self, token) -> None:
         """Posted PCI write into the doorbell FIFO."""
         self.doorbells_rung += 1
+        if (self.doorbell_capacity is not None
+                and len(self.doorbell_fifo) >= self.doorbell_capacity):
+            # SRAM FIFO full: the posted write is lost.  Set the sticky
+            # overflow bit so the firmware knows to rescan its QPs.
+            self.doorbells_dropped += 1
+            self.doorbell_overflow = True
+            self._poke()
+            return
         self.doorbell_fifo.append(token)
         self._poke()
 
@@ -93,13 +114,28 @@ class ProgrammableNic:
         self.cycles.record(name, duration)
         return self.processor.submit(duration, category=name)
 
-    def dma_to_host(self, nbytes: int) -> Event:
+    def dma_to_host(self, nbytes: int, kind: str = "data") -> Event:
+        self._dma_check(kind, nbytes)
         return self.host.pci.dma(nbytes, category=f"{self.name}.dma-rx",
                                  setup=self.timing.dma_setup)
 
-    def dma_from_host(self, nbytes: int) -> Event:
+    def dma_from_host(self, nbytes: int, kind: str = "data") -> Event:
+        self._dma_check(kind, nbytes)
         return self.host.pci.dma(nbytes, category=f"{self.name}.dma-tx",
                                  setup=self.timing.dma_setup)
+
+    def _dma_check(self, kind: str, nbytes: int) -> None:
+        if self.dma_fault_hook is not None and self.dma_fault_hook(kind, nbytes):
+            self.dma_faults += 1
+            raise DmaError(f"{self.name}: DMA fault ({kind}, {nbytes}B)")
+
+    def stall(self, duration: float) -> Event:
+        """Occupy the firmware core for ``duration`` µs (injected stall:
+        a wedged firmware loop, an SRAM ECC scrub, a debug interrupt).
+        All FSM stages queue behind it on the serial core."""
+        self.stalls_injected += 1
+        self.cycles.record("fault_stall", duration)
+        return self.processor.submit(duration, category="fault_stall")
 
     def wire_time(self, pkt: Packet) -> float:
         """Serialization time of a packet on the attached link."""

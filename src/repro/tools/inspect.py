@@ -44,6 +44,12 @@ def nic_report(nic) -> str:
         f"(tx {nic.packets_tx} pkts, rx {nic.packets_rx} pkts, "
         f"doorbells {nic.doorbells_rung})",
     ]
+    if nic.dma_faults or nic.stalls_injected or nic.doorbells_dropped:
+        lines.append(
+            f"  faults: dma_errors {nic.dma_faults}, "
+            f"stalls {nic.stalls_injected}, "
+            f"doorbells_dropped {nic.doorbells_dropped}"
+            f"{' [overflow pending]' if nic.doorbell_overflow else ''}")
     total = sum(nic.cycles.by_stage.values()) or 1.0
     for stage, busy in sorted(nic.cycles.by_stage.items(),
                               key=lambda kv: -kv[1]):
@@ -60,24 +66,47 @@ def fabric_report(fabric) -> str:
     if hasattr(fabric, "switches"):          # MyrinetFabric
         for i, sw in enumerate(fabric.switches):
             lines.append(f"switch {sw.name}: forwarded {sw.forwarded}, "
-                         f"dropped(no-route) {sw.dropped_no_route}")
+                         f"dropped(no-route) {sw.dropped_no_route}"
+                         f"{_switch_faults(sw)}")
         for name, node in fabric.hosts.items():
             link = node.attachment.link
             d_out = link.direction_from(node.attachment)
             lines.append(
                 f"host {name}: tx {d_out.packets_sent} pkts / "
                 f"{d_out.bytes_sent}B, util {d_out.utilization(0, now) * 100:.1f}%, "
-                f"drops {d_out.packets_dropped}")
+                f"drops {d_out.packets_dropped}{_direction_faults(d_out)}")
     else:                                     # EthernetFabric
         sw = fabric.switch
         extra = ""
         if sw.red is not None:
             extra = f", RED marked {sw.red_marked} dropped {sw.red_dropped}"
         lines.append(f"switch {sw.name}: forwarded {sw.forwarded}, flooded "
-                     f"{sw.flooded}, overflow {sw.dropped_overflow}{extra}")
+                     f"{sw.flooded}, overflow {sw.dropped_overflow}{extra}"
+                     f"{_switch_faults(sw)}")
         for name, attachment in fabric.hosts.items():
             d_out = attachment.link.direction_from(attachment)
             lines.append(
                 f"host {name}: tx {d_out.packets_sent} pkts / "
-                f"{d_out.bytes_sent}B, util {d_out.utilization(0, now) * 100:.1f}%")
+                f"{d_out.bytes_sent}B, util {d_out.utilization(0, now) * 100:.1f}%"
+                f"{_direction_faults(d_out)}")
     return "\n".join(lines)
+
+
+def _direction_faults(direction) -> str:
+    """Injected-fault counters for one link direction (empty if clean)."""
+    if not (direction.packets_duplicated or direction.packets_delayed
+            or direction.packets_corrupted):
+        return ""
+    return (f", faults(dup {direction.packets_duplicated} "
+            f"delay {direction.packets_delayed} "
+            f"corrupt {direction.packets_corrupted})")
+
+
+def _switch_faults(switch) -> str:
+    """Egress-hook fault counters for a switch (empty if clean)."""
+    if not (switch.dropped_fault or switch.duplicated_fault
+            or switch.corrupted_fault):
+        return ""
+    return (f", faults(drop {switch.dropped_fault} "
+            f"dup {switch.duplicated_fault} "
+            f"corrupt {switch.corrupted_fault})")

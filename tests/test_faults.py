@@ -1,0 +1,439 @@
+"""Tests for the fault-injection subsystem (`repro.faults`): plans,
+hook composition, NIC faults, and the QP failure semantics."""
+
+import random
+
+import pytest
+
+from repro.bench.configs import build_qpip_pair
+from repro.core import QPState, QPTransport, WRStatus
+from repro.errors import (CompletionError, ConfigError, QPStateError,
+                          ResourceExhausted)
+from repro.fabric.link import FaultVerdict, run_packet_hooks
+from repro.faults import (FaultInjector, FaultPlan, FaultSpec,
+                          NicFaultController, corrupt_packet,
+                          install_on_link, install_on_switch)
+from repro.net.addresses import Endpoint
+from repro.net.packet import BytesPayload, Packet
+from repro.sim import RngHub, Simulator
+
+
+# -- rigging (same shape as test_qpip_core) ---------------------------------
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+@pytest.fixture
+def pair(sim):
+    return build_qpip_pair(sim)
+
+
+def run_procs(sim, *gens, until=60_000_000):
+    """Run processes to completion without fast-forwarding the clock to
+    ``until`` (a multi-second idle gap would poison the RTT estimate of
+    any later traffic)."""
+    procs = [sim.process(g) for g in gens]
+    deadline = sim.now + until
+    while sim.now < deadline and not all(p.triggered for p in procs):
+        sim.run(until=min(deadline, sim.now + 10_000))
+    for p in procs:
+        assert p.triggered, "process did not finish"
+        if not p.ok:
+            raise p.value
+    return [p.value for p in procs]
+
+
+def setup_connected_qps(sim, a, b, port=9000, recv_bufs=8,
+                        buf_size=16 * 1024):
+    rig = {}
+
+    def server():
+        cq = yield from b.iface.create_cq()
+        qp = yield from b.iface.create_qp(QPTransport.TCP, cq)
+        bufs = []
+        for _ in range(recv_bufs):
+            buf = yield from b.iface.register_memory(buf_size)
+            yield from b.iface.post_recv(qp, [buf.sge()])
+            bufs.append(buf)
+        listener = yield from b.iface.listen(port)
+        yield from b.iface.accept(listener, qp)
+        rig.update(server_qp=qp, server_cq=cq, server_bufs=bufs)
+
+    def client():
+        cq = yield from a.iface.create_cq()
+        qp = yield from a.iface.create_qp(QPTransport.TCP, cq)
+        yield sim.timeout(500)
+        yield from a.iface.connect(qp, Endpoint(b.addr, port))
+        rig.update(client_qp=qp, client_cq=cq)
+
+    run_procs(sim, server(), client())
+    return rig
+
+
+class _ScriptedRng(random.Random):
+    """random() returns scripted values, then 0.99 (never triggers)."""
+
+    def __init__(self, values):
+        super().__init__(0)
+        self._values = list(values)
+
+    def random(self):
+        return self._values.pop(0) if self._values else 0.99
+
+
+class _FakeSim:
+    def __init__(self, now=0.0):
+        self.now = now
+
+
+def payload_packet(data=b"hello fault world"):
+    return Packet(headers=[], payload=BytesPayload(data))
+
+
+# -- plan validation --------------------------------------------------------
+
+class TestFaultSpec:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigError):
+            FaultSpec("explode")
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(rate=1.5), dict(rate=-0.1), dict(burst=0), dict(copies=0),
+        dict(delay=-1.0), dict(jitter=-1.0), dict(start=100.0, stop=50.0),
+    ])
+    def test_bad_parameters_rejected(self, kwargs):
+        with pytest.raises(ConfigError):
+            FaultSpec("drop", **kwargs)
+
+    def test_window_activity(self):
+        spec = FaultSpec("drop", rate=1.0, start=100.0, stop=200.0)
+        assert not spec.active(50.0)
+        assert spec.active(100.0)
+        assert spec.active(199.0)
+        assert not spec.active(200.0)
+
+    def test_plan_builder_and_describe(self):
+        plan = (FaultPlan().drop(0.02).corrupt(0.01)
+                .reorder(0.05, delay=40.0, jitter=20.0)
+                .duplicate(0.1, copies=2, burst=3))
+        assert len(plan) == 4
+        assert [s.kind for s in plan] == \
+            ["drop", "corrupt", "reorder", "duplicate"]
+        text = plan.describe()
+        assert "drop p=0.02" in text and "burst=3" in text
+
+
+# -- hook contract ----------------------------------------------------------
+
+class TestPacketHooks:
+    def test_legacy_true_drops(self):
+        pkt = payload_packet()
+        _p, drop, copies, delay, _c = run_packet_hooks(
+            pkt, [lambda p: True, lambda p: FaultVerdict(copies=1)])
+        assert drop and copies == 0    # drop short-circuits the chain
+
+    def test_verdicts_compose(self):
+        pkt = payload_packet()
+        hooks = [lambda p: FaultVerdict(copies=1),
+                 lambda p: None,
+                 lambda p: FaultVerdict(delay=25.0, copies=1)]
+        out, drop, copies, delay, corrupted = run_packet_hooks(pkt, hooks)
+        assert out is pkt and not drop and not corrupted
+        assert copies == 2 and delay == 25.0
+
+    def test_replacement_flows_to_later_hooks(self):
+        pkt = payload_packet()
+        clone = corrupt_packet(pkt, random.Random(1))
+        seen = []
+        hooks = [lambda p: FaultVerdict(packet=clone, corrupted=True),
+                 lambda p: seen.append(p)]
+        out, _d, _c, _dl, corrupted = run_packet_hooks(pkt, hooks)
+        assert out is clone and seen == [clone] and corrupted
+
+    def test_corrupt_packet_flips_one_bit_in_a_copy(self):
+        data = bytes(range(64))
+        pkt = payload_packet(data)
+        clone = corrupt_packet(pkt, random.Random(7))
+        assert pkt.payload.to_bytes() == data          # original untouched
+        flipped = clone.payload.to_bytes()
+        assert flipped != data and len(flipped) == len(data)
+        diff = [a ^ b for a, b in zip(flipped, data) if a != b]
+        assert len(diff) == 1 and bin(diff[0]).count("1") == 1
+
+    def test_corrupt_packet_without_payload_sets_flag(self):
+        pkt = Packet(headers=[])
+        clone = corrupt_packet(pkt, random.Random(7))
+        assert clone.corrupted and not pkt.corrupted
+
+
+class TestFaultInjector:
+    def test_time_window_gates_specs(self):
+        plan = FaultPlan().drop(1.0, start=100.0, stop=200.0)
+        fake = _FakeSim(now=0.0)
+        inj = FaultInjector(fake, plan, random.Random(0))
+        assert inj(payload_packet()) is None
+        fake.now = 150.0
+        assert inj(payload_packet()).drop
+        fake.now = 250.0
+        assert inj(payload_packet()) is None
+        assert inj.counts()["drops"] == 1
+
+    def test_burst_hits_consecutive_packets(self):
+        plan = FaultPlan().drop(0.5, burst=3)
+        # One trigger (0.4 < 0.5); the burst then consumes no randomness.
+        inj = FaultInjector(_FakeSim(), plan, _ScriptedRng([0.4]))
+        verdicts = [inj(payload_packet()) for _ in range(5)]
+        dropped = [v is not None and v.drop for v in verdicts]
+        assert dropped == [True, True, True, False, False]
+        assert inj.counts()["drops"] == 3
+
+    def test_match_predicate_scopes_spec(self):
+        plan = FaultPlan().drop(1.0, match=lambda p: p.payload.length > 100)
+        inj = FaultInjector(_FakeSim(), plan, random.Random(0))
+        assert inj(payload_packet(b"small")) is None
+        assert inj(payload_packet(bytes(200))).drop
+
+
+# -- wire injection end to end ----------------------------------------------
+
+def stream_messages(sim, a, rig, n=8, size=4096):
+    """Client streams n sequence-stamped messages; returns them."""
+    sent = []
+
+    def client():
+        iface = a.iface
+        qp, cq = rig["client_qp"], rig["client_cq"]
+        buf = yield from iface.register_memory(size)
+        for i in range(n):
+            data = bytes([i]) * size
+            sent.append(data)
+            buf.write(data)
+            yield from iface.post_send(qp, [buf.sge(0, size)])
+            done = 0
+            while done == 0:
+                cqes = yield from iface.wait(cq)
+                for cqe in cqes:
+                    assert cqe.ok
+                    done += 1
+
+    run_procs(sim, client())
+    return sent
+
+
+class TestWireInjection:
+    def test_composed_faults_recovered_by_tcp(self, sim, pair):
+        """drop + duplicate + corrupt on one link direction: TCP recovers,
+        every delivered byte is intact, and every counter fires."""
+        a, b, fabric = pair
+        rig = setup_connected_qps(sim, a, b)
+        hub = RngHub(3)
+        plan = FaultPlan().drop(0.1).duplicate(0.15).corrupt(0.2)
+        inj = install_on_link(fabric.host_link("h0"), a.nic.attachment,
+                              plan, hub.stream("fault"))
+        sent = stream_messages(sim, a, rig, n=8, size=4096)
+
+        d_out = fabric.host_link("h0").direction_from(a.nic.attachment)
+        counts = inj.counts()
+        assert counts["drops"] > 0 and counts["duplicates"] > 0 \
+            and counts["corruptions"] > 0
+        assert d_out.packets_dropped >= counts["drops"]
+        assert d_out.packets_duplicated == counts["duplicates"]
+        assert d_out.packets_corrupted == counts["corruptions"]
+        # The receiver's checksum caught the corruption...
+        assert b.firmware.stack.checksum_errors > 0
+        # ...and retransmission delivered every byte bit-identical.
+        conn = a.firmware.endpoints[rig["client_qp"].qp_num].conn
+        assert conn.stats.retransmitted_segs > 0
+        for i, buf in enumerate(rig["server_bufs"]):
+            assert buf.read(4096) == sent[i]
+
+    def test_injector_remove_detaches(self, sim, pair):
+        a, b, fabric = pair
+        rig = setup_connected_qps(sim, a, b)
+        inj = install_on_link(fabric.host_link("h0"), a.nic.attachment,
+                              FaultPlan().drop(1.0), RngHub(1).stream("f"))
+        inj.remove()
+        stream_messages(sim, a, rig, n=2, size=2048)   # would hang if armed
+        assert inj.counts()["seen"] == 0
+        inj.remove()                                   # idempotent
+
+    def test_switch_egress_hooks(self, sim, pair):
+        """Faults injected at the switch egress toward h1 are recovered
+        and counted on the switch, not the links."""
+        a, b, fabric = pair
+        rig = setup_connected_qps(sim, a, b)
+        sw = fabric.switches[0]
+        port = fabric.hosts["h1"].switch_port
+        plan = FaultPlan().drop(0.15).corrupt(0.1)
+        inj = install_on_switch(sw, port, plan, RngHub(5).stream("sw"))
+        sent = stream_messages(sim, a, rig, n=6, size=4096)
+        assert inj.counts()["drops"] > 0
+        assert sw.dropped_fault == inj.counts()["drops"]
+        assert sw.corrupted_fault == inj.counts()["corruptions"]
+        for i, buf in enumerate(rig["server_bufs"][:6]):
+            assert buf.read(4096) == sent[i]
+
+    def test_reorder_exercises_out_of_order_path(self, sim, pair):
+        a, b, fabric = pair
+        rig = setup_connected_qps(sim, a, b)
+        plan = FaultPlan().reorder(0.3, delay=60.0, jitter=30.0)
+        install_on_link(fabric.host_link("h0"), a.nic.attachment,
+                        plan, RngHub(11).stream("f"))
+        sent = stream_messages(sim, a, rig, n=8, size=8192)
+        d_out = fabric.host_link("h0").direction_from(a.nic.attachment)
+        assert d_out.packets_delayed > 0
+        for i, buf in enumerate(rig["server_bufs"]):
+            assert buf.read(8192) == sent[i]
+
+
+# -- NIC-level faults -------------------------------------------------------
+
+class TestNicFaults:
+    def test_doorbell_overflow_recovers_via_rescan(self, sim, pair):
+        """With a zero-capacity doorbell FIFO every posted write is lost;
+        the sticky overflow bit forces QP rescans and no work is lost."""
+        a, b, _fabric = pair
+        faults = NicFaultController(a.nic, a.firmware)
+        faults.limit_doorbell_fifo(0)
+        rig = setup_connected_qps(sim, a, b)
+        sent = stream_messages(sim, a, rig, n=4, size=4096)
+        assert a.nic.doorbells_dropped > 0
+        assert faults.counts()["doorbells_dropped"] == a.nic.doorbells_dropped
+        for i, buf in enumerate(rig["server_bufs"][:4]):
+            assert buf.read(4096) == sent[i]
+
+    def test_firmware_stall_delays_but_preserves_traffic(self, sim, pair):
+        a, b, _fabric = pair
+        rig = setup_connected_qps(sim, a, b)
+        faults = NicFaultController(a.nic, a.firmware)
+        faults.stall_at(sim.now + 200.0, 5_000.0)
+        sent = stream_messages(sim, a, rig, n=4, size=4096)
+        assert a.nic.stalls_injected == 1
+        for i, buf in enumerate(rig["server_bufs"][:4]):
+            assert buf.read(4096) == sent[i]
+
+    def test_qp_exhaustion_is_graceful(self, sim, pair):
+        a, _b, _fabric = pair
+        faults = NicFaultController(a.nic, a.firmware)
+        faults.limit_qps(1)
+
+        def app():
+            iface = a.iface
+            cq = yield from iface.create_cq()
+            yield from iface.create_qp(QPTransport.TCP, cq)
+            with pytest.raises(ResourceExhausted):
+                yield from iface.create_qp(QPTransport.TCP, cq)
+            # The app survives and can keep using what it has.
+            buf = yield from iface.register_memory(1024)
+            assert buf.length == 1024
+
+        run_procs(sim, app())
+        assert a.firmware.mgmt_rejections == 1
+
+    def test_memory_region_exhaustion_is_graceful(self, sim, pair):
+        a, _b, _fabric = pair
+        faults = NicFaultController(a.nic, a.firmware)
+        faults.limit_memory_regions(2)
+
+        def app():
+            iface = a.iface
+            yield from iface.register_memory(1024)
+            yield from iface.register_memory(1024)
+            with pytest.raises(ResourceExhausted):
+                yield from iface.register_memory(1024)
+
+        run_procs(sim, app())
+        assert a.firmware.mgmt_rejections == 1
+
+
+# -- failure semantics: QP error + total flush ------------------------------
+
+class TestFailureSemantics:
+    def test_dma_error_flushes_everything(self, sim, pair):
+        """A host-DMA fault on a send: the failing WR completes with
+        LOCAL_DMA_ERROR, every other outstanding WR completes FLUSHED,
+        the QP lands in ERROR, and posting afterwards raises."""
+        a, b, _fabric = pair
+        rig = setup_connected_qps(sim, a, b)
+        faults = NicFaultController(a.nic, a.firmware)
+        faults.fail_dma(rate=1.0, count=1)
+        statuses = []
+
+        def client():
+            iface = a.iface
+            qp, cq = rig["client_qp"], rig["client_cq"]
+            buf = yield from iface.register_memory(4096)
+            posted = 0
+            for _ in range(4):
+                yield from iface.post_send(qp, [buf.sge(0, 4096)])
+                posted += 1
+            while len(statuses) < posted:
+                cqes = yield from iface.wait(cq)
+                statuses.extend(c.status for c in cqes)
+            with pytest.raises(QPStateError):
+                yield from iface.post_send(qp, [buf.sge(0, 4096)])
+            with pytest.raises(QPStateError):
+                yield from iface.post_recv(qp, [buf.sge(0, 4096)])
+
+        run_procs(sim, client())
+        assert statuses.count(WRStatus.LOCAL_DMA_ERROR) == 1
+        assert statuses.count(WRStatus.FLUSHED) == 3
+        assert rig["client_qp"].state is QPState.ERROR
+        assert a.nic.dma_faults == 1
+        assert a.firmware.dma_wr_errors == 1
+
+    def test_remote_destroy_flushes_in_flight_sends(self, sim, pair):
+        """The peer tears its QP down mid-transfer: the client sees the
+        RST, its QP errors, and every posted WR still completes."""
+        a, b, _fabric = pair
+        rig = setup_connected_qps(sim, a, b, recv_bufs=2, buf_size=4096)
+        completions = []
+
+        def client():
+            iface = a.iface
+            qp, cq = rig["client_qp"], rig["client_cq"]
+            buf = yield from iface.register_memory(4096)
+            posted = 0
+            while posted < 12:
+                try:
+                    yield from iface.post_send(qp, [buf.sge(0, 4096)])
+                    posted += 1
+                except QPStateError:
+                    break
+                cqes = yield from iface.poll(cq)
+                completions.extend(cqes)
+            while len(completions) < posted:
+                cqes = yield from iface.wait(cq)
+                completions.extend(cqes)
+
+        def killer():
+            yield sim.timeout(900.0)
+            yield from b.iface.destroy_qp(rig["server_qp"])
+
+        run_procs(sim, client(), killer())
+        # WR conservation: posted == completed, none silently dropped.
+        qp = rig["client_qp"]
+        assert qp.state is QPState.ERROR
+        assert len(completions) == qp.sends_posted
+        assert any(not c.ok for c in completions)
+
+    def test_completion_raise_for_status(self, sim, pair):
+        a, b, _fabric = pair
+        rig = setup_connected_qps(sim, a, b)
+        faults = NicFaultController(a.nic, a.firmware)
+        faults.fail_dma(rate=1.0, count=1)
+
+        def client():
+            iface = a.iface
+            qp, cq = rig["client_qp"], rig["client_cq"]
+            buf = yield from iface.register_memory(1024)
+            yield from iface.post_send(qp, [buf.sge(0, 1024)])
+            cqes = yield from iface.wait(cq)
+            with pytest.raises(CompletionError) as err:
+                cqes[0].raise_for_status()
+            assert err.value.status is WRStatus.LOCAL_DMA_ERROR
+            assert err.value.completion is cqes[0]
+
+        run_procs(sim, client())

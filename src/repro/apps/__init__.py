@@ -2,13 +2,14 @@
 an RDMA key-value store, and ring collectives."""
 
 from .collective import RingMember, build_ring
-from .kvstore import KvClient, KvServer
-from .pingpong import (RttResult, qpip_tcp_rtt, qpip_udp_rtt, socket_tcp_rtt,
-                       socket_udp_rtt)
-from .ttcp import ThroughputResult, qpip_ttcp, socket_ttcp
+from .kvstore import FailoverKvClient, KvClient, KvServer
+from .pingpong import (RttResult, qpip_reliable_rtt, qpip_tcp_rtt,
+                       qpip_udp_rtt, socket_tcp_rtt, socket_udp_rtt)
+from .ttcp import ThroughputResult, qpip_ttcp, qpip_ttcp_reliable, socket_ttcp
 
 __all__ = [
-    "RingMember", "build_ring", "KvClient", "KvServer",
+    "RingMember", "build_ring", "KvClient", "KvServer", "FailoverKvClient",
     "RttResult", "qpip_tcp_rtt", "qpip_udp_rtt", "socket_tcp_rtt",
-    "socket_udp_rtt", "ThroughputResult", "qpip_ttcp", "socket_ttcp",
+    "socket_udp_rtt", "qpip_reliable_rtt",
+    "ThroughputResult", "qpip_ttcp", "qpip_ttcp_reliable", "socket_ttcp",
 ]

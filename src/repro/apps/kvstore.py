@@ -108,6 +108,7 @@ class KvStats:
     gets_two_sided: int = 0
     gets_one_sided: int = 0
     misses: int = 0
+    reconnects: int = 0      # server: connections served after the first
 
 
 class KvServer:
@@ -147,6 +148,14 @@ class KvServer:
             yield w
 
     def _serve_one(self, listener) -> Generator:
+        """Resilient worker: serve connections forever.  A client that
+        dies (or is killed by chaos) just means a fresh QP and another
+        accept — the slot table and stats persist across connections."""
+        while True:
+            yield from self._serve_conn(listener)
+            self.stats.reconnects += 1
+
+    def _serve_conn(self, listener) -> Generator:
         """Accept one connection and serve it until it goes away."""
         iface = self.iface
         cq = yield from iface.create_cq()
@@ -289,3 +298,181 @@ class KvClient:
 
     def disconnect(self) -> Generator:
         yield from self.iface.disconnect(self.qp)
+
+
+class FailoverKvClient:
+    """KV client with automatic reconnect and replica failover.
+
+    ``replicas`` is a list of ``(node_addr, port, table_info)`` — one
+    independent :class:`KvServer` each.  Semantics under failure:
+
+    * :meth:`put` is written to **every** replica (client-side
+      replication) and retried per replica until it sticks, so any
+      replica can serve any successfully-completed key afterwards.
+      PUTs are idempotent (same key, same value), which makes blind
+      replay after an ambiguous failure safe.
+    * :meth:`get` / :meth:`get_rdma` try the preferred replica and fail
+      over around the ring on connection errors or an ``op_timeout``
+      (a stalled server is indistinguishable from a dead one).
+    * Every failure path tears the broken QP down via
+      ``firmware.abort_qp`` — no half-open connections are left behind.
+
+    Retries follow a :class:`~repro.recovery.RetryPolicy`; the failover
+    trace (``.trace``) is deterministic per seed.
+    """
+
+    def __init__(self, node, replicas, policy=None, rng=None,
+                 op_timeout: float = 200_000.0):
+        from ..recovery import RetryPolicy
+        self.node = node
+        self.sim = node.host.sim
+        self.replicas = list(replicas)
+        if not self.replicas:
+            raise ReproError("failover client needs at least one replica")
+        self.policy = policy or RetryPolicy(max_attempts=12)
+        self.rng = rng
+        self.op_timeout = op_timeout
+        self._clients: dict = {}        # replica index -> connected KvClient
+        self.preferred = 0
+        self.stats = KvStats()
+        self.failovers = 0
+        self.reconnects = 0
+        self.op_attempts = 0
+        self.trace = []                 # deterministic failover trace
+
+    # -- connection management ----------------------------------------------
+
+    def _ensure(self, i: int) -> Generator:
+        client = self._clients.get(i)
+        if client is not None:
+            return client
+        addr, port, info = self.replicas[i]
+        client = KvClient(self.node, addr, port=port)
+        yield from self._bounded(client.connect(info), "connect")
+        self._clients[i] = client
+        self.reconnects += 1
+        return client
+
+    def _abandon(self, i: int) -> None:
+        client = self._clients.pop(i, None)
+        if client is not None and getattr(client, "qp", None) is not None:
+            self.node.firmware.abort_qp(client.qp)
+
+    def _bounded(self, gen, what: str) -> Generator:
+        """Run ``gen`` with the op deadline; a hung op becomes a loud,
+        retryable failure instead of a stuck client."""
+        from ..sim import AnyOf
+        proc = self.sim.process(gen)
+        yield AnyOf(self.sim, [proc, self.sim.timeout(self.op_timeout)])
+        if not proc.triggered:
+            raise ReproError(f"kv {what} timed out after "
+                             f"{self.op_timeout:g}us")
+        if not proc.ok:
+            raise proc.value
+        return proc.value
+
+    def _run_on(self, i: int, op_factory, what: str) -> Generator:
+        """Retry one operation against one replica until it succeeds or
+        the retry budget runs out."""
+        from ..errors import RetryBudgetExhausted
+        started = self.sim.now
+        attempts = 0
+        last: Optional[Exception] = None
+        for delay in self.policy.delays(self.rng):
+            if delay > 0:
+                yield self.sim.timeout(delay)
+            if self.policy.deadline is not None and attempts > 0 \
+                    and self.sim.now - started >= self.policy.deadline:
+                break
+            attempts += 1
+            self.op_attempts += 1
+            try:
+                client = yield from self._ensure(i)
+                result = yield from self._bounded(op_factory(client), what)
+                return result
+            except ReproError as exc:
+                last = exc
+                self._abandon(i)
+                self.trace.append(f"{self.sim.now:.1f}:retry:{what}:r{i}")
+        raise RetryBudgetExhausted(
+            f"kv {what} on replica {i} failed after {attempts} attempts "
+            f"(last: {last})", attempts=attempts,
+            elapsed=self.sim.now - started)
+
+    # -- operations ----------------------------------------------------------
+
+    def put(self, key: bytes, value: bytes) -> Generator:
+        """Replicated PUT: sticks on every replica before returning."""
+        for i in range(len(self.replicas)):
+            yield from self._run_on(i, lambda c: c.put(key, value), "put")
+        self.stats.puts += 1
+
+    def _get_with_failover(self, op_factory, what: str) -> Generator:
+        from ..errors import RetryBudgetExhausted
+        started = self.sim.now
+        attempts = 0
+        last: Optional[Exception] = None
+        for delay in self.policy.delays(self.rng):
+            if delay > 0:
+                yield self.sim.timeout(delay)
+            if self.policy.deadline is not None and attempts > 0 \
+                    and self.sim.now - started >= self.policy.deadline:
+                break
+            attempts += 1
+            self.op_attempts += 1
+            i = self.preferred
+            try:
+                client = yield from self._ensure(i)
+                result = yield from self._bounded(op_factory(client), what)
+                return result
+            except ReproError as exc:
+                last = exc
+                self._abandon(i)
+                self.preferred = (i + 1) % len(self.replicas)
+                self.failovers += 1
+                self.trace.append(f"{self.sim.now:.1f}:failover:r{i}")
+        raise RetryBudgetExhausted(
+            f"kv {what} failed on every replica after {attempts} attempts "
+            f"(last: {last})", attempts=attempts,
+            elapsed=self.sim.now - started)
+
+    def get(self, key: bytes) -> Generator:
+        value = yield from self._get_with_failover(
+            lambda c: c.get(key), "get")
+        self.stats.gets_two_sided += 1
+        if value is None:
+            self.stats.misses += 1
+        return value
+
+    def get_rdma(self, key: bytes) -> Generator:
+        value = yield from self._get_with_failover(
+            lambda c: c.get_rdma(key), "get_rdma")
+        self.stats.gets_one_sided += 1
+        if value is None:
+            self.stats.misses += 1
+        return value
+
+    def get_any(self, key: bytes) -> Generator:
+        """Scan the replica ring until some replica has the key (covers
+        reads racing an in-progress replicated PUT)."""
+        for step in range(len(self.replicas)):
+            i = (self.preferred + step) % len(self.replicas)
+            try:
+                client = yield from self._ensure(i)
+                value = yield from self._bounded(client.get(key), "get_any")
+            except ReproError:
+                self._abandon(i)
+                self.trace.append(f"{self.sim.now:.1f}:scan-skip:r{i}")
+                continue
+            if value is not None:
+                return value
+        self.stats.misses += 1
+        return None
+
+    def close(self) -> Generator:
+        for i in list(self._clients):
+            client = self._clients.pop(i)
+            try:
+                yield from client.disconnect()
+            except ReproError:
+                pass

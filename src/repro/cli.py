@@ -65,8 +65,11 @@ def build_parser() -> argparse.ArgumentParser:
                       "the delivery/completion invariants")
     chaos_p.add_argument("--seed", type=int, default=1,
                          help="RNG seed (same seed => identical run)")
-    chaos_p.add_argument("--workload", choices=("ttcp", "pingpong"),
-                         default="ttcp")
+    chaos_p.add_argument("--workload",
+                         choices=("ttcp", "pingpong", "kvstore"),
+                         default="ttcp",
+                         help="kvstore (replicated, client failover) "
+                              "requires --recover")
     chaos_p.add_argument("--messages", type=int, default=64)
     chaos_p.add_argument("--size", type=int, default=4096,
                          help="message size in bytes")
@@ -84,6 +87,13 @@ def build_parser() -> argparse.ArgumentParser:
                               "every outstanding WR is flushed")
     chaos_p.add_argument("--kill-at", type=float, default=5000.0,
                          help="kill time in simulated microseconds")
+    chaos_p.add_argument("--recover", action="store_true",
+                         help="run the workload through the self-healing "
+                              "session layer and force QP restarts "
+                              "mid-transfer; the invariant becomes "
+                              "exactly-once delivery of every message")
+    chaos_p.add_argument("--restarts", type=int, default=3,
+                         help="forced QP restarts in --recover mode")
     chaos_p.add_argument("--check-determinism", action="store_true",
                          help="run twice and compare completion traces")
     return parser
@@ -104,7 +114,8 @@ def run_chaos_cmd(args) -> int:
             plan.duplicate(args.duplicate)
         kwargs = dict(workload=args.workload, plan=plan,
                       messages=args.messages, msg_size=args.size,
-                      kill=args.kill, kill_at=args.kill_at)
+                      kill=args.kill, kill_at=args.kill_at,
+                      recover=args.recover, restarts=args.restarts)
         if args.check_determinism:
             result, _again = check_determinism(seed=args.seed, **kwargs)
             print(result.summary())

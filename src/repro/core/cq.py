@@ -34,9 +34,14 @@ class CompletionQueue:
         self._waiters: Deque[Event] = deque()
         self.overruns = 0
         self.total_completions = 0
+        self.error_completions = 0
         # Armed by the driver when a consumer blocks: the NIC raises an
         # interrupt on the next CQE instead of relying on polling.
         self.interrupt_hook = None
+        # Passive taps called on every pushed CQE (after ring insert).
+        # The recovery layer uses one as its failure detector / liveness
+        # feed without stealing entries from the polling application.
+        self.observers: List = []
 
     def __len__(self) -> int:
         return len(self._ring)
@@ -50,6 +55,10 @@ class CompletionQueue:
             return
         self._ring.append(cqe)
         self.total_completions += 1
+        if not cqe.ok:
+            self.error_completions += 1
+        for observer in list(self.observers):
+            observer(cqe)
         while self._waiters:
             waiter = self._waiters.popleft()
             if not waiter.triggered:

@@ -175,6 +175,8 @@ class QpipFirmware:
         self.max_regions: Optional[int] = None
         self.mgmt_rejections = 0
         self.dma_wr_errors = 0
+        self.watchdog_aborts = 0
+        self.qp_error_transitions = 0
         nic.wake = self._wake
         self._iface = _FwIface(nic)
         self.sim.process(self._main_loop())
@@ -394,6 +396,29 @@ class QpipFirmware:
         else:
             ep.conn.close()
 
+    def abort_qp(self, qp: QueuePair, reason: Optional[Exception] = None) -> None:
+        """Driver- or watchdog-initiated teardown of a QP's connection.
+
+        Callable from bare timer callbacks (no packet in flight): the
+        teardown rides the firmware action queue, which wakes the main
+        loop, so the ERROR transition and full WR flush happen even on a
+        perfectly idle wire.  A half-open connection — the peer died
+        mid-transfer and will never send another segment — is exactly
+        the case this exists for.
+        """
+        ep = self.endpoints.get(qp.qp_num)
+        if ep is None or qp.state in (QPState.ERROR, QPState.DISCONNECTED):
+            return
+        self.watchdog_aborts += 1
+        exc = reason or ConnectionReset(
+            f"QP{qp.qp_num}: local abort (watchdog/driver)")
+        if ep.conn is not None:
+            # abort(exc) emits the RST and fires on_reset, which pushes a
+            # "closed" action and wakes the dispatch loop (_push_action).
+            ep.conn.abort(exc)
+        else:
+            self._push_action(("closed", ep, exc))
+
     def _endpoint_of(self, qp: QueuePair) -> FwEndpoint:
         ep = self.endpoints.get(qp.qp_num)
         if ep is None:
@@ -495,6 +520,7 @@ class QpipFirmware:
             return
         yield self.nic.stage("get_wr", t.get_wr)
         wr = qp.recv_queue.popleft()
+        qp.wr_dequeued("recv")
         if payload.length > wr.length:
             qp.recv_queue.appendleft(wr)
             self._fail_endpoint(ep, WRStatus.LOCAL_LENGTH_ERROR)
@@ -526,6 +552,7 @@ class QpipFirmware:
             return
         yield self.nic.stage("get_wr", t.get_wr)
         wr = qp.recv_queue.popleft()
+        qp.wr_dequeued("recv")
         yield self.nic.stage("put_data", t.put_data)
         try:
             dma = self.nic.dma_to_host(payload.length)
@@ -590,6 +617,7 @@ class QpipFirmware:
         if not qp.send_queue:
             return
         wr = qp.send_queue.popleft()
+        qp.wr_dequeued("send")
         try:
             payload = self._read_wr_data(wr)
         except Exception:
@@ -692,6 +720,21 @@ class QpipFirmware:
 
     def _send_rdma(self, ep: FwEndpoint, wr: WorkRequest, payload: Payload) -> None:
         """Queue a framed message stream for a SEND/WRITE/READ_REQ WR."""
+        try:
+            self._send_rdma_framed(ep, wr, payload)
+        except ConnectionReset:
+            # The connection died between the doorbell and this fetch
+            # (peer RST, local abort): drop any partial framing state
+            # and fail the WR like a remote abort.
+            for msg_id, mapped in list(ep.msg_map.items()):
+                if mapped is wr:
+                    del ep.msg_map[msg_id]
+            if wr.opcode is WROpcode.RDMA_READ and wr.sges:
+                ep.outstanding_reads.pop(wr.sges[0].addr, None)
+            self._local_wr_error(ep, wr, WRStatus.REMOTE_ABORTED)
+
+    def _send_rdma_framed(self, ep: FwEndpoint, wr: WorkRequest,
+                          payload: Payload) -> None:
         chunk = self._rdma_chunk(ep)
         if wr.opcode is WROpcode.SEND:
             if payload.length > chunk:
@@ -733,7 +776,7 @@ class QpipFirmware:
         connection, and flush everything else still outstanding."""
         if status is WRStatus.LOCAL_DMA_ERROR:
             self.dma_wr_errors += 1
-        ep.qp.state = QPState.ERROR
+        self._mark_error(ep.qp)
         self._post_cqe(ep.qp.send_cq, Completion(
             wr.wr_id, ep.qp.qp_num, wr.opcode, status=status))
         if ep.conn is not None:
@@ -781,6 +824,7 @@ class QpipFirmware:
             return
         yield self.nic.stage("get_wr", t.get_wr)
         wr = qp.recv_queue.popleft()
+        qp.wr_dequeued("recv")
         if body.length > wr.length:
             qp.recv_queue.appendleft(wr)
             self._fail_endpoint(ep, WRStatus.LOCAL_LENGTH_ERROR)
@@ -913,6 +957,7 @@ class QpipFirmware:
             wr = qp.recv_queue.popleft()
             self._post_cqe(qp.recv_cq, Completion(
                 wr.wr_id, qp.qp_num, WROpcode.RECV, status=WRStatus.FLUSHED))
+        qp.wr_dequeued("recv")
 
     def _on_closed(self, ep: FwEndpoint, exc: Optional[Exception]) -> None:
         if ep.qp is None:
@@ -920,7 +965,7 @@ class QpipFirmware:
         qp = ep.qp
         if exc is not None:
             qp.error = exc
-            qp.state = QPState.ERROR
+            self._mark_error(qp)
             self._flush_endpoint(ep, WRStatus.REMOTE_ABORTED)
         else:
             # ERROR is sticky: an orderly-close action queued behind an
@@ -932,11 +977,17 @@ class QpipFirmware:
             ev, ep.established_event = ep.established_event, None
             ev.fail(exc or QPStateError(f"QP{qp.qp_num} closed"))
 
+    def _mark_error(self, qp: QueuePair) -> None:
+        """Move a QP to (sticky) ERROR, counting each distinct transition."""
+        if qp.state is not QPState.ERROR:
+            qp.state = QPState.ERROR
+            self.qp_error_transitions += 1
+
     def _fail_endpoint(self, ep: FwEndpoint, status: WRStatus) -> None:
         if ep.conn is not None:
             ep.conn.abort()
         if ep.qp is not None:
-            ep.qp.state = QPState.ERROR
+            self._mark_error(ep.qp)
             self._flush_endpoint(ep, status)
 
     def _flush_endpoint(self, ep: FwEndpoint, status: WRStatus) -> None:
@@ -967,6 +1018,9 @@ class QpipFirmware:
             wr = qp.send_queue.popleft()
             self._post_cqe(qp.send_cq, Completion(
                 wr.wr_id, qp.qp_num, wr.opcode, status=status))
+        # Posters blocked on backpressure must observe the teardown, not
+        # wait forever for space that will never free.
+        qp.fail_waiters(qp.error)
 
     # -- host notification ---------------------------------------------------------
 

@@ -11,10 +11,11 @@ from __future__ import annotations
 
 import enum
 from collections import deque
-from typing import Deque, Optional
+from typing import Deque, List, Optional
 
-from ..errors import QPStateError, VerbsError
+from ..errors import QpTornDown, QueueFull, VerbsError
 from ..net.addresses import Endpoint
+from ..sim import Event
 from .cq import CompletionQueue
 from .wr import WorkRequest, WROpcode
 
@@ -47,6 +48,13 @@ class QueuePair:
         self.recv_cq = recv_cq
         self.max_send_wr = max_send_wr
         self.max_recv_wr = max_recv_wr
+        # Backpressure watermark: a blocked poster is resumed once the
+        # queue has drained below this level (hysteresis, not one-in-
+        # one-out, so a saturated queue admits a burst per wakeup).
+        self.sq_low_watermark = max(1, max_send_wr // 2)
+        self.rq_low_watermark = max(1, max_recv_wr // 2)
+        self._sq_waiters: List[Event] = []
+        self._rq_waiters: List[Event] = []
         self.state = QPState.RESET
         self.send_queue: Deque[WorkRequest] = deque()
         self.recv_queue: Deque[WorkRequest] = deque()
@@ -72,10 +80,11 @@ class QueuePair:
                 f"QP{self.qp_num}: RDMA requires a QP created with rdma=True")
         if wr.opcode is not WROpcode.SEND and self.transport is QPTransport.UDP:
             raise VerbsError("RDMA needs the reliable (TCP) transport")
-        if self.state in (QPState.ERROR, QPState.DISCONNECTED):
-            raise QPStateError(f"QP{self.qp_num} is {self.state.value}")
+        if self.state in (QPState.ERROR, QPState.DISCONNECTED) \
+                or self.error is not None:
+            raise QpTornDown(self)
         if len(self.send_queue) >= self.max_send_wr:
-            raise VerbsError(f"QP{self.qp_num} send queue full")
+            raise QueueFull(f"QP{self.qp_num} send queue full")
         if self.transport is QPTransport.UDP and wr.dest is None:
             raise VerbsError("UDP send WR needs a destination endpoint")
         self.send_queue.append(wr)
@@ -84,14 +93,48 @@ class QueuePair:
     def enqueue_recv(self, wr: WorkRequest) -> None:
         if wr.opcode is not WROpcode.RECV:
             raise VerbsError("post_recv requires a RECV work request")
-        if self.state in (QPState.ERROR, QPState.DISCONNECTED):
+        if self.state in (QPState.ERROR, QPState.DISCONNECTED) \
+                or self.error is not None:
             # A WR accepted here could never complete: the flush already
             # ran.  Reject so the application keeps its WR accounting.
-            raise QPStateError(f"QP{self.qp_num} is {self.state.value}")
+            raise QpTornDown(self)
         if len(self.recv_queue) >= self.max_recv_wr:
-            raise VerbsError(f"QP{self.qp_num} receive queue full")
+            raise QueueFull(f"QP{self.qp_num} receive queue full")
         self.recv_queue.append(wr)
         self.recvs_posted += 1
+
+    # -- backpressure plumbing ----------------------------------------------
+
+    def space_event(self, sim, which: str) -> Event:
+        """An event fired when the named work queue drains below its low
+        watermark (or failed with :class:`QpTornDown` if the QP dies)."""
+        ev = Event(sim)
+        waiters = self._sq_waiters if which == "send" else self._rq_waiters
+        waiters.append(ev)
+        return ev
+
+    def wr_dequeued(self, which: str) -> None:
+        """Firmware notification: a WR left the named queue.  Wakes
+        blocked posters once the queue is below the low watermark."""
+        if which == "send":
+            waiters, queue, low = (self._sq_waiters, self.send_queue,
+                                   self.sq_low_watermark)
+        else:
+            waiters, queue, low = (self._rq_waiters, self.recv_queue,
+                                   self.rq_low_watermark)
+        if waiters and len(queue) < low:
+            for ev in waiters:
+                if not ev.triggered:
+                    ev.succeed()
+            waiters.clear()
+
+    def fail_waiters(self, cause: Optional[Exception] = None) -> None:
+        """QP teardown: blocked posters must not hang on a dead queue."""
+        for ev in self._sq_waiters + self._rq_waiters:
+            if not ev.triggered:
+                ev.fail(QpTornDown(self, cause=cause))
+        self._sq_waiters.clear()
+        self._rq_waiters.clear()
 
     @property
     def posted_recv_bytes(self) -> int:

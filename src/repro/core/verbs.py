@@ -12,7 +12,8 @@ from __future__ import annotations
 import itertools
 from typing import Generator, List, Optional
 
-from ..errors import QPStateError, VerbsError
+from ..errors import (PostDeadlineExceeded, QPStateError, QueueFull,
+                      VerbsError)
 from ..hw.host import Host
 from ..hw.timing import QpipHostTiming
 from ..mem import Access, AddressSpace, MemoryRegion, SGE
@@ -66,6 +67,10 @@ class QpipInterface:
 
     DRIVER_CALL = 4.0     # host µs per privileged mgmt command
 
+    # Default ceiling on how long a backpressured post may yield waiting
+    # for queue space before failing with PostDeadlineExceeded (µs).
+    POST_DEADLINE = 1_000_000.0
+
     def __init__(self, firmware: QpipFirmware, host: Host,
                  process_name: str = "app",
                  timing: Optional[QpipHostTiming] = None):
@@ -74,9 +79,15 @@ class QpipInterface:
         self.sim = host.sim
         self.timing = timing or QpipHostTiming()
         self.aspace = host.new_address_space(process_name)
+        self.post_timeout: Optional[float] = self.POST_DEADLINE
         self._qp_nums = itertools.count(1)
         self._cq_nums = itertools.count(1)
         self._wr_ids = itertools.count(1)
+
+    def alloc_wr_id(self) -> int:
+        """Reserve a WR id up front (lets callers key completion state
+        before the post's CPU charge yields control)."""
+        return next(self._wr_ids)
 
     # -- control path (kernel driver: mgmt commands) -------------------------
 
@@ -148,35 +159,72 @@ class QpipInterface:
 
     # -- data path (pure user level: no kernel involvement) --------------------
 
+    def _enqueue(self, qp: QueuePair, wr: WorkRequest, which: str,
+                 timeout: Optional[float]) -> Generator:
+        """Enqueue with watermark backpressure.
+
+        A full work queue no longer rejects the post: the poster yields
+        until the firmware drains the queue below its low watermark, up
+        to ``timeout`` µs (``None``: the interface default,
+        ``0``: non-blocking, raise :class:`QueueFull` immediately).
+        A QP that dies while we wait fails the post with
+        :class:`QpTornDown` — never silence."""
+        budget = self.post_timeout if timeout is None else timeout
+        deadline = None if budget is None else self.sim.now + budget
+        enqueue = qp.enqueue_send if which == "send" else qp.enqueue_recv
+        while True:
+            try:
+                enqueue(wr)
+                return
+            except QueueFull:
+                if budget == 0:
+                    raise
+                if deadline is not None and self.sim.now >= deadline:
+                    raise PostDeadlineExceeded(
+                        f"QP{qp.qp_num} {which} queue still full after "
+                        f"{budget:g}us")
+                space = qp.space_event(self.sim, which)
+                if deadline is not None:
+                    handle = self.sim.call_later(
+                        deadline - self.sim.now,
+                        lambda ev=space: ev.succeed() if not ev.triggered
+                        else None)
+                    yield space
+                    handle.cancel()
+                else:
+                    yield space
+
+    def _post(self, qp: QueuePair, wr: WorkRequest, which: str,
+              timeout: Optional[float]) -> Generator:
+        yield from self._enqueue(qp, wr, which, timeout)
+        cost = self.timing.post_descriptor + self.timing.doorbell
+        yield self.host.cpu.submit(
+            cost, category="qpip-post",
+            fn=lambda: self.fw.nic.ring_doorbell((qp.qp_num, which)))
+        return wr.wr_id
+
     def post_send(self, qp: QueuePair, sges: List[SGE],
                   dest: Optional[Endpoint] = None,
-                  wr_id: Optional[int] = None) -> Generator:
+                  wr_id: Optional[int] = None,
+                  timeout: Optional[float] = None) -> Generator:
         """Post one send WR; returns its wr_id immediately after the doorbell."""
         wr = WorkRequest(wr_id if wr_id is not None else next(self._wr_ids),
                          WROpcode.SEND, list(sges), dest=dest)
-        if qp.error is not None:
-            raise QPStateError(f"QP{qp.qp_num}: {qp.error}")
-        qp.enqueue_send(wr)
-        cost = self.timing.post_descriptor + self.timing.doorbell
-        yield self.host.cpu.submit(
-            cost, category="qpip-post",
-            fn=lambda: self.fw.nic.ring_doorbell((qp.qp_num, "send")))
-        return wr.wr_id
+        result = yield from self._post(qp, wr, "send", timeout)
+        return result
 
     def post_recv(self, qp: QueuePair, sges: List[SGE],
-                  wr_id: Optional[int] = None) -> Generator:
+                  wr_id: Optional[int] = None,
+                  timeout: Optional[float] = None) -> Generator:
         wr = WorkRequest(wr_id if wr_id is not None else next(self._wr_ids),
                          WROpcode.RECV, list(sges))
-        qp.enqueue_recv(wr)
-        cost = self.timing.post_descriptor + self.timing.doorbell
-        yield self.host.cpu.submit(
-            cost, category="qpip-post",
-            fn=lambda: self.fw.nic.ring_doorbell((qp.qp_num, "recv")))
-        return wr.wr_id
+        result = yield from self._post(qp, wr, "recv", timeout)
+        return result
 
     def post_rdma_write(self, qp: QueuePair, sges: List[SGE],
                         remote_addr: int, rkey: int,
-                        wr_id: Optional[int] = None) -> Generator:
+                        wr_id: Optional[int] = None,
+                        timeout: Optional[float] = None) -> Generator:
         """One-sided write into the peer's registered buffer.
 
         Completes locally when the data is ACKed; the target process is
@@ -184,26 +232,19 @@ class QpipInterface:
         wr = WorkRequest(wr_id if wr_id is not None else next(self._wr_ids),
                          WROpcode.RDMA_WRITE, list(sges),
                          remote_addr=remote_addr, rkey=rkey)
-        qp.enqueue_send(wr)
-        cost = self.timing.post_descriptor + self.timing.doorbell
-        yield self.host.cpu.submit(
-            cost, category="qpip-post",
-            fn=lambda: self.fw.nic.ring_doorbell((qp.qp_num, "send")))
-        return wr.wr_id
+        result = yield from self._post(qp, wr, "send", timeout)
+        return result
 
     def post_rdma_read(self, qp: QueuePair, sink: SGE, remote_addr: int,
-                       rkey: int, wr_id: Optional[int] = None) -> Generator:
+                       rkey: int, wr_id: Optional[int] = None,
+                       timeout: Optional[float] = None) -> Generator:
         """One-sided read from the peer's registered buffer into ``sink``;
         completes when the response stream has been placed."""
         wr = WorkRequest(wr_id if wr_id is not None else next(self._wr_ids),
                          WROpcode.RDMA_READ, [sink],
                          remote_addr=remote_addr, rkey=rkey)
-        qp.enqueue_send(wr)
-        cost = self.timing.post_descriptor + self.timing.doorbell
-        yield self.host.cpu.submit(
-            cost, category="qpip-post",
-            fn=lambda: self.fw.nic.ring_doorbell((qp.qp_num, "send")))
-        return wr.wr_id
+        result = yield from self._post(qp, wr, "send", timeout)
+        return result
 
     def poll(self, cq: CompletionQueue, max_entries: int = 16) -> Generator:
         """Non-blocking poll: returns (possibly empty) list of completions."""

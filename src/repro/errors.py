@@ -61,6 +61,49 @@ class QPStateError(VerbsError):
     """Operation invalid for the QP's current state."""
 
 
+class QpTornDown(QPStateError):
+    """Posting to a QP that is in ERROR or DISCONNECTED.
+
+    Both post paths (``post_send`` and ``post_recv``) raise exactly this
+    type so applications and the recovery layer can handle teardown with
+    one ``except`` clause.  ``cause`` carries the connection-level error
+    that moved the QP to ERROR, when there was one.
+    """
+
+    def __init__(self, qp, cause=None):
+        self.qp_num = qp.qp_num
+        self.qp_state = qp.state
+        self.cause = cause if cause is not None else qp.error
+        detail = f": {self.cause}" if self.cause is not None else ""
+        super().__init__(
+            f"QP{qp.qp_num} is {qp.state.value}{detail}")
+
+
+class QueueFull(VerbsError):
+    """A work queue is at capacity.
+
+    Raised immediately only for non-blocking posts (``timeout=0``); by
+    default the verbs layer absorbs this as watermark backpressure and
+    yields until capacity frees or the posting deadline expires."""
+
+
+class PostDeadlineExceeded(VerbsError):
+    """Backpressured post did not find queue space within its deadline."""
+
+
+class RetryBudgetExhausted(ReproError):
+    """A retry policy ran out of attempts or overran its deadline."""
+
+    def __init__(self, message, attempts=0, elapsed=0.0):
+        self.attempts = attempts
+        self.elapsed = elapsed
+        super().__init__(message)
+
+
+class CircuitOpen(ReproError):
+    """The circuit breaker is open: the operation was shed, not tried."""
+
+
 class CompletionError(VerbsError):
     """A work request completed in error; carries the failed CQE.
 

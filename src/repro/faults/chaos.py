@@ -41,6 +41,7 @@ SEQ_HDR = 8           # big-endian sequence number stamped into each message
 
 KILL_MODES = ("none", "rst", "dma")
 WORKLOADS = ("ttcp", "pingpong")
+RECOVER_WORKLOADS = ("ttcp", "pingpong", "kvstore")
 
 
 def message_bytes(seq: int, size: int) -> bytes:
@@ -79,6 +80,10 @@ class ChaosResult:
     cqe_trace: List[Tuple] = field(default_factory=list)
     tcp_stats: Dict[str, int] = field(default_factory=dict)
     fault_counts: Dict[str, int] = field(default_factory=dict)
+    recover: bool = False
+    forced_restarts: int = 0
+    recovery: Dict[str, object] = field(default_factory=dict)
+    recovery_trace: List[str] = field(default_factory=list)
 
     @property
     def killed(self) -> bool:
@@ -91,6 +96,26 @@ class ChaosResult:
             bad.append(f"{self.duplicate_messages} duplicate deliveries")
         if self.payload_mismatches:
             bad.append(f"{self.payload_mismatches} corrupted deliveries")
+        if self.recover:
+            # Self-healing contract: every application op succeeds exactly
+            # once *despite* the forced QP restarts, and each restart was
+            # an actual ERROR transition that the recovery layer healed.
+            if self.bytes_delivered != self.bytes_sent:
+                bad.append(f"delivered {self.bytes_delivered}B of "
+                           f"{self.bytes_sent}B sent")
+            if self.messages_delivered != self.messages:
+                bad.append(f"delivered {self.messages_delivered} of "
+                           f"{self.messages} messages")
+            if self.forced_restarts:
+                transitions = self.recovery.get("qp_error_transitions", 0)
+                if transitions < self.forced_restarts:
+                    bad.append(f"only {transitions} QP ERROR transitions "
+                               f"for {self.forced_restarts} forced restarts")
+                recoveries = self.recovery.get("recoveries", 0)
+                if recoveries < self.forced_restarts:
+                    bad.append(f"only {recoveries} recoveries for "
+                               f"{self.forced_restarts} forced restarts")
+            return bad
         if self.client_completed != self.client_posted:
             bad.append(f"client WRs leaked: {self.client_posted} posted, "
                        f"{self.client_completed} completed")
@@ -119,21 +144,40 @@ class ChaosResult:
         return not self.violations()
 
     def trace_key(self) -> Tuple:
-        """The determinism fingerprint: the full completion trace plus
-        the client connection's TCP counters."""
-        return (tuple(self.cqe_trace), tuple(sorted(self.tcp_stats.items())))
+        """The determinism fingerprint: the full completion trace, the
+        client connection's TCP counters, and (in ``--recover`` runs) the
+        recovery trace and counters."""
+        return (tuple(self.cqe_trace), tuple(sorted(self.tcp_stats.items())),
+                tuple(self.recovery_trace),
+                tuple(sorted((k, v) for k, v in self.recovery.items()
+                             if not isinstance(v, dict))))
 
     def summary(self) -> str:
+        mode = f"recover({self.forced_restarts} restarts)" if self.recover \
+            else f"kill={self.kill}"
         lines = [
-            f"chaos[{self.workload}] seed={self.seed} kill={self.kill}",
+            f"chaos[{self.workload}] seed={self.seed} {mode}",
             f"  plan: {self.plan}",
             f"  {self.messages_delivered}/{self.messages} messages, "
             f"{self.bytes_delivered}/{self.bytes_sent} bytes, "
             f"{self.elapsed_us / 1000.0:.2f} ms",
-            f"  WRs: client {self.client_completed}/{self.client_posted}, "
-            f"server {self.server_completed}/{self.server_posted}, "
-            f"{self.error_completions} errors; QP {self.client_qp_state}",
         ]
+        if self.recover:
+            rec = self.recovery
+            lines.append(
+                f"  recovery: {rec.get('qp_error_transitions', 0)} QP "
+                f"errors, {rec.get('recoveries', 0)} heals, "
+                f"{rec.get('attempts', 0)} connect attempts, "
+                f"{rec.get('replayed_wrs', 0)} WRs replayed, "
+                f"breaker opens {rec.get('breaker_opens', 0)}, "
+                f"watchdog aborts {rec.get('watchdog_aborts', 0)}")
+            if self.recovery_trace:
+                lines.append("  trace: " + " ".join(self.recovery_trace))
+        else:
+            lines.append(
+                f"  WRs: client {self.client_completed}/{self.client_posted},"
+                f" server {self.server_completed}/{self.server_posted}, "
+                f"{self.error_completions} errors; QP {self.client_qp_state}")
         if self.fault_counts:
             faults = ", ".join(f"{k}={v}" for k, v in
                                sorted(self.fault_counts.items()) if v)
@@ -183,14 +227,35 @@ def run_chaos(seed: int = 1,
               queue_depth: int = 8,
               recv_buffers: int = 16,
               mtu: int = 16384,
-              deadline: float = 600_000_000.0) -> ChaosResult:
+              deadline: float = 600_000_000.0,
+              recover: bool = False,
+              restarts: int = 3) -> ChaosResult:
     """One chaos run.  See the module docstring for the contract.
 
     ``kill="rst"`` aborts the server's connection at ``kill_at`` (the
     client sees an RST); ``kill="dma"`` breaks the client NIC's host-DMA
     engine from ``kill_at`` on.  Both must leave the client QP in ERROR
     with every posted WR completed.
+
+    ``recover=True`` runs the workload over the self-healing session
+    layer (:mod:`repro.recovery`) instead, forcing ``restarts`` QP
+    aborts at deterministic points mid-transfer.  The contract inverts:
+    the QP *does* die, repeatedly, and every application op must still
+    succeed exactly once — bit-for-bit reproducibly per seed.
     """
+    if recover:
+        if workload not in RECOVER_WORKLOADS:
+            raise VerbsError(f"unknown recover workload {workload!r} "
+                             f"(one of {RECOVER_WORKLOADS})")
+        if kill != "none":
+            raise VerbsError("recover mode schedules its own QP restarts; "
+                             "combine with a FaultPlan, not with kill=")
+        return _run_chaos_recover(seed=seed, workload=workload,
+                                  plan=plan if plan is not None
+                                  else FaultPlan(),
+                                  messages=messages, msg_size=msg_size,
+                                  restarts=restarts, mtu=mtu,
+                                  deadline=deadline)
     if workload not in WORKLOADS:
         raise VerbsError(f"unknown chaos workload {workload!r} "
                          f"(one of {WORKLOADS})")
@@ -377,6 +442,262 @@ def run_chaos(seed: int = 1,
                                 + node_b.firmware.stack.checksum_errors)
     result.fault_counts = counts
     return result
+
+
+def _run_chaos_recover(seed: int, workload: str, plan: FaultPlan,
+                       messages: int, msg_size: int, restarts: int,
+                       mtu: int, deadline: float) -> ChaosResult:
+    """Chaos with the self-healing layer in the loop.
+
+    Forced restarts are placed at deterministic *progress* points (after
+    every ``ops/(restarts+1)``-th application op), not wall-clock times,
+    so every restart is guaranteed to land mid-transfer regardless of
+    how fast the workload runs under the fault plan.
+    """
+    sim = Simulator()
+    hub = RngHub(seed)
+    node_a, node_b, fabric = build_qpip_pair(sim, mtu=mtu)
+    result = ChaosResult(workload=workload, seed=seed, plan=plan.describe(),
+                         kill="none", messages=messages, msg_size=msg_size,
+                         recover=True)
+    injectors = []
+    if len(plan):
+        for name, node in (("h0", node_a), ("h1", node_b)):
+            injectors.append(install_on_link(
+                fabric.host_link(name), node.nic.attachment, plan,
+                hub.stream(f"fault.{name}")))
+    state: dict = {}
+    if workload == "kvstore":
+        procs, finish = _recover_kvstore(sim, hub, node_a, node_b, result,
+                                         messages, msg_size, restarts, state)
+    else:
+        procs, finish = _recover_stream(sim, hub, node_a, node_b, result,
+                                        workload, messages, msg_size,
+                                        restarts, state)
+    sim.run(until=sim.now + deadline)
+    for proc in procs:
+        if not proc.triggered:
+            raise RuntimeError(
+                f"chaos recover workload hung (seed={seed}, "
+                f"workload={workload}): "
+                f"{result.messages_delivered}/{messages} delivered "
+                f"at t={sim.now:.0f}us")
+        if not proc.ok:
+            raise proc.value
+    finish()
+    result.elapsed_us = state.get("t_end", sim.now) - state.get("t_start", 0.0)
+    counts: Dict[str, int] = {}
+    for injector in injectors:
+        for key, value in injector.counts().items():
+            if key != "seen":
+                counts[f"wire_{key}"] = counts.get(f"wire_{key}", 0) + value
+    counts["checksum_drops"] = (node_a.firmware.stack.checksum_errors
+                                + node_b.firmware.stack.checksum_errors)
+    result.fault_counts = counts
+    return result
+
+
+def _recover_stream(sim, hub, node_a, node_b, result, workload, messages,
+                    msg_size, restarts, state):
+    """ttcp/pingpong over a RecoveryManager session with forced restarts."""
+    from ..recovery import RecoveryAcceptor, RecoveryManager, RetryPolicy
+    receiver = _Receiver(result)
+    kill_after = {((k + 1) * messages) // (restarts + 1)
+                  for k in range(restarts)}
+
+    def handler(_sid, payload):
+        receiver.consume(bytes(payload))
+        return payload if workload == "pingpong" else None
+
+    acceptor = RecoveryAcceptor(node_b, port=CHAOS_PORT, handler=handler,
+                                max_msg=max(msg_size, 64), name="chaos-srv")
+    manager = RecoveryManager(node_a, Endpoint(node_b.addr, CHAOS_PORT),
+                              session_id=1,
+                              policy=RetryPolicy(max_attempts=12),
+                              rng=hub.stream("recovery.client"),
+                              max_msg=max(msg_size, 64),
+                              heartbeat_interval=10_000.0,
+                              name="chaos-cli")
+    trace = result.cqe_trace
+
+    def record(cqe):
+        trace.append((round(sim.now, 3), "c", cqe.qp_num, cqe.opcode.value,
+                      cqe.status.value, cqe.byte_len))
+
+    killed_qps = set()
+
+    def try_kill():
+        # A kill only counts when it lands on a live, healthy incarnation
+        # — aborting a QP that is already in ERROR (recovery in progress)
+        # is a no-op and heals nothing new.  The killed_qps latch keeps
+        # two pending kills from burning on one incarnation: the ERROR
+        # transition rides the firmware action queue, so qp.state alone
+        # cannot tell a just-aborted QP from a healthy one.
+        if not manager.connected or manager.qp.state is QPState.ERROR \
+                or manager.qp.qp_num in killed_qps:
+            return False
+        before = node_a.firmware.watchdog_aborts
+        node_a.firmware.abort_qp(manager.qp)
+        if node_a.firmware.watchdog_aborts == before:
+            return False
+        killed_qps.add(manager.qp.qp_num)
+        result.forced_restarts += 1
+        return True
+
+    def client():
+        yield from manager.start()
+        manager.cq.observers.append(record)
+        state["t_start"] = sim.now
+        pending_kills = 0
+        for seq in range(messages):
+            payload = message_bytes(seq, msg_size)
+            yield from manager.send(payload)
+            result.bytes_sent += msg_size
+            if workload == "pingpong":
+                echo = yield from manager.recv()
+                if echo != payload:
+                    result.payload_mismatches += 1
+            if (seq + 1) in kill_after:
+                pending_kills += 1
+            if pending_kills and try_kill():
+                pending_kills -= 1
+        while pending_kills:
+            # A fast sender can outrun recovery; land the remaining kills
+            # before draining so every requested restart is exercised.
+            if try_kill():
+                pending_kills -= 1
+            else:
+                yield sim.timeout(200.0)
+        # Every forced restart must actually heal — a kill whose ledger
+        # was already empty would otherwise let close() win the race
+        # against the reconnect.
+        while manager.report().get("heals", 0) < result.forced_restarts:
+            yield sim.timeout(200.0)
+        yield from manager.drain()
+        state["t_end"] = sim.now
+        yield from manager.close()
+
+    def finish():
+        rep = manager.report()
+        rec = {k: v for k, v in rep.items()
+               if isinstance(v, (int, float, str))}
+        rec["recoveries"] = rep.get("heals", 0)
+        rec["qp_error_transitions"] = node_a.firmware.qp_error_transitions
+        rec["server_qp_error_transitions"] = \
+            node_b.firmware.qp_error_transitions
+        rec["watchdog_aborts"] = (node_a.firmware.watchdog_aborts
+                                  + node_b.firmware.watchdog_aborts)
+        srv = acceptor.report()
+        rec["server_delivered"] = srv.get("delivered", 0)
+        result.recovery = rec
+        result.recovery_trace = list(manager.trace)
+        result.client_posted = rep.get("wrs_posted", 0)
+        result.client_completed = rep.get("wrs_completed", 0)
+        result.client_qp_state = (manager.qp.state.name
+                                  if manager.qp is not None else "NONE")
+
+    sim.process(acceptor.run())
+    return [sim.process(client())], finish
+
+
+def _recover_kvstore(sim, hub, node_a, node_b, result, messages, msg_size,
+                     restarts, state):
+    """Replicated KV store with reconnect/failover under forced restarts.
+
+    Two independent KvServer replicas run on the server node; the client
+    is a :class:`~repro.apps.kvstore.FailoverKvClient`.  PUTs replicate
+    to both; GETs alternate two-sided/one-sided and fail over when the
+    preferred replica's QP is killed under them.
+    """
+    from ..apps.kvstore import FailoverKvClient, KvServer
+    from ..recovery import RetryPolicy
+    servers = [KvServer(node_b, port=CHAOS_PORT + 1 + i) for i in range(2)]
+    total_ops = 2 * messages
+    kill_after = {((k + 1) * total_ops) // (restarts + 1)
+                  for k in range(restarts)}
+    vsize = max(SEQ_HDR, min(msg_size, 128))
+
+    killed_qps = set()
+
+    def try_kill(fkv):
+        client = fkv._clients.get(fkv.preferred)
+        qp = getattr(client, "qp", None) if client is not None else None
+        if qp is None or qp.state is QPState.ERROR \
+                or qp.qp_num in killed_qps:
+            return False
+        before = node_a.firmware.watchdog_aborts
+        node_a.firmware.abort_qp(qp)
+        if node_a.firmware.watchdog_aborts == before:
+            return False
+        killed_qps.add(qp.qp_num)
+        result.forced_restarts += 1
+        return True
+
+    def client():
+        replicas = []
+        for server in servers:
+            info = yield server.ready
+            replicas.append((node_b.addr, server.port, info))
+        fkv = FailoverKvClient(node_a, replicas,
+                               policy=RetryPolicy(max_attempts=12),
+                               rng=hub.stream("recovery.kv"),
+                               op_timeout=100_000.0)
+        state["fkv"] = fkv
+        op = 0
+        pending_kills = 0
+        state["t_start"] = sim.now
+        for i in range(messages):
+            key = b"chaos-%04d" % i
+            yield from fkv.put(key, message_bytes(i, vsize))
+            result.bytes_sent += vsize
+            op += 1
+            if op in kill_after:
+                pending_kills += 1
+            if pending_kills and try_kill(fkv):
+                pending_kills -= 1
+        for i in range(messages):
+            key = b"chaos-%04d" % i
+            want = message_bytes(i, vsize)
+            if i % 2 == 0:
+                got = yield from fkv.get(key)
+            else:
+                got = yield from fkv.get_rdma(key)
+            op += 1
+            if got == want:
+                result.messages_delivered += 1
+                result.bytes_delivered += len(got)
+            elif got is not None:
+                result.payload_mismatches += 1
+            if op in kill_after:
+                pending_kills += 1
+            if pending_kills and try_kill(fkv):
+                pending_kills -= 1
+        state["t_end"] = sim.now
+        yield from fkv.close()
+
+    def finish():
+        fkv = state["fkv"]
+        retries = sum(1 for entry in fkv.trace if ":retry:" in entry)
+        rec = dict(failovers=fkv.failovers,
+                   reconnects=fkv.reconnects,
+                   op_attempts=fkv.op_attempts,
+                   # Every forced restart must show up as a failed op that
+                   # subsequently succeeded: a same-replica retry (PUT
+                   # path) or a ring failover (GET path).
+                   recoveries=fkv.failovers + retries,
+                   qp_error_transitions=node_a.firmware.qp_error_transitions,
+                   server_qp_error_transitions=(
+                       node_b.firmware.qp_error_transitions),
+                   watchdog_aborts=(node_a.firmware.watchdog_aborts
+                                    + node_b.firmware.watchdog_aborts),
+                   server_reconnects=sum(s.stats.reconnects
+                                         for s in servers))
+        result.recovery = rec
+        result.recovery_trace = list(fkv.trace)
+
+    for server in servers:
+        sim.process(server.run())
+    return [sim.process(client())], finish
 
 
 def check_determinism(seed: int = 1, **kwargs) -> Tuple[ChaosResult,

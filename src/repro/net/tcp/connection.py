@@ -179,12 +179,21 @@ class TcpConnection:
         self._fin_pending = True
         self._try_send()
 
-    def abort(self) -> None:
-        """Hard close: RST to the peer, drop all state."""
+    def abort(self, exc=None) -> None:
+        """Hard close: RST to the peer, drop all state.
+
+        With ``exc`` the context hears about it through ``on_reset``
+        (local-error semantics: a watchdog or driver killed the
+        connection) instead of an orderly ``on_closed``.
+        """
         if self.state in SYNCHRONIZED_STATES:
             self.output_queue.append(SegDescriptor("rst"))
             self.ctx.output_ready(self)
-        self._teardown(notify_closed=True)
+        if exc is not None:
+            self._teardown(notify_closed=False)
+            self.ctx.on_reset(self, exc)
+        else:
+            self._teardown(notify_closed=True)
 
     def _teardown(self, notify_closed: bool) -> None:
         self.state = TcpState.CLOSED

@@ -55,13 +55,29 @@ class TcpListener:
             on_created(conn)
         self.pending[four] = conn
         inner_established = ctx.on_established
+        inner_closed = ctx.on_closed
+        inner_reset = ctx.on_reset
 
+        # A half-open connection must release its backlog slot however it
+        # dies (handshake RST, SYN|ACK retry exhaustion); otherwise leaked
+        # ``pending`` entries eventually eat the whole backlog and the
+        # listener silently drops every later SYN.
         def on_established(c: TcpConnection):
             self.pending.pop(four, None)
             self.accept_queue.put(c)
             inner_established(c)
 
+        def on_closed(c: TcpConnection):
+            self.pending.pop(four, None)
+            inner_closed(c)
+
+        def on_reset(c: TcpConnection, exc):
+            self.pending.pop(four, None)
+            inner_reset(c, exc)
+
         ctx.on_established = on_established
+        ctx.on_closed = on_closed
+        ctx.on_reset = on_reset
         conn.passive_open(hdr)
         return conn
 
@@ -99,12 +115,19 @@ class TcpModule:
         conn = TcpConnection(self.sim, ctx, four, config, self.next_isn())
         self.connections[four] = conn
         inner_closed = ctx.on_closed
+        inner_reset = ctx.on_reset
 
         def on_closed(c: TcpConnection):
             self.connections.pop(four, None)
             inner_closed(c)
 
+        def on_reset(c: TcpConnection, exc):
+            # Aborts skip on_closed, so the table entry must go here.
+            self.connections.pop(four, None)
+            inner_reset(c, exc)
+
         ctx.on_closed = on_closed
+        ctx.on_reset = on_reset
         return conn
 
     def connect(self, local: Endpoint, remote: Endpoint, config: TcpConfig,

@@ -1,0 +1,19 @@
+"""Self-healing QP sessions: retry policies, circuit breaking, health
+probes, and exactly-once message replay across QP incarnations."""
+
+from .breaker import BreakerState, CircuitBreaker
+from .channel import (FRAME_HDR_LEN, MSG_DATA, MSG_HELLO, MSG_HELLO_ACK,
+                      MSG_PING, MSG_PONG, ReceiverState, SenderState,
+                      SessionState, pack_frame, unpack_frame)
+from .manager import (DEFAULT_HEARTBEAT, DEFAULT_MAX_MSG, DEFAULT_WINDOW,
+                      RecoveryAcceptor, RecoveryManager)
+from .policy import RetryPolicy
+
+__all__ = [
+    "BreakerState", "CircuitBreaker", "RetryPolicy",
+    "SenderState", "ReceiverState", "SessionState",
+    "pack_frame", "unpack_frame", "FRAME_HDR_LEN",
+    "MSG_DATA", "MSG_HELLO", "MSG_HELLO_ACK", "MSG_PING", "MSG_PONG",
+    "RecoveryManager", "RecoveryAcceptor",
+    "DEFAULT_WINDOW", "DEFAULT_MAX_MSG", "DEFAULT_HEARTBEAT",
+]

@@ -1,0 +1,96 @@
+"""Circuit breaker: stop hammering a peer that keeps failing.
+
+Standard three-state machine on the simulation clock:
+
+* **CLOSED** — normal operation; consecutive failures are counted.
+* **OPEN**   — ``failure_threshold`` consecutive failures trip the
+  breaker; attempts are shed (``allow()`` is False) until
+  ``reset_timeout`` µs have passed.
+* **HALF_OPEN** — after the cooldown a limited number of probe attempts
+  go through; one success closes the breaker, one failure re-opens it
+  (with a fresh cooldown).
+
+The recovery layer wraps its *reconnect* path in a breaker, so a peer
+that flaps (accepts, then dies, then accepts, ...) costs a bounded
+amount of connection churn instead of a tight retry loop.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from ..errors import ConfigError
+
+
+class BreakerState(enum.Enum):
+    CLOSED = "CLOSED"
+    OPEN = "OPEN"
+    HALF_OPEN = "HALF_OPEN"
+
+
+class CircuitBreaker:
+    """Consecutive-failure breaker on the sim clock."""
+
+    def __init__(self, sim, failure_threshold: int = 5,
+                 reset_timeout: float = 200_000.0,
+                 half_open_probes: int = 1, name: str = "breaker"):
+        if failure_threshold < 1 or half_open_probes < 1:
+            raise ConfigError("breaker thresholds must be >= 1")
+        if reset_timeout <= 0:
+            raise ConfigError("reset_timeout must be positive")
+        self.sim = sim
+        self.name = name
+        self.failure_threshold = failure_threshold
+        self.reset_timeout = reset_timeout
+        self.half_open_probes = half_open_probes
+        self.state = BreakerState.CLOSED
+        self.consecutive_failures = 0
+        self.opened_at: float = -1.0
+        self._probes_left = 0
+        # counters (surfaced by tools.inspect)
+        self.opens = 0
+        self.shed = 0
+        self.successes = 0
+        self.failures = 0
+
+    @property
+    def cooldown_remaining(self) -> float:
+        if self.state is not BreakerState.OPEN:
+            return 0.0
+        return max(0.0, self.opened_at + self.reset_timeout - self.sim.now)
+
+    def allow(self) -> bool:
+        """May an attempt proceed right now?  (Counts shed attempts.)"""
+        if self.state is BreakerState.CLOSED:
+            return True
+        if self.state is BreakerState.OPEN:
+            if self.sim.now >= self.opened_at + self.reset_timeout:
+                self.state = BreakerState.HALF_OPEN
+                self._probes_left = self.half_open_probes
+            else:
+                self.shed += 1
+                return False
+        # HALF_OPEN: ration the probes.
+        if self._probes_left > 0:
+            self._probes_left -= 1
+            return True
+        self.shed += 1
+        return False
+
+    def record_success(self) -> None:
+        self.successes += 1
+        self.consecutive_failures = 0
+        self.state = BreakerState.CLOSED
+
+    def record_failure(self) -> None:
+        self.failures += 1
+        self.consecutive_failures += 1
+        if self.state is BreakerState.HALF_OPEN \
+                or self.consecutive_failures >= self.failure_threshold:
+            self._trip()
+
+    def _trip(self) -> None:
+        if self.state is not BreakerState.OPEN:
+            self.opens += 1
+        self.state = BreakerState.OPEN
+        self.opened_at = self.sim.now

@@ -1,0 +1,125 @@
+"""The reliable-session wire protocol: sequence numbers over QP messages.
+
+A QP incarnation can die at any moment; the session must not.  Every
+application message rides in a small frame:
+
+    ``[type u8][flags u8][pad u16][session u32][seq u64][ack u64]``  (24 B)
+
+* ``seq`` numbers application messages per direction, starting at 0.
+  Control frames (HELLO/PING/...) carry 0 unless noted.
+* ``ack`` piggybacks the sender's *cumulative* receive progress
+  (``rcv_next``): every frame — data, heartbeat, handshake — tells the
+  peer how far it may retire its replay ledger.
+
+Exactly-once delivery across QP incarnations combines two halves:
+
+* the **sender** keeps every message in an unacked ledger until either
+  its send WR completes successfully (message-mode completion implies
+  the bytes were placed in a peer receive WR) or a cumulative ack covers
+  it; after a reconnect, everything still in the ledger is replayed;
+* the **receiver** admits each ``seq`` at most once — replayed
+  duplicates (the send completed but the CQE raced the crash) are
+  counted and dropped.
+
+The session handshake (HELLO / HELLO_ACK) exchanges ``rcv_next`` in both
+directions, so each side retires what the other actually received before
+replaying the rest.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import ReproError
+
+FRAME_HDR = struct.Struct("!BBxxIQQ")
+FRAME_HDR_LEN = FRAME_HDR.size          # 24 bytes
+
+MSG_DATA = 1        # seq = message number, payload = application bytes
+MSG_HELLO = 2       # client -> server: open/resume session
+MSG_HELLO_ACK = 3   # server -> client: session resumed, ack = rcv_next
+MSG_PING = 4        # heartbeat probe (seq = probe counter)
+MSG_PONG = 5        # heartbeat reply  (seq echoes the probe)
+
+_TYPE_NAMES = {MSG_DATA: "DATA", MSG_HELLO: "HELLO",
+               MSG_HELLO_ACK: "HELLO_ACK", MSG_PING: "PING",
+               MSG_PONG: "PONG"}
+
+
+def pack_frame(ftype: int, session: int, seq: int, ack: int,
+               payload: bytes = b"") -> bytes:
+    return FRAME_HDR.pack(ftype, 0, session, seq, ack) + payload
+
+
+def unpack_frame(data: bytes) -> Tuple[int, int, int, int, bytes]:
+    """Returns ``(type, session, seq, ack, payload)``."""
+    if len(data) < FRAME_HDR_LEN:
+        raise ReproError(f"short recovery frame: {len(data)} bytes")
+    ftype, _flags, session, seq, ack = FRAME_HDR.unpack_from(data, 0)
+    if ftype not in _TYPE_NAMES:
+        raise ReproError(f"unknown recovery frame type {ftype}")
+    return ftype, session, seq, ack, data[FRAME_HDR_LEN:]
+
+
+class SenderState:
+    """Outbound half: sequence assignment plus the replay ledger."""
+
+    def __init__(self):
+        self.next_seq = 0
+        self.unacked: Dict[int, bytes] = {}     # seq -> payload
+
+    @property
+    def lowest_unacked(self) -> int:
+        return min(self.unacked) if self.unacked else self.next_seq
+
+    def stage(self, payload: bytes) -> int:
+        """Assign the next seq and remember the payload for replay."""
+        seq = self.next_seq
+        self.next_seq += 1
+        self.unacked[seq] = payload
+        return seq
+
+    def retire(self, seq: int) -> bool:
+        """Drop one ledger entry (its send WR completed successfully)."""
+        return self.unacked.pop(seq, None) is not None
+
+    def retire_through(self, ack: int) -> int:
+        """Cumulative ack: drop every entry below ``ack``; returns count."""
+        covered = [s for s in self.unacked if s < ack]
+        for s in covered:
+            del self.unacked[s]
+        return len(covered)
+
+    def replay_order(self) -> List[int]:
+        return sorted(self.unacked)
+
+
+class ReceiverState:
+    """Inbound half: at-most-once admission by sequence number."""
+
+    def __init__(self):
+        self.rcv_next = 0               # lowest seq not yet delivered
+        self._seen = set()              # delivered seqs >= rcv_next
+        self.duplicates = 0
+
+    def admit(self, seq: int) -> bool:
+        """True exactly once per seq; duplicates are counted and refused."""
+        if seq < self.rcv_next or seq in self._seen:
+            self.duplicates += 1
+            return False
+        self._seen.add(seq)
+        while self.rcv_next in self._seen:
+            self._seen.discard(self.rcv_next)
+            self.rcv_next += 1
+        return True
+
+
+class SessionState:
+    """Both directions of one logical session (client or server side)."""
+
+    def __init__(self, session_id: int):
+        self.session_id = session_id
+        self.tx = SenderState()
+        self.rx = ReceiverState()
+        self.incarnations = 0           # QP generations this session used

@@ -1,0 +1,726 @@
+"""Self-healing reliable sessions over QP incarnations.
+
+:class:`RecoveryManager` (active side) and :class:`RecoveryAcceptor`
+(passive side) keep one logical *session* alive across any number of QP
+deaths.  The division of labour:
+
+* the **pump** (one process per side) is the sole consumer of a single
+  long-lived CQ that every QP incarnation binds to.  It dispatches
+  completions, detects failure (error CQE on the *current* incarnation),
+  and — on the manager side — runs the reconnect loop;
+* **failure detection** is three-legged: error completions (flush
+  guarantees one per posted WR), :class:`~repro.errors.QpTornDown` from
+  a post, and a :class:`~repro.sim.Watchdog` that catches *silent* peer
+  death (stalled firmware, half-open connection after a mid-transfer
+  kill) and escalates through ``firmware.abort_qp`` so the normal flush
+  machinery produces the error completions;
+* **reconnects** follow a :class:`~repro.recovery.RetryPolicy` (seeded
+  jitter — bit-for-bit reproducible schedules) behind a
+  :class:`~repro.recovery.CircuitBreaker` that paces attempts to a
+  flapping peer;
+* **exactly-once delivery** is the ledger/replay/dedup protocol of
+  :mod:`repro.recovery.channel`.
+
+Everything runs on the simulation clock; a given seed produces an
+identical recovery trace (``manager.trace``) every run.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict, deque
+from typing import Callable, Dict, Generator, List, Optional
+
+from ..core import QPTransport, WROpcode
+from ..errors import (CircuitOpen, NetworkError, PostDeadlineExceeded,
+                      QPStateError, QpTornDown, QueueFull, ReproError,
+                      RetryBudgetExhausted)
+from ..net.addresses import Endpoint
+from ..sim import AnyOf, Event, PeriodicTimer, Watchdog
+from .breaker import BreakerState, CircuitBreaker
+from .channel import (FRAME_HDR_LEN, MSG_DATA, MSG_HELLO, MSG_HELLO_ACK,
+                      MSG_PING, MSG_PONG, SessionState, pack_frame,
+                      unpack_frame)
+from .policy import RetryPolicy
+
+DEFAULT_WINDOW = 64
+DEFAULT_MAX_MSG = 4096
+DEFAULT_HEARTBEAT = 20_000.0        # 20 ms between PINGs
+DEFAULT_SERVER_WATCHDOG = 150_000.0
+
+
+class _ReliableBase:
+    """Buffer pools, CQ pump plumbing, and completion dispatch shared by
+    both ends of a recovered session."""
+
+    HS_POLL = 5.0           # µs between CQ polls while in a handshake
+    CONTROL_SLOTS = 4       # round-robin buffers for HELLO/PING/PONG
+
+    def __init__(self, node, window: int, max_msg: int):
+        if window < 1:
+            raise ReproError("window must be >= 1")
+        self.node = node
+        self.iface = node.iface
+        self.fw = node.firmware
+        self.sim = node.host.sim
+        self.window = window
+        self.max_msg = max_msg
+        self.slot_size = FRAME_HDR_LEN + max_msg
+        self.cq = None
+        self.qp = None                      # current incarnation (or None)
+        self._cookies: Dict[int, tuple] = {}        # wr_id -> (kind, key)
+        self._posted_recvs: Dict[int, tuple] = {}   # wr_id -> (qp_num, buf)
+        self._recv_pool: List = []
+        self._ctrl_slots: List = []
+        self._ctrl_next = 0
+        self._kick: Optional[Event] = None
+        self._closed = False
+        self.stats = defaultdict(int)
+        self.trace: List[str] = []          # deterministic recovery trace
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def _setup(self, recv_slots: int) -> Generator:
+        self.cq = yield from self.iface.create_cq(capacity=4096)
+        for _ in range(recv_slots):
+            buf = yield from self.iface.register_memory(self.slot_size)
+            self._recv_pool.append(buf)
+        for _ in range(self.CONTROL_SLOTS):
+            buf = yield from self.iface.register_memory(FRAME_HDR_LEN)
+            self._ctrl_slots.append(buf)
+
+    def _kick_pump(self) -> None:
+        if self._kick is not None and not self._kick.triggered:
+            self._kick.succeed()
+
+    # -- posting ------------------------------------------------------------
+
+    def _post_recvs(self, qp) -> Generator:
+        """Fill the QP's receive queue from the buffer pool."""
+        while self._recv_pool:
+            buf = self._recv_pool.pop()
+            wr_id = self.iface.alloc_wr_id()
+            self._posted_recvs[wr_id] = (qp.qp_num, buf)
+            try:
+                yield from self.iface.post_recv(qp, [buf.sge()],
+                                                wr_id=wr_id, timeout=0)
+            except (QpTornDown, QueueFull):
+                del self._posted_recvs[wr_id]
+                self._recv_pool.append(buf)
+                return
+
+    def _post_control(self, ftype: int, session_id: int, seq: int,
+                      ack: int, qp=None) -> Generator:
+        """Best-effort header-only frame (handshake/heartbeat traffic)."""
+        qp = self.qp if qp is None else qp
+        if qp is None:
+            return
+        buf = self._ctrl_slots[self._ctrl_next % self.CONTROL_SLOTS]
+        self._ctrl_next += 1
+        frame = pack_frame(ftype, session_id, seq, ack)
+        buf.write(frame)
+        wr_id = self.iface.alloc_wr_id()
+        self._cookies[wr_id] = ("ctrl", None)
+        try:
+            yield from self.iface.post_send(qp, [buf.sge(0, len(frame))],
+                                            wr_id=wr_id, timeout=0)
+        except (QpTornDown, QueueFull):
+            self._cookies.pop(wr_id, None)
+
+    # -- the pump -----------------------------------------------------------
+
+    def _wait_cq(self) -> Generator:
+        """Block until completions arrive or someone kicks the pump."""
+        while True:
+            cqes = yield from self.iface.poll(self.cq, max_entries=32)
+            if cqes or self._closed:
+                return cqes
+            self._kick = Event(self.sim)
+            yield AnyOf(self.sim, [self.cq.wait_event(), self._kick])
+            self._kick = None
+
+    def _reclaim(self, qp_num: int) -> Generator:
+        """Drain the CQ until every receive buffer posted to a dead
+        incarnation has flushed back ("posted == completed" makes this a
+        bounded wait)."""
+        def pending() -> bool:
+            return any(q == qp_num for q, _ in self._posted_recvs.values())
+        while pending():
+            cqes = yield from self.iface.wait(self.cq)
+            for cqe in cqes:
+                yield from self._dispatch(cqe)
+
+    def _dispatch(self, cqe) -> Generator:
+        cur = self.qp.qp_num if self.qp is not None else -1
+        if cqe.opcode is WROpcode.RECV:
+            qp_num, buf = self._posted_recvs.pop(cqe.wr_id)
+            if cqe.ok:
+                try:
+                    frame = unpack_frame(buf.read(cqe.byte_len))
+                except ReproError:
+                    self.stats["bad_frames"] += 1
+                    frame = None
+                # Keep the receive ring full before acting on the frame.
+                if qp_num == cur:
+                    wr_id = self.iface.alloc_wr_id()
+                    self._posted_recvs[wr_id] = (qp_num, buf)
+                    try:
+                        yield from self.iface.post_recv(
+                            self.qp, [buf.sge()], wr_id=wr_id, timeout=0)
+                    except (QpTornDown, QueueFull):
+                        del self._posted_recvs[wr_id]
+                        self._recv_pool.append(buf)
+                else:
+                    self._recv_pool.append(buf)
+                if frame is not None:
+                    # A successful receive from an *old* incarnation is
+                    # still placed data: process it (dedup protects us).
+                    yield from self._on_frame(frame)
+            else:
+                self._recv_pool.append(buf)
+                if qp_num == cur:
+                    self._on_qp_failure(cqe)
+                else:
+                    self.stats["stale_cqes"] += 1
+        else:
+            kind, key = self._cookies.pop(cqe.wr_id, (None, None))
+            if cqe.ok:
+                self.stats["wrs_completed"] += 1
+                if kind == "data":
+                    self._on_data_sent(key)
+            elif cqe.qp_num == cur:
+                self._on_qp_failure(cqe)
+            else:
+                self.stats["stale_cqes"] += 1
+
+    # -- subclass hooks ------------------------------------------------------
+
+    def _on_frame(self, frame) -> Generator:
+        raise NotImplementedError
+        yield  # pragma: no cover
+
+    def _on_qp_failure(self, cqe) -> None:
+        raise NotImplementedError
+
+    def _on_data_sent(self, key) -> None:
+        raise NotImplementedError
+
+    def report(self) -> dict:
+        return dict(self.stats)
+
+
+class RecoveryManager(_ReliableBase):
+    """Active side: owns the reconnect loop, heartbeats, and the app API.
+
+    Application contract: :meth:`send` delivers its payload to the peer
+    exactly once, eventually, across any number of QP incarnations (or
+    the manager fails loudly with RetryBudgetExhausted); :meth:`recv`
+    yields peer messages in order, each exactly once.
+    """
+
+    def __init__(self, node, remote: Endpoint, session_id: int,
+                 policy: Optional[RetryPolicy] = None, rng=None,
+                 breaker: Optional[CircuitBreaker] = None,
+                 window: int = DEFAULT_WINDOW,
+                 max_msg: int = DEFAULT_MAX_MSG,
+                 heartbeat_interval: Optional[float] = DEFAULT_HEARTBEAT,
+                 watchdog_timeout: Optional[float] = None,
+                 shed_when_open: bool = False,
+                 name: str = "recovery"):
+        super().__init__(node, window, max_msg)
+        self.remote = remote
+        self.session = SessionState(session_id)
+        self.policy = policy or RetryPolicy()
+        self.rng = rng
+        self.breaker = breaker or CircuitBreaker(self.sim,
+                                                 name=f"{name}.breaker")
+        self.heartbeat_interval = heartbeat_interval
+        if watchdog_timeout is None and heartbeat_interval is not None:
+            watchdog_timeout = 3.0 * heartbeat_interval
+        self.watchdog_timeout = watchdog_timeout
+        self.shed_when_open = shed_when_open
+        self.name = name
+        self._send_slots: List = []
+        self._inbox = deque()
+        self._inbox_waiters: List[Event] = []
+        self._window_waiters: List[Event] = []
+        self._drain_waiters: List[Event] = []
+        self._up_waiters: List[Event] = []
+        self._need_recovery = False
+        self._hello_ack = False
+        self._ping_seq = 0
+        self._pump_proc = None
+        self.heartbeat: Optional[PeriodicTimer] = None
+        self.watchdog: Optional[Watchdog] = None
+
+    @property
+    def connected(self) -> bool:
+        return self.qp is not None and not self._need_recovery
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def start(self) -> Generator:
+        """Bring the session up (runs the first connect through the same
+        retry machinery as every later recovery); returns when connected."""
+        yield from self._setup(recv_slots=self.window + 8)
+        for _ in range(self.window):
+            buf = yield from self.iface.register_memory(self.slot_size)
+            self._send_slots.append(buf)
+        if self.watchdog_timeout is not None:
+            self.watchdog = Watchdog(self.sim, self.watchdog_timeout,
+                                     self._on_watchdog,
+                                     name=f"{self.name}.wd")
+        if self.heartbeat_interval is not None:
+            self.heartbeat = PeriodicTimer(self.sim, self.heartbeat_interval,
+                                           self._on_heartbeat,
+                                           name=f"{self.name}.hb")
+            self.heartbeat.start()
+        self._need_recovery = True
+        self._pump_proc = self.sim.process(self._pump())
+        yield from self._await_up()
+
+    def close(self) -> Generator:
+        """Orderly shutdown: the peer sees FIN, not an error."""
+        self._closed = True
+        if self.heartbeat is not None:
+            self.heartbeat.stop()
+        if self.watchdog is not None:
+            self.watchdog.disarm()
+        self._kick_pump()
+        for ev in self._inbox_waiters:
+            if not ev.triggered:
+                ev.succeed()
+        self._inbox_waiters.clear()
+        if self.qp is not None:
+            try:
+                yield from self.iface.disconnect(self.qp)
+            except ReproError:
+                pass
+
+    # -- application API -----------------------------------------------------
+
+    def send(self, payload: bytes) -> Generator:
+        """Reliable exactly-once send; returns the assigned sequence
+        number.  Blocks (yields) on window backpressure."""
+        if self._closed:
+            raise ReproError(f"{self.name}: manager is closed")
+        if len(payload) > self.max_msg:
+            raise ReproError(f"message of {len(payload)} B exceeds "
+                             f"max_msg={self.max_msg}")
+        if self.shed_when_open and self.breaker.state is BreakerState.OPEN:
+            self.stats["shed_sends"] += 1
+            raise CircuitOpen(f"{self.name}: peer {self.remote} is flapping")
+        tx = self.session.tx
+        while tx.next_seq - tx.lowest_unacked >= self.window:
+            ev = Event(self.sim)
+            self._window_waiters.append(ev)
+            yield ev
+        seq = tx.stage(payload)
+        yield from self._post_data(seq)
+        return seq
+
+    def recv(self) -> Generator:
+        """Next in-order message from the peer (None once closed)."""
+        while not self._inbox:
+            if self._closed:
+                return None
+            ev = Event(self.sim)
+            self._inbox_waiters.append(ev)
+            yield ev
+        return self._inbox.popleft()
+
+    def drain(self) -> Generator:
+        """Wait until every staged send has been acknowledged."""
+        while self.session.tx.unacked:
+            ev = Event(self.sim)
+            self._drain_waiters.append(ev)
+            yield ev
+
+    # -- internals -----------------------------------------------------------
+
+    def _await_up(self) -> Generator:
+        while self._need_recovery or self.qp is None:
+            ev = Event(self.sim)
+            self._up_waiters.append(ev)
+            yield ev
+
+    def _trigger_recovery(self) -> None:
+        if not self._closed:
+            self._need_recovery = True
+            self._kick_pump()
+
+    def _pump(self) -> Generator:
+        while not self._closed:
+            if self._need_recovery:
+                yield from self._recover()
+                continue
+            cqes = yield from self._wait_cq()
+            for cqe in cqes:
+                yield from self._dispatch(cqe)
+
+    def _recover(self) -> Generator:
+        if self.watchdog is not None:
+            self.watchdog.disarm()
+        self.trace.append(f"{self.sim.now:.1f}:down")
+        if self.qp is not None:
+            dead, self.qp = self.qp, None
+            self.fw.abort_qp(dead)
+            yield from self._reclaim(dead.qp_num)
+        self._need_recovery = False
+        started = self.sim.now
+        attempts_here = 0
+        for delay in self.policy.delays(self.rng):
+            if delay > 0:
+                yield self.sim.timeout(delay)
+            while not self.breaker.allow():
+                yield self.sim.timeout(
+                    max(self.breaker.cooldown_remaining, 1.0))
+            if self.policy.deadline is not None and attempts_here > 0 \
+                    and self.sim.now - started >= self.policy.deadline:
+                break
+            attempts_here += 1
+            self.stats["attempts"] += 1
+            self.trace.append(f"{self.sim.now:.1f}:attempt{attempts_here}")
+            ok = yield from self._attempt()
+            if ok:
+                self.breaker.record_success()
+                if self.session.incarnations > 1:
+                    self.stats["heals"] += 1
+                self.trace.append(
+                    f"{self.sim.now:.1f}:up{self.session.incarnations}")
+                for seq in self.session.tx.replay_order():
+                    self.stats["replayed_wrs"] += 1
+                    yield from self._post_data(seq)
+                if self.watchdog is not None:
+                    self.watchdog.arm()
+                for ev in self._up_waiters:
+                    if not ev.triggered:
+                        ev.succeed()
+                self._up_waiters.clear()
+                return
+            self.breaker.record_failure()
+        raise RetryBudgetExhausted(
+            f"{self.name}: session {self.session.session_id} to "
+            f"{self.remote} not re-established after {attempts_here} "
+            f"attempts / {self.sim.now - started:.0f}us",
+            attempts=attempts_here, elapsed=self.sim.now - started)
+
+    def _attempt(self) -> Generator:
+        """One incarnation: QP, connect, HELLO/HELLO_ACK — all inside the
+        policy's per-attempt deadline."""
+        deadline = self.sim.now + self.policy.attempt_timeout
+        qp = yield from self.iface.create_qp(
+            QPTransport.TCP, self.cq,
+            max_send_wr=self.window + self.CONTROL_SLOTS + 4,
+            max_recv_wr=self.window + 16)
+        yield from self._post_recvs(qp)
+        conn = self.sim.process(self.iface.connect(qp, self.remote))
+        try:
+            yield AnyOf(self.sim, [conn,
+                                   self.sim.timeout(self.policy.attempt_timeout)])
+        except (NetworkError, QPStateError):
+            yield from self._scrap(qp)
+            return False
+        if not conn.triggered:       # SYN still pending at the deadline
+            self.stats["attempt_timeouts"] += 1
+            yield from self._scrap(qp)
+            return False
+        self.qp = qp
+        self.session.incarnations += 1
+        self._hello_ack = False
+        yield from self._post_control(MSG_HELLO, self.session.session_id,
+                                      seq=self.session.tx.next_seq,
+                                      ack=self.session.rx.rcv_next, qp=qp)
+        while not self._hello_ack and not self._need_recovery \
+                and self.sim.now < deadline:
+            cqes = yield from self.iface.poll(self.cq)
+            if cqes:
+                for cqe in cqes:
+                    yield from self._dispatch(cqe)
+            else:
+                yield self.sim.timeout(self.HS_POLL)
+        if self._hello_ack and not self._need_recovery:
+            return True
+        if not self._hello_ack:
+            self.stats["attempt_timeouts"] += 1
+        self.qp = None
+        self._need_recovery = False
+        yield from self._scrap(qp)
+        return False
+
+    def _scrap(self, qp) -> Generator:
+        self.fw.abort_qp(qp)
+        yield from self._reclaim(qp.qp_num)
+
+    def _post_data(self, seq: int) -> Generator:
+        """Frame and post one staged message on the current incarnation.
+        A dead QP is fine: the message stays in the ledger and the next
+        recovery replays it."""
+        if self._closed or self.qp is None or self._need_recovery:
+            return
+        payload = self.session.tx.unacked.get(seq)
+        if payload is None:
+            return      # retired while we were blocked on the window
+        buf = self._send_slots[seq % self.window]
+        frame = pack_frame(MSG_DATA, self.session.session_id, seq,
+                           self.session.rx.rcv_next, payload)
+        buf.write(frame)
+        wr_id = self.iface.alloc_wr_id()
+        self._cookies[wr_id] = ("data", seq)
+        self.stats["wrs_posted"] += 1
+        try:
+            yield from self.iface.post_send(self.qp,
+                                            [buf.sge(0, len(frame))],
+                                            wr_id=wr_id)
+        except (QpTornDown, PostDeadlineExceeded):
+            self._cookies.pop(wr_id, None)
+            self._trigger_recovery()
+
+    def _after_retire(self) -> None:
+        tx = self.session.tx
+        if tx.next_seq - tx.lowest_unacked < self.window:
+            for ev in self._window_waiters:
+                if not ev.triggered:
+                    ev.succeed()
+            self._window_waiters.clear()
+        if not tx.unacked:
+            for ev in self._drain_waiters:
+                if not ev.triggered:
+                    ev.succeed()
+            self._drain_waiters.clear()
+
+    # -- dispatch hooks -----------------------------------------------------
+
+    def _on_frame(self, frame) -> Generator:
+        ftype, _session, seq, ack, payload = frame
+        if self.watchdog is not None:
+            self.watchdog.feed()
+        if self.session.tx.retire_through(ack):
+            self._after_retire()
+        if ftype == MSG_DATA:
+            if self.session.rx.admit(seq):
+                self._inbox.append(payload)
+                for ev in self._inbox_waiters:
+                    if not ev.triggered:
+                        ev.succeed()
+                self._inbox_waiters.clear()
+            else:
+                self.stats["duplicates_dropped"] += 1
+        elif ftype == MSG_HELLO_ACK:
+            self._hello_ack = True
+        elif ftype == MSG_PING:
+            yield from self._post_control(MSG_PONG, self.session.session_id,
+                                          seq=seq,
+                                          ack=self.session.rx.rcv_next)
+
+    def _on_qp_failure(self, cqe) -> None:
+        if not self._need_recovery:     # count transitions, not every CQE
+            self.stats["qp_failures"] += 1
+        self._trigger_recovery()
+
+    def _on_data_sent(self, seq) -> None:
+        # Message-mode completion means the bytes were placed in a peer
+        # receive WR — safe to retire (the receiver's dedup covers the
+        # completion-raced-the-crash replay window).
+        if self.session.tx.retire(seq):
+            self._after_retire()
+
+    # -- timer callbacks (run outside any process) ---------------------------
+
+    def _on_heartbeat(self) -> None:
+        if self._closed or self.qp is None or self._need_recovery:
+            return
+        self._ping_seq += 1
+        self.stats["heartbeats_sent"] += 1
+        self.sim.process(self._post_control(
+            MSG_PING, self.session.session_id, seq=self._ping_seq,
+            ack=self.session.rx.rcv_next))
+
+    def _on_watchdog(self) -> None:
+        if self._closed:
+            return
+        self.stats["watchdog_escalations"] += 1
+        self.trace.append(f"{self.sim.now:.1f}:watchdog")
+        if self.qp is not None:
+            # The abort flushes every posted WR with error CQEs, which
+            # wakes the pump through the normal failure path.
+            self.fw.abort_qp(self.qp)
+        self._kick_pump()
+
+    def report(self) -> dict:
+        out = dict(self.stats)
+        out.update(incarnations=self.session.incarnations,
+                   unacked=len(self.session.tx.unacked),
+                   next_seq=self.session.tx.next_seq,
+                   rcv_next=self.session.rx.rcv_next,
+                   breaker_state=self.breaker.state.value,
+                   breaker_opens=self.breaker.opens,
+                   breaker_shed=self.breaker.shed)
+        if self.watchdog is not None:
+            out["watchdog_expirations"] = self.watchdog.expirations
+        return out
+
+
+class RecoveryAcceptor(_ReliableBase):
+    """Passive side: accepts one connection at a time, keeps per-session
+    state across incarnations, answers HELLO with the session's receive
+    progress, and replays unacknowledged responses.
+
+    ``handler(session_id, payload) -> Optional[bytes]`` is invoked
+    exactly once per admitted message; a returned value is sent back
+    reliably (the echo/RPC reply path).
+    """
+
+    def __init__(self, node, port: int,
+                 handler: Optional[Callable] = None,
+                 window: int = DEFAULT_WINDOW,
+                 max_msg: int = DEFAULT_MAX_MSG,
+                 watchdog_timeout: Optional[float] = DEFAULT_SERVER_WATCHDOG,
+                 name: str = "acceptor"):
+        super().__init__(node, window, max_msg)
+        self.port = port
+        self.handler = handler
+        self.name = name
+        self.sessions: Dict[int, SessionState] = {}
+        self._slots: Dict[int, List] = {}
+        self._conn_dead = False
+        self.ready = Event(self.sim)
+        self.watchdog = (Watchdog(self.sim, watchdog_timeout,
+                                  self._on_watchdog, name=f"{name}.wd")
+                         if watchdog_timeout is not None else None)
+
+    def run(self) -> Generator:
+        """Accept loop: serve incarnations forever (until closed)."""
+        yield from self._setup(recv_slots=self.window + 16)
+        listener = yield from self.iface.listen(self.port)
+        self.ready.succeed(self.port)
+        while not self._closed:
+            qp = yield from self.iface.create_qp(
+                QPTransport.TCP, self.cq,
+                max_send_wr=self.window + self.CONTROL_SLOTS + 4,
+                max_recv_wr=self.window + 24)
+            yield from self._post_recvs(qp)
+            yield from self.iface.accept(listener, qp)
+            self.qp = qp
+            self._conn_dead = False
+            self.stats["accepts"] += 1
+            self.trace.append(f"{self.sim.now:.1f}:accept")
+            if self.watchdog is not None:
+                self.watchdog.arm()
+            while not self._conn_dead and not self._closed:
+                cqes = yield from self._wait_cq()
+                for cqe in cqes:
+                    yield from self._dispatch(cqe)
+            if self.watchdog is not None:
+                self.watchdog.disarm()
+            dead, self.qp = self.qp, None
+            self.fw.abort_qp(dead)
+            yield from self._reclaim(dead.qp_num)
+
+    def close(self) -> None:
+        self._closed = True
+        if self.watchdog is not None:
+            self.watchdog.disarm()
+        self._kick_pump()
+
+    # -- dispatch hooks -----------------------------------------------------
+
+    def _on_frame(self, frame) -> Generator:
+        ftype, session_id, seq, ack, payload = frame
+        if self.watchdog is not None:
+            self.watchdog.feed()
+        if ftype == MSG_HELLO:
+            sess = self.sessions.get(session_id)
+            if sess is None:
+                sess = self.sessions[session_id] = SessionState(session_id)
+                slots = self._slots[session_id] = []
+                for _ in range(self.window):
+                    buf = yield from self.iface.register_memory(
+                        self.slot_size)
+                    slots.append(buf)
+            sess.incarnations += 1
+            sess.tx.retire_through(ack)
+            yield from self._post_control(MSG_HELLO_ACK, session_id,
+                                          seq=0, ack=sess.rx.rcv_next)
+            for rseq in sess.tx.replay_order():
+                self.stats["replayed_wrs"] += 1
+                yield from self._post_response(sess, rseq)
+            return
+        sess = self.sessions.get(session_id)
+        if sess is None:
+            self.stats["orphan_frames"] += 1
+            return
+        sess.tx.retire_through(ack)
+        if ftype == MSG_DATA:
+            if sess.rx.admit(seq):
+                self.stats["delivered"] += 1
+                if self.handler is not None:
+                    response = self.handler(session_id, payload)
+                    if response is not None:
+                        tx = sess.tx
+                        if tx.next_seq - tx.lowest_unacked >= self.window:
+                            raise ReproError(
+                                f"{self.name}: response window overrun for "
+                                f"session {session_id}")
+                        rseq = tx.stage(response)
+                        yield from self._post_response(sess, rseq)
+            else:
+                self.stats["duplicates_dropped"] += 1
+        elif ftype == MSG_PING:
+            self.stats["pings"] += 1
+            yield from self._post_control(MSG_PONG, session_id, seq=seq,
+                                          ack=sess.rx.rcv_next)
+
+    def _post_response(self, sess: SessionState, seq: int) -> Generator:
+        if self.qp is None or self._conn_dead or self._closed:
+            return
+        payload = sess.tx.unacked.get(seq)
+        if payload is None:
+            return
+        buf = self._slots[sess.session_id][seq % self.window]
+        frame = pack_frame(MSG_DATA, sess.session_id, seq,
+                           sess.rx.rcv_next, payload)
+        buf.write(frame)
+        wr_id = self.iface.alloc_wr_id()
+        self._cookies[wr_id] = ("data", (sess.session_id, seq))
+        self.stats["wrs_posted"] += 1
+        try:
+            yield from self.iface.post_send(self.qp,
+                                            [buf.sge(0, len(frame))],
+                                            wr_id=wr_id)
+        except (QpTornDown, PostDeadlineExceeded):
+            self._cookies.pop(wr_id, None)
+            self._conn_dead = True
+            self._kick_pump()
+
+    def _on_qp_failure(self, cqe) -> None:
+        if not self._conn_dead:         # count transitions, not every CQE
+            self.stats["conn_failures"] += 1
+        self._conn_dead = True
+        self._kick_pump()
+
+    def _on_data_sent(self, key) -> None:
+        session_id, seq = key
+        sess = self.sessions.get(session_id)
+        if sess is not None:
+            sess.tx.retire(seq)
+
+    def _on_watchdog(self) -> None:
+        if self._closed or self.qp is None:
+            return
+        self.stats["watchdog_escalations"] += 1
+        self.trace.append(f"{self.sim.now:.1f}:watchdog")
+        self.fw.abort_qp(self.qp)
+        self._kick_pump()
+
+    def report(self) -> dict:
+        out = dict(self.stats)
+        out["sessions"] = {
+            sid: dict(incarnations=s.incarnations,
+                      unacked=len(s.tx.unacked),
+                      next_seq=s.tx.next_seq,
+                      rcv_next=s.rx.rcv_next,
+                      duplicates=s.rx.duplicates)
+            for sid, s in sorted(self.sessions.items())}
+        if self.watchdog is not None:
+            out["watchdog_expirations"] = self.watchdog.expirations
+        return out

@@ -1,0 +1,80 @@
+"""Retry policies: when (and whether) to try again.
+
+A :class:`RetryPolicy` turns "the connection died" into a deterministic
+schedule of reconnect attempts: exponential backoff with a cap, optional
+jitter drawn from a *named* simulation RNG stream (so two runs with the
+same seed produce bit-identical schedules), a per-attempt timeout, and an
+overall budget.  Exhausting the budget raises
+:class:`~repro.errors.RetryBudgetExhausted` — recovery fails loudly, it
+never hangs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from ..errors import ConfigError
+
+JITTER_MODES = ("none", "full", "decorrelated")
+
+
+@dataclass
+class RetryPolicy:
+    """Backoff schedule for reconnect attempts (all times in µs).
+
+    ``jitter`` selects the delay distribution:
+
+    * ``"none"``          — pure exponential: ``base * multiplier**k``, capped.
+    * ``"full"``          — uniform in ``[0, exponential)`` (AWS "full jitter").
+    * ``"decorrelated"``  — ``min(cap, uniform(base, 3 * previous))``;
+      spreads a thundering herd of reconnecting clients without the
+      synchronized pulses plain exponential produces.
+
+    The first attempt waits ``first_delay`` (default: retry immediately —
+    the most common failure is a single killed connection, and one fast
+    retry usually heals it before backoff matters).
+    """
+
+    base_delay: float = 100.0
+    max_delay: float = 50_000.0
+    multiplier: float = 2.0
+    jitter: str = "decorrelated"
+    max_attempts: int = 8
+    attempt_timeout: float = 500_000.0
+    deadline: Optional[float] = None     # overall budget across all attempts
+    first_delay: float = 0.0
+
+    def __post_init__(self):
+        if self.jitter not in JITTER_MODES:
+            raise ConfigError(f"unknown jitter mode {self.jitter!r}")
+        if self.base_delay < 0 or self.max_delay < self.base_delay:
+            raise ConfigError("need 0 <= base_delay <= max_delay")
+        if self.max_attempts < 1:
+            raise ConfigError("max_attempts must be >= 1")
+
+    def delays(self, rng=None) -> Iterator[float]:
+        """Yield the pre-attempt delay for attempts ``0..max_attempts-1``.
+
+        ``rng`` is a ``random.Random`` (a :class:`~repro.sim.RngHub`
+        stream); required for the jittered modes.  The sequence is a pure
+        function of (policy, rng state): same seed, same schedule.
+        """
+        if self.jitter != "none" and rng is None:
+            raise ConfigError(f"jitter={self.jitter!r} needs an rng stream")
+        prev = self.base_delay
+        for attempt in range(self.max_attempts):
+            if attempt == 0:
+                yield self.first_delay
+                continue
+            raw = min(self.max_delay,
+                      self.base_delay * self.multiplier ** (attempt - 1))
+            if self.jitter == "none":
+                delay = raw
+            elif self.jitter == "full":
+                delay = rng.uniform(0.0, raw)
+            else:   # decorrelated
+                delay = min(self.max_delay,
+                            rng.uniform(self.base_delay, prev * 3.0))
+                prev = delay
+            yield delay

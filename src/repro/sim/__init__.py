@@ -5,12 +5,13 @@ from .engine import (AllOf, AnyOf, Event, Interrupt, Process, SimulationError,
 from .resources import Mutex, Store, WorkItem, WorkQueue
 from .rng import RngHub
 from .stats import Counter, Histogram, RateMeter, RunningStats, StatsRegistry
-from .timers import PeriodicTimer, Timer
+from .timers import PeriodicTimer, Timer, Watchdog
 from .trace import NullTracer, Tracer
 
 __all__ = [
     "AllOf", "AnyOf", "Event", "Interrupt", "Process", "SimulationError",
     "Simulator", "Timeout", "Mutex", "Store", "WorkItem", "WorkQueue",
     "RngHub", "Counter", "Histogram", "RateMeter", "RunningStats",
-    "StatsRegistry", "PeriodicTimer", "Timer", "NullTracer", "Tracer",
+    "StatsRegistry", "PeriodicTimer", "Timer", "Watchdog",
+    "NullTracer", "Tracer",
 ]

@@ -63,6 +63,49 @@ class Timer:
         self._callback()
 
 
+class Watchdog:
+    """Deadman timer: fires ``callback`` unless fed within ``timeout`` µs.
+
+    The recovery layer arms one per supervised QP: every completion or
+    successful post calls :meth:`feed`; if the peer goes silent (firmware
+    stall, half-open connection from a mid-transfer kill) the expiry
+    callback escalates to QP teardown instead of hanging forever.
+    """
+
+    def __init__(self, sim: Simulator, timeout: float,
+                 callback: Callable[[], Any], name: str = "watchdog"):
+        if timeout <= 0:
+            raise SimulationError("watchdog timeout must be positive")
+        self.sim = sim
+        self.timeout = timeout
+        self.name = name
+        self.expirations = 0
+        self.last_fed: Optional[float] = None
+        self._callback = callback
+        self._timer = Timer(sim, self._expire, name=name)
+
+    @property
+    def armed(self) -> bool:
+        return self._timer.armed
+
+    def feed(self) -> None:
+        """Record liveness: push the expiry a full ``timeout`` out."""
+        if self._timer.armed:
+            self.last_fed = self.sim.now
+            self._timer.start(self.timeout)
+
+    def arm(self) -> None:
+        self.last_fed = self.sim.now
+        self._timer.start(self.timeout)
+
+    def disarm(self) -> None:
+        self._timer.cancel()
+
+    def _expire(self) -> None:
+        self.expirations += 1
+        self._callback()
+
+
 class PeriodicTimer:
     """Fires ``callback`` every ``period`` µs until stopped."""
 

@@ -92,6 +92,65 @@ def fabric_report(fabric) -> str:
     return "\n".join(lines)
 
 
+def recovery_report(session) -> str:
+    """Health/recovery counters for a RecoveryManager or RecoveryAcceptor.
+
+    Reads the session's ``report()`` dict the way the other inspectors
+    read live protocol state; works on either end of a healed session.
+    """
+    rep = session.report()
+    name = getattr(session, "name", "session")
+    qp = session.qp
+    state = qp.state.name if qp is not None else "DOWN"
+    lines = [f"recovery {name}: qp={state}"]
+    if "incarnations" in rep:               # manager side
+        lines.append(
+            f"  session: incarnation {rep['incarnations']}, "
+            f"{rep.get('heals', 0)} heals over "
+            f"{rep.get('attempts', 0)} attempts "
+            f"({rep.get('attempt_timeouts', 0)} timed out), "
+            f"unacked {rep.get('unacked', 0)}")
+        lines.append(
+            f"  wire: {rep.get('wrs_posted', 0)} WRs posted, "
+            f"{rep.get('wrs_completed', 0)} completed, "
+            f"{rep.get('replayed_wrs', 0)} replayed, "
+            f"{rep.get('stale_cqes', 0)} stale CQEs, "
+            f"{rep.get('duplicates_dropped', 0)} dups dropped")
+        lines.append(
+            f"  health: {rep.get('heartbeats_sent', 0)} heartbeats, "
+            f"{rep.get('watchdog_escalations', 0)} watchdog escalations, "
+            f"{rep.get('qp_failures', 0)} QP failures; "
+            f"breaker {rep.get('breaker_state', '?')} "
+            f"(opened {rep.get('breaker_opens', 0)}, "
+            f"shed {rep.get('breaker_shed', 0)})")
+    else:                                   # acceptor side
+        lines.append(
+            f"  served: {rep.get('accepts', 0)} accepts, "
+            f"{rep.get('conn_failures', 0)} connection failures, "
+            f"{rep.get('delivered', 0)} delivered, "
+            f"{rep.get('duplicates_dropped', 0)} dups dropped, "
+            f"{rep.get('replayed_wrs', 0)} responses replayed")
+        for sid, sess in rep.get("sessions", {}).items():
+            lines.append(
+                f"  session {sid}: incarnation {sess['incarnations']}, "
+                f"rcv_next {sess['rcv_next']}, "
+                f"unacked {sess['unacked']}, "
+                f"duplicates {sess['duplicates']}")
+    return "\n".join(lines)
+
+
+def breaker_report(breaker) -> str:
+    """One-line state dump of a CircuitBreaker."""
+    line = (f"breaker {breaker.name}: {breaker.state.value}, "
+            f"{breaker.failures} failures/{breaker.successes} successes "
+            f"({breaker.consecutive_failures} consecutive), "
+            f"opened {breaker.opens}x, shed {breaker.shed}")
+    remaining = breaker.cooldown_remaining
+    if remaining > 0:
+        line += f", cooldown {remaining:.0f}us remaining"
+    return line
+
+
 def _direction_faults(direction) -> str:
     """Injected-fault counters for one link direction (empty if clean)."""
     if not (direction.packets_duplicated or direction.packets_delayed

@@ -1,0 +1,469 @@
+"""Self-healing QP layer: retry policies, circuit breaking, health
+probes, exactly-once replay across QP incarnations, and the chaos
+``--recover`` invariant (every application op eventually succeeds exactly
+once, bit-for-bit reproducibly per seed)."""
+
+import pytest
+
+from repro.bench.configs import build_qpip_pair
+from repro.core import QPState, QPTransport
+from repro.errors import (ConfigError, PostDeadlineExceeded, QpTornDown,
+                          QueueFull)
+from repro.faults import FaultPlan, check_determinism, run_chaos
+from repro.net.addresses import Endpoint, IPv6Address
+from repro.net.headers.transport import SYN, TCPHeader
+from repro.recovery import (BreakerState, CircuitBreaker, RecoveryAcceptor,
+                            RecoveryManager, RetryPolicy)
+from repro.sim import RngHub, Simulator, Watchdog
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+# ---------------------------------------------------------------------------
+# RetryPolicy
+# ---------------------------------------------------------------------------
+
+class TestRetryPolicy:
+    def test_pure_exponential_schedule_is_exact(self):
+        policy = RetryPolicy(base_delay=100.0, max_delay=1000.0,
+                             multiplier=2.0, jitter="none", max_attempts=6,
+                             first_delay=0.0)
+        assert list(policy.delays()) == [0.0, 100.0, 200.0, 400.0,
+                                         800.0, 1000.0]
+
+    def test_first_delay_honoured(self):
+        policy = RetryPolicy(jitter="none", max_attempts=2, first_delay=50.0)
+        assert next(iter(policy.delays())) == 50.0
+
+    def test_full_jitter_bounded_and_seeded(self):
+        policy = RetryPolicy(base_delay=100.0, max_delay=5000.0,
+                             jitter="full", max_attempts=8)
+        one = list(policy.delays(RngHub(7).stream("retry")))
+        two = list(policy.delays(RngHub(7).stream("retry")))
+        other = list(policy.delays(RngHub(8).stream("retry")))
+        assert one == two                    # same seed, same schedule
+        assert one != other                  # seeds actually matter
+        for attempt, delay in enumerate(one):
+            if attempt == 0:
+                continue
+            raw = min(5000.0, 100.0 * 2.0 ** (attempt - 1))
+            assert 0.0 <= delay <= raw
+
+    def test_decorrelated_jitter_capped(self):
+        policy = RetryPolicy(base_delay=100.0, max_delay=2000.0,
+                             jitter="decorrelated", max_attempts=32)
+        for delay in list(policy.delays(RngHub(3).stream("retry")))[1:]:
+            assert 100.0 <= delay <= 2000.0
+
+    def test_budget_is_max_attempts(self):
+        policy = RetryPolicy(jitter="none", max_attempts=3)
+        assert len(list(policy.delays())) == 3
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigError):
+            RetryPolicy(jitter="bogus")
+        with pytest.raises(ConfigError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ConfigError):
+            RetryPolicy(base_delay=500.0, max_delay=100.0)
+        with pytest.raises(ConfigError):
+            list(RetryPolicy(jitter="full").delays())   # rng required
+
+
+# ---------------------------------------------------------------------------
+# CircuitBreaker
+# ---------------------------------------------------------------------------
+
+class TestCircuitBreaker:
+    def test_trips_after_threshold_and_sheds(self, sim):
+        breaker = CircuitBreaker(sim, failure_threshold=3,
+                                 reset_timeout=1000.0)
+        for _ in range(2):
+            breaker.record_failure()
+        assert breaker.state is BreakerState.CLOSED and breaker.allow()
+        breaker.record_failure()
+        assert breaker.state is BreakerState.OPEN
+        assert not breaker.allow()
+        assert breaker.shed == 1
+        assert breaker.cooldown_remaining == pytest.approx(1000.0)
+
+    def test_half_open_probe_then_close(self, sim):
+        breaker = CircuitBreaker(sim, failure_threshold=1,
+                                 reset_timeout=1000.0, half_open_probes=1)
+        breaker.record_failure()
+        sim.run(until=2000.0)
+        assert breaker.allow()               # the rationed probe
+        assert breaker.state is BreakerState.HALF_OPEN
+        assert not breaker.allow()           # second probe is shed
+        breaker.record_success()
+        assert breaker.state is BreakerState.CLOSED
+
+    def test_half_open_failure_reopens(self, sim):
+        breaker = CircuitBreaker(sim, failure_threshold=1,
+                                 reset_timeout=1000.0)
+        breaker.record_failure()
+        sim.run(until=2000.0)
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state is BreakerState.OPEN
+        assert breaker.opened_at == 2000.0   # fresh cooldown
+        assert breaker.opens == 2
+
+    def test_success_resets_consecutive_count(self, sim):
+        breaker = CircuitBreaker(sim, failure_threshold=3)
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state is BreakerState.CLOSED
+
+
+# ---------------------------------------------------------------------------
+# Watchdog (the health-probe deadman)
+# ---------------------------------------------------------------------------
+
+class TestWatchdog:
+    def test_fires_without_feed(self, sim):
+        fired = []
+        wd = Watchdog(sim, 100.0, lambda: fired.append(sim.now))
+        wd.arm()
+        sim.run(until=250.0)
+        assert fired == [100.0]
+        assert wd.expirations == 1
+
+    def test_feed_defers_expiry(self, sim):
+        fired = []
+        wd = Watchdog(sim, 100.0, lambda: fired.append(sim.now))
+        wd.arm()
+        for at in (50.0, 100.0, 150.0):
+            sim.call_later(at, wd.feed)
+        sim.run(until=400.0)
+        assert fired == [250.0]
+
+    def test_disarm_cancels(self, sim):
+        fired = []
+        wd = Watchdog(sim, 100.0, lambda: fired.append(sim.now))
+        wd.arm()
+        sim.call_later(50.0, wd.disarm)
+        sim.run(until=400.0)
+        assert fired == []
+
+
+# ---------------------------------------------------------------------------
+# Listener backlog hygiene (regression: failed handshakes leaked
+# ``pending`` slots until the listener silently dropped every SYN)
+# ---------------------------------------------------------------------------
+
+class _NullCtx:
+    """Minimal duck-typed TCP context that drops everything."""
+
+    def output_ready(self, conn):
+        pass
+
+    def deliver(self, conn, payload, psh):
+        pass
+
+    def on_established(self, conn):
+        pass
+
+    def on_remote_fin(self, conn):
+        pass
+
+    def on_closed(self, conn):
+        pass
+
+    def on_reset(self, conn, exc):
+        pass
+
+    def on_send_complete(self, conn, msg_id):
+        pass
+
+    def on_send_buffer_space(self, conn):
+        pass
+
+
+class TestListenerBacklog:
+    def _syn(self, seq):
+        return TCPHeader(40000 + seq, 5000, seq=seq, flags=SYN, mss=1460)
+
+    def test_aborted_handshake_releases_backlog_slot(self, sim):
+        from repro.net.tcp.endpoints import TcpModule
+        from repro.net.tcp.tcb import TcpConfig
+        module = TcpModule(sim)
+        local = Endpoint(IPv6Address.from_index(1), 5000)
+        listener = module.listen(local, TcpConfig(), _NullCtx, backlog=4)
+        # Far more half-open connections than the backlog holds: each one
+        # dies before ESTABLISHED and must give its slot back.
+        for i in range(3 * listener.backlog):
+            src = Endpoint(IPv6Address.from_index(2), 40000 + i)
+            conn = listener.on_syn(self._syn(i), src)
+            assert conn is not None, f"SYN {i} dropped: backlog leaked"
+            conn.abort(ConnectionError("handshake died"))
+            assert not listener.pending
+        assert listener.syn_drops == 0
+        assert not module.connections           # abort also clears the table
+
+    def test_established_connection_reaches_accept_queue(self, sim):
+        from repro.net.tcp.endpoints import TcpModule
+        from repro.net.tcp.tcb import TcpConfig
+        module = TcpModule(sim)
+        local = Endpoint(IPv6Address.from_index(1), 5000)
+        listener = module.listen(local, TcpConfig(), _NullCtx, backlog=4)
+        src = Endpoint(IPv6Address.from_index(2), 40000)
+        conn = listener.on_syn(self._syn(0), src)
+        # Complete the handshake: ACK of our SYN|ACK.
+        from repro.net.headers.transport import ACK
+        from repro.net.packet import EMPTY
+        ack = TCPHeader(40000, 5000, seq=1,
+                        ack=(conn.iss + 1) & 0xFFFFFFFF, flags=ACK)
+        conn.handle_segment(ack, EMPTY)
+        assert not listener.pending
+        assert len(listener.accept_queue) == 1
+
+
+# ---------------------------------------------------------------------------
+# Verbs post paths on a torn-down QP + backpressure semantics
+# ---------------------------------------------------------------------------
+
+def run_procs(sim, *gens, until=30_000_000):
+    procs = [sim.process(g) for g in gens]
+    sim.run(until=sim.now + until)
+    for p in procs:
+        assert p.triggered, "process did not finish"
+        if not p.ok:
+            raise p.value
+    return [p.value for p in procs]
+
+
+class TestPostPathFailures:
+    def test_both_post_paths_raise_qp_torn_down(self, sim):
+        node_a, node_b, _fabric = build_qpip_pair(sim)
+
+        def server():
+            iface = node_b.iface
+            cq = yield from iface.create_cq()
+            qp = yield from iface.create_qp(QPTransport.TCP, cq)
+            buf = yield from iface.register_memory(4096)
+            yield from iface.post_recv(qp, [buf.sge()])
+            listener = yield from iface.listen(9100)
+            yield from iface.accept(listener, qp)
+
+        def client():
+            iface = node_a.iface
+            cq = yield from iface.create_cq()
+            qp = yield from iface.create_qp(QPTransport.TCP, cq)
+            buf = yield from iface.register_memory(4096)
+            yield sim.timeout(500)
+            yield from iface.connect(qp, Endpoint(node_b.addr, 9100))
+            yield sim.timeout(5000)          # let the server finish accept()
+            node_a.firmware.abort_qp(qp)
+            yield sim.timeout(1000)          # let the teardown action drain
+            assert qp.state is QPState.ERROR
+            with pytest.raises(QpTornDown):
+                yield from iface.post_send(qp, [buf.sge(0, 64)])
+            with pytest.raises(QpTornDown):
+                yield from iface.post_recv(qp, [buf.sge()])
+
+        run_procs(sim, server(), client())
+
+    def test_queue_full_and_post_deadline(self, sim):
+        node_a, _node_b, _fabric = build_qpip_pair(sim)
+
+        def client():
+            iface = node_a.iface
+            cq = yield from iface.create_cq()
+            # Unconnected QP: posted sends sit in the queue, so the
+            # watermark machinery is the only thing that can admit more.
+            qp = yield from iface.create_qp(QPTransport.TCP, cq,
+                                            max_send_wr=2)
+            buf = yield from iface.register_memory(4096)
+            for _ in range(2):
+                yield from iface.post_send(qp, [buf.sge(0, 64)])
+            with pytest.raises(QueueFull):
+                yield from iface.post_send(qp, [buf.sge(0, 64)], timeout=0)
+            with pytest.raises(PostDeadlineExceeded):
+                yield from iface.post_send(qp, [buf.sge(0, 64)],
+                                           timeout=2000.0)
+
+        run_procs(sim, client())
+
+
+# ---------------------------------------------------------------------------
+# Timer-originated teardown must drain the firmware action queue
+# (regression: an abort from a bare timer callback on an idle wire used
+# to sit in the action queue until unrelated traffic woke the firmware)
+# ---------------------------------------------------------------------------
+
+class TestTimerOriginatedAbort:
+    def test_abort_from_timer_callback_flushes_idle_qp(self, sim):
+        node_a, node_b, _fabric = build_qpip_pair(sim)
+        rig = {}
+
+        def server():
+            iface = node_b.iface
+            cq = yield from iface.create_cq()
+            qp = yield from iface.create_qp(QPTransport.TCP, cq)
+            buf = yield from iface.register_memory(4096)
+            yield from iface.post_recv(qp, [buf.sge()])
+            listener = yield from iface.listen(9200)
+            yield from iface.accept(listener, qp)
+
+        def client():
+            iface = node_a.iface
+            cq = yield from iface.create_cq()
+            qp = yield from iface.create_qp(QPTransport.TCP, cq)
+            buf = yield from iface.register_memory(4096)
+            yield from iface.post_recv(qp, [buf.sge()])
+            yield sim.timeout(500)
+            yield from iface.connect(qp, Endpoint(node_b.addr, 9200))
+            rig["qp"], rig["cq"] = qp, cq
+
+        run_procs(sim, server(), client())
+        qp, cq = rig["qp"], rig["cq"]
+        # The wire is now completely idle.  Fire the abort from a timer
+        # callback — exactly what the recovery watchdog does.
+        sim.call_later(1_000.0, node_a.firmware.abort_qp, qp)
+        sim.run(until=sim.now + 5_000.0)
+        assert qp.state is QPState.ERROR
+        assert node_a.firmware.watchdog_aborts == 1
+        flushed = cq.pop_many(16)
+        assert flushed, "posted recv WR was not flushed by the timer abort"
+        assert all(not cqe.ok for cqe in flushed)
+
+
+# ---------------------------------------------------------------------------
+# End-to-end: exactly-once across forced QP restarts
+# ---------------------------------------------------------------------------
+
+def _run_echo_session(seed, kills=(5, 15, 25), iterations=30):
+    """Echo ``iterations`` payloads through a RecoveryManager, killing the
+    client QP after each index in ``kills``.  Returns (manager, acceptor,
+    echoes) after an orderly close."""
+    sim = Simulator()
+    hub = RngHub(seed)
+    node_a, node_b, _fabric = build_qpip_pair(sim)
+    acceptor = RecoveryAcceptor(node_b, port=9300,
+                                handler=lambda _sid, payload: payload)
+    manager = RecoveryManager(node_a, Endpoint(node_b.addr, 9300),
+                              session_id=1,
+                              policy=RetryPolicy(max_attempts=8),
+                              rng=hub.stream("recovery.client"),
+                              max_msg=256)
+    echoes = []
+
+    def client():
+        yield from manager.start()
+        for i in range(iterations):
+            payload = bytes([i % 251]) * 64
+            yield from manager.send(payload)
+            echo = yield from manager.recv()
+            echoes.append(echo == payload)
+            if i in kills:
+                node_a.firmware.abort_qp(manager.qp)
+        yield from manager.drain()
+        yield from manager.close()
+        acceptor.close()
+
+    procs = [sim.process(acceptor.run()), sim.process(client())]
+    sim.run(until=60_000_000)
+    assert procs[1].triggered, "client hung"
+    if not procs[1].ok:
+        raise procs[1].value
+    return manager, acceptor, echoes
+
+
+class TestExactlyOnceAcrossRestarts:
+    def test_three_forced_restarts_deliver_every_message_once(self):
+        manager, acceptor, echoes = _run_echo_session(seed=5)
+        rep = manager.report()
+        assert all(echoes) and len(echoes) == 30
+        assert rep["heals"] == 3
+        assert rep["incarnations"] == 4
+        assert rep["unacked"] == 0
+        # The acceptor admitted each message exactly once; every replayed
+        # copy died in the dedup window.
+        sess = acceptor.report()["sessions"][1]
+        assert sess["rcv_next"] == 30
+        assert acceptor.report()["delivered"] == 30
+
+    def test_recovery_trace_is_deterministic(self):
+        first, _, _ = _run_echo_session(seed=9)
+        second, _, _ = _run_echo_session(seed=9)
+        assert first.trace == second.trace
+        assert first.report() == second.report()
+
+    def test_heartbeats_keep_idle_session_alive(self):
+        sim = Simulator()
+        hub = RngHub(2)
+        node_a, node_b, _fabric = build_qpip_pair(sim)
+        acceptor = RecoveryAcceptor(node_b, port=9400)
+        manager = RecoveryManager(node_a, Endpoint(node_b.addr, 9400),
+                                  session_id=1, rng=hub.stream("r"),
+                                  heartbeat_interval=10_000.0)
+
+        def client():
+            yield from manager.start()
+            yield sim.timeout(500_000.0)     # idle: only PING/PONG flows
+            yield from manager.close()
+            acceptor.close()
+
+        procs = [sim.process(acceptor.run()), sim.process(client())]
+        sim.run(until=10_000_000)
+        assert procs[1].triggered and procs[1].ok
+        rep = manager.report()
+        assert rep["heartbeats_sent"] >= 40
+        assert rep.get("watchdog_escalations", 0) == 0
+        assert rep["incarnations"] == 1      # never had to reconnect
+
+
+# ---------------------------------------------------------------------------
+# Chaos --recover: the headline invariant
+# ---------------------------------------------------------------------------
+
+def lossy_plan():
+    return FaultPlan().drop(0.02).corrupt(0.01)
+
+
+class TestChaosRecover:
+    @pytest.mark.parametrize("workload", ["ttcp", "pingpong"])
+    def test_stream_recover_exactly_once(self, workload):
+        result = run_chaos(seed=1, workload=workload, plan=lossy_plan(),
+                           messages=32, msg_size=1024,
+                           recover=True, restarts=3)
+        assert result.ok, result.summary()
+        assert result.forced_restarts == 3
+        assert result.recovery["qp_error_transitions"] >= 3
+        assert result.recovery["recoveries"] >= 3
+        assert result.bytes_delivered == result.bytes_sent
+        assert result.messages_delivered == 32
+
+    def test_kvstore_failover_recover(self):
+        result = run_chaos(seed=1, workload="kvstore", plan=lossy_plan(),
+                           messages=16, msg_size=256,
+                           recover=True, restarts=2)
+        assert result.ok, result.summary()
+        assert result.forced_restarts == 2
+        assert result.recovery["recoveries"] >= 2
+        assert result.messages_delivered == 16
+        assert result.payload_mismatches == 0
+
+    def test_recover_trace_is_deterministic(self):
+        first, second = check_determinism(
+            seed=3, workload="pingpong", plan=lossy_plan(),
+            messages=24, msg_size=512, recover=True, restarts=2)
+        assert first.trace_key() == second.trace_key()
+        assert first.ok and second.ok
+
+    def test_recover_rejects_kill_modes(self):
+        from repro.errors import ReproError
+        with pytest.raises(ReproError):
+            run_chaos(seed=1, recover=True, kill="rst", messages=8)
+
+    def test_kvstore_requires_recover(self):
+        from repro.errors import ReproError
+        with pytest.raises(ReproError):
+            run_chaos(seed=1, workload="kvstore", messages=8)

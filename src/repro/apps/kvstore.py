@@ -180,7 +180,7 @@ class KvServer:
             yield from pump.recycle(buf)
             if op == OP_PUT:
                 # Index maintenance costs server CPU (the two-sided half).
-                yield self.host.cpu.submit(2.0, "kv-server")
+                yield self.host.cpu.submit_wait(2.0, "kv-server")
                 slot = self.table.find_slot(key, for_insert=True)
                 if slot is None:
                     reply = _encode_req(OP_REPLY, b"", b"ERR")
@@ -189,7 +189,7 @@ class KvServer:
                     reply = _encode_req(OP_REPLY, b"", b"OK")
                 self.stats.puts += 1
             elif op == OP_GET:
-                yield self.host.cpu.submit(2.0, "kv-server")
+                yield self.host.cpu.submit_wait(2.0, "kv-server")
                 self.stats.gets_two_sided += 1
                 slot = self.table.find_slot(key, for_insert=False)
                 if slot is None:

@@ -12,6 +12,7 @@ Usage::
     python -m repro ablation
     python -m repro all [--mb 409]
     python -m repro chaos --seed 1 [--drop 0.02 --corrupt 0.01 ...]
+    python -m repro perf [--quick]
 """
 
 from __future__ import annotations
@@ -96,7 +97,53 @@ def build_parser() -> argparse.ArgumentParser:
                          help="forced QP restarts in --recover mode")
     chaos_p.add_argument("--check-determinism", action="store_true",
                          help="run twice and compare completion traces")
+    perf_p = sub.add_parser(
+        "perf", help="measure simulator wall-clock performance (events/sec) "
+                     "on fixed workloads and write BENCH_perf.json")
+    perf_p.add_argument("--quick", action="store_true",
+                        help="smaller workloads (CI smoke)")
+    perf_p.add_argument("--out", default="BENCH_perf.json",
+                        help="output JSON path")
+    perf_p.add_argument("--baseline", default=None,
+                        help="baseline JSON to compare against "
+                             "(default: the committed baseline)")
+    perf_p.add_argument("--no-baseline", action="store_true",
+                        help="skip the baseline comparison")
+    perf_p.add_argument("--max-regression", type=float, default=0.30,
+                        help="allowed events/sec drop vs baseline (0.30 = 30%%)")
+    perf_p.add_argument("--write-baseline", action="store_true",
+                        help="also overwrite the committed baseline")
+    perf_p.add_argument("--no-profile", action="store_true",
+                        help="skip the cProfile subsystem breakdown")
     return parser
+
+
+def run_perf_cmd(args) -> int:
+    from .bench.perf import (DEFAULT_BASELINE, compare_to_baseline,
+                             load_baseline, render, run_perf, write_report)
+    report = run_perf(quick=args.quick, profile=not args.no_profile)
+    path = write_report(report, args.out)
+    print(render(report))
+    print(f"[wrote {path}]")
+    if args.write_baseline:
+        write_report(report, str(DEFAULT_BASELINE))
+        print(f"[wrote baseline {DEFAULT_BASELINE}]")
+        return 0
+    if args.no_baseline:
+        return 0
+    baseline = load_baseline(args.baseline)
+    if baseline is None:
+        print("perf: no baseline found; skipping regression check")
+        return 0
+    ok, messages = compare_to_baseline(report, baseline,
+                                       max_regression=args.max_regression)
+    for line in messages:
+        print("  " + line)
+    if not ok:
+        print(f"perf: events/sec regressed more than "
+              f"{args.max_regression:.0%} vs baseline", file=sys.stderr)
+        return 1
+    return 0
 
 
 def run_chaos_cmd(args) -> int:
@@ -137,9 +184,12 @@ def main(argv=None) -> int:
             print(f"  {name:10s} {desc}")
         print("  all        run everything (slow: full-size NBD)")
         print("  chaos      fault-injection run with invariant checks")
+        print("  perf       simulator wall-clock benchmark (BENCH_perf.json)")
         return 0
     if args.command == "chaos":
         return run_chaos_cmd(args)
+    if args.command == "perf":
+        return run_perf_cmd(args)
     names = list(EXPERIMENTS) if args.command == "all" else [args.command]
     for name in names:
         desc, fn = EXPERIMENTS[name]

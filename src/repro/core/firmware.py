@@ -445,23 +445,26 @@ class QpipFirmware:
     # -- receive FSM --------------------------------------------------------------
 
     def _receive_one(self):
+        # The parse stages run back-to-back with nothing observable in
+        # between, so they occupy the core as one merged submission
+        # (same start/finish times, one kernel event instead of four).
         t = self.nic.timing
         pkt = self.nic.rx_queue.popleft()
-        yield self.nic.stage("media_recv", t.media_recv)
+        stages = [("media_recv", t.media_recv)]
         if t.rx_checksum_per_byte is not None:
             covered = pkt.payload.length + 20    # transport header + payload
-            yield self.nic.stage("rx_checksum",
-                                 t.rx_checksum_per_byte * covered)
-        yield self.nic.stage("ip_parse", t.ip_parse)
+            stages.append(("rx_checksum", t.rx_checksum_per_byte * covered))
+        stages.append(("ip_parse", t.ip_parse))
         tcp_hdr = pkt.find(TCPHeader)
         if tcp_hdr is not None:
             kind = classify(tcp_hdr, pkt.payload.length)
             if kind == "ack":
-                yield self.nic.stage("tcp_parse_ack", t.tcp_parse_ack)
+                stages.append(("tcp_parse_ack", t.tcp_parse_ack))
             else:
-                yield self.nic.stage("tcp_parse_data", t.tcp_parse_data)
+                stages.append(("tcp_parse_data", t.tcp_parse_data))
         else:
-            yield self.nic.stage("udp_parse", t.udp_parse)
+            stages.append(("udp_parse", t.udp_parse))
+        yield self.nic.stages(stages)
         self.stack.packet_in(pkt)
         yield from self._drain_actions()
 
@@ -519,10 +522,10 @@ class QpipFirmware:
             self._fail_endpoint(ep, WRStatus.REMOTE_ABORTED)
             return
         yield self.nic.stage("get_wr", t.get_wr)
-        wr = qp.recv_queue.popleft()
+        wr = qp.take_recv()
         qp.wr_dequeued("recv")
         if payload.length > wr.length:
-            qp.recv_queue.appendleft(wr)
+            qp.untake_recv(wr)
             self._fail_endpoint(ep, WRStatus.LOCAL_LENGTH_ERROR)
             return
         yield self.nic.stage("put_data", t.put_data)
@@ -551,7 +554,7 @@ class QpipFirmware:
             self.udp_drops_no_wr += 1
             return
         yield self.nic.stage("get_wr", t.get_wr)
-        wr = qp.recv_queue.popleft()
+        wr = qp.take_recv()
         qp.wr_dequeued("recv")
         yield self.nic.stage("put_data", t.put_data)
         try:
@@ -664,19 +667,21 @@ class QpipFirmware:
 
     def _send_udp(self, ep: FwEndpoint, wr: WorkRequest, payload: Payload):
         t = self.nic.timing
-        yield self.nic.stage("build_udp_hdr", t.build_udp_hdr)
-        yield self.nic.stage("build_ip_hdr", t.build_ip_hdr)
         from ..net.headers.transport import UDPHeader
         hdr = UDPHeader(ep.qp.local_port or 0, wr.dest.port,
                         length=8 + payload.length)
         pkt = self.stack.ip.build(self.addr, wr.dest.addr, hdr, payload)
-        yield self.nic.stage("media_send", t.media_send)
+        yield self.nic.stages([("build_udp_hdr", t.build_udp_hdr),
+                               ("build_ip_hdr", t.build_ip_hdr),
+                               ("media_send", t.media_send)])
         self.nic.wire_transmit(pkt)
         if not t.overlap_dma:
             # The prototype's firmware babysits the send engine until the
             # packet has left SRAM; IB-class hardware overlaps.
-            yield self.nic.stage("media_send_drain", self.nic.wire_time(pkt))
-        yield self.nic.stage("tx_update", t.tx_update)
+            yield self.nic.stages([("media_send_drain", self.nic.wire_time(pkt)),
+                                   ("tx_update", t.tx_update)])
+        else:
+            yield self.nic.stage("tx_update", t.tx_update)
         # UDP send WRs complete as soon as the datagram is on the wire (§3).
         ep.qp.sends_completed += 1
         self._post_cqe(ep.qp.send_cq, Completion(
@@ -704,14 +709,19 @@ class QpipFirmware:
         if built is None:
             return
         hdr, payload = built
-        yield self.nic.stage("build_tcp_hdr", t.build_tcp_hdr)
-        yield self.nic.stage("build_ip_hdr", t.build_ip_hdr)
+        # Header building and send-engine setup are pure back-to-back
+        # stages: one merged core occupancy, the packet hits the wire at
+        # the same simulated time.
         pkt = self.stack.build_segment_packet(conn, hdr, payload)
-        yield self.nic.stage("media_send", t.media_send)
+        yield self.nic.stages([("build_tcp_hdr", t.build_tcp_hdr),
+                               ("build_ip_hdr", t.build_ip_hdr),
+                               ("media_send", t.media_send)])
         self.nic.wire_transmit(pkt)
         if not t.overlap_dma and payload.length:
-            yield self.nic.stage("media_send_drain", self.nic.wire_time(pkt))
-        yield self.nic.stage("tx_update", t.tx_update)
+            yield self.nic.stages([("media_send_drain", self.nic.wire_time(pkt)),
+                                   ("tx_update", t.tx_update)])
+        else:
+            yield self.nic.stage("tx_update", t.tx_update)
 
     # -- RDMA extension (one-sided operations; see core/rdma.py) -----------
 
@@ -823,10 +833,10 @@ class QpipFirmware:
             self._fail_endpoint(ep, WRStatus.REMOTE_ABORTED)
             return
         yield self.nic.stage("get_wr", t.get_wr)
-        wr = qp.recv_queue.popleft()
+        wr = qp.take_recv()
         qp.wr_dequeued("recv")
         if body.length > wr.length:
-            qp.recv_queue.appendleft(wr)
+            qp.untake_recv(wr)
             self._fail_endpoint(ep, WRStatus.LOCAL_LENGTH_ERROR)
             return
         yield self.nic.stage("put_data", t.put_data)
@@ -954,7 +964,7 @@ class QpipFirmware:
         ep.qp.remote_closed = True
         qp = ep.qp
         while qp.recv_queue:
-            wr = qp.recv_queue.popleft()
+            wr = qp.take_recv()
             self._post_cqe(qp.recv_cq, Completion(
                 wr.wr_id, qp.qp_num, WROpcode.RECV, status=WRStatus.FLUSHED))
         qp.wr_dequeued("recv")
@@ -1011,7 +1021,7 @@ class QpipFirmware:
 
     def _flush_qp(self, qp: QueuePair, status: WRStatus) -> None:
         while qp.recv_queue:
-            wr = qp.recv_queue.popleft()
+            wr = qp.take_recv()
             self._post_cqe(qp.recv_cq, Completion(
                 wr.wr_id, qp.qp_num, WROpcode.RECV, status=status))
         while qp.send_queue:

@@ -58,6 +58,10 @@ class QueuePair:
         self.state = QPState.RESET
         self.send_queue: Deque[WorkRequest] = deque()
         self.recv_queue: Deque[WorkRequest] = deque()
+        # Running total of posted receive capacity, kept in sync with
+        # recv_queue so posted_recv_bytes (read per received packet to
+        # advertise the TCP window) is O(1) instead of a sum.
+        self._recv_bytes = 0
         self.local_port: Optional[int] = None
         self.remote: Optional[Endpoint] = None
         self.remote_closed = False
@@ -101,7 +105,19 @@ class QueuePair:
         if len(self.recv_queue) >= self.max_recv_wr:
             raise QueueFull(f"QP{self.qp_num} receive queue full")
         self.recv_queue.append(wr)
+        self._recv_bytes += wr.length
         self.recvs_posted += 1
+
+    def take_recv(self) -> WorkRequest:
+        """Firmware consumes the head receive WR (keeps the byte count)."""
+        wr = self.recv_queue.popleft()
+        self._recv_bytes -= wr.length
+        return wr
+
+    def untake_recv(self, wr: WorkRequest) -> None:
+        """Firmware returns a WR to the head of the queue (partial fill)."""
+        self.recv_queue.appendleft(wr)
+        self._recv_bytes += wr.length
 
     # -- backpressure plumbing ----------------------------------------------
 
@@ -140,7 +156,7 @@ class QueuePair:
     def posted_recv_bytes(self) -> int:
         """Total capacity of posted receive WRs: this *is* the TCP receive
         window in QPIP (paper §5.1)."""
-        return sum(wr.length for wr in self.recv_queue)
+        return self._recv_bytes
 
     def __repr__(self):
         return (f"<QP{self.qp_num} {self.transport.value} {self.state.value} "

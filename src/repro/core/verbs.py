@@ -92,7 +92,7 @@ class QpipInterface:
     # -- control path (kernel driver: mgmt commands) -------------------------
 
     def _mgmt(self, kind: str, *args) -> Generator:
-        yield self.host.cpu.submit(self.DRIVER_CALL, category="qpip-driver")
+        yield self.host.cpu.submit_wait(self.DRIVER_CALL, category="qpip-driver")
         done = Event(self.sim)
         self.fw.nic.post_mgmt(MgmtCommand(kind, args, done))
         result = yield done
@@ -113,7 +113,7 @@ class QpipInterface:
         # full network ISR + softirq path.
         cq.interrupt_hook = lambda waiter: self.host.cpu.submit(
             2.0, category="qpip-intr", fn=waiter.succeed, priority=-10)
-        yield self.host.cpu.submit(self.DRIVER_CALL, category="qpip-driver")
+        yield self.host.cpu.submit_wait(self.DRIVER_CALL, category="qpip-driver")
         return cq
 
     def create_qp(self, transport: QPTransport, send_cq: CompletionQueue,
@@ -248,10 +248,10 @@ class QpipInterface:
 
     def poll(self, cq: CompletionQueue, max_entries: int = 16) -> Generator:
         """Non-blocking poll: returns (possibly empty) list of completions."""
-        yield self.host.cpu.submit(self.timing.poll_cq, category="qpip-poll")
+        yield self.host.cpu.submit_wait(self.timing.poll_cq, category="qpip-poll")
         cqes = cq.pop_many(max_entries)
         if cqes:
-            yield self.host.cpu.submit(
+            yield self.host.cpu.submit_wait(
                 self.timing.completion_check * len(cqes), category="qpip-poll")
         return cqes
 
@@ -260,8 +260,8 @@ class QpipInterface:
         cqes = yield from self.poll(cq)
         while not cqes:
             yield cq.wait_event()
-            yield self.host.cpu.submit(self.timing.wait_block,
-                                       category="qpip-wait")
+            yield self.host.cpu.submit_wait(self.timing.wait_block,
+                                            category="qpip-wait")
             cqes = yield from self.poll(cq)
         return cqes
 

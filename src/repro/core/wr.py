@@ -33,7 +33,7 @@ class WRStatus(enum.Enum):
     FLUSHED = "FLUSHED"                           # QP torn down with WRs posted
 
 
-@dataclass
+@dataclass(slots=True)
 class WorkRequest:
     """One send or receive descriptor posted to a QP."""
 
@@ -47,9 +47,13 @@ class WorkRequest:
     # "using some out-of-band mechanism such as a send-receive operation").
     remote_addr: Optional[int] = None
     rkey: Optional[int] = None
+    # Scatter-gather total, computed once at post time: the firmware
+    # reads it per packet (window advertisement, segmentation).
+    _length: int = field(default=0, init=False, repr=False, compare=False)
 
     def __post_init__(self):
-        if self.opcode is WROpcode.SEND and not self.sges and self.length != 0:
+        self._length = sg_total(self.sges)
+        if self.opcode is WROpcode.SEND and not self.sges and self._length != 0:
             raise VerbsError("send WR needs at least one SGE")
         if self.opcode in (WROpcode.RDMA_WRITE, WROpcode.RDMA_READ):
             if self.remote_addr is None or self.rkey is None:
@@ -59,10 +63,10 @@ class WorkRequest:
 
     @property
     def length(self) -> int:
-        return sg_total(self.sges)
+        return self._length
 
 
-@dataclass
+@dataclass(slots=True)
 class Completion:
     """A completion-queue entry (CQE)."""
 

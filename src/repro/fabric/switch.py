@@ -197,7 +197,7 @@ class EthernetSwitch(_EgressHooksMixin):
             return True
         ip = pkt.find(IPv4Header) or pkt.find(IPv6Header)
         if ip is not None and ip.ecn in (ECN_ECT0, ECN_ECT1):
-            ip.ecn = ECN_CE            # mark instead of dropping (RFC 3168)
+            ip.set_ce()                # mark instead of dropping (RFC 3168)
             self.red_marked += 1
             return True
         self.red_dropped += 1

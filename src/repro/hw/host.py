@@ -21,7 +21,9 @@ class PciBus:
     def __init__(self, sim: Simulator, timing: PciTiming, name: str = "pci"):
         self.sim = sim
         self.timing = timing
-        self.queue = WorkQueue(sim, name=name)
+        # DMA submissions are plain (no callback, default priority), so
+        # the bus can use WorkQueue's eager busy-horizon fast path.
+        self.queue = WorkQueue(sim, name=name, eager=True)
         self.bytes_moved = 0
 
     def dma(self, nbytes: int, category: str = "dma",

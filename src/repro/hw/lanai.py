@@ -19,6 +19,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Callable, Deque, Optional
 
+from .. import fastpath as _fastpath
 from ..errors import DmaError
 from ..fabric.link import Attachment
 from ..net.packet import Packet
@@ -30,10 +31,16 @@ LANAI_MHZ = 133.0
 
 
 class CycleCounter:
-    """Per-stage time attribution, read like the LANai cycle counter."""
+    """Per-stage time attribution, read like the LANai cycle counter.
+
+    ``enabled=False`` makes instrumentation free: hot callers check the
+    flag before calling :meth:`record`, so a disabled counter costs one
+    attribute read per stage instead of four dict operations.
+    """
 
     def __init__(self, sim: Simulator):
         self.sim = sim
+        self.enabled = True
         self.by_stage: dict = {}
         self.samples: dict = {}
 
@@ -62,7 +69,10 @@ class ProgrammableNic:
         self.mtu = mtu
         self.name = name
         self.sram_bytes = sram_bytes
-        self.processor = WorkQueue(sim, name=f"{host.name}.{name}.fw")
+        # NIC firmware submits are always plain (no callback, default
+        # priority), so the serial core can use the eager busy-horizon
+        # fast path in WorkQueue.
+        self.processor = WorkQueue(sim, name=f"{host.name}.{name}.fw", eager=True)
         self.cycles = CycleCounter(sim)
         self.attachment = Attachment(f"{host.name}.{name}", self._on_wire_receive)
         self.attachment.mtu = mtu
@@ -109,10 +119,40 @@ class ProgrammableNic:
 
     # -- firmware-facing mechanisms -----------------------------------------
 
-    def stage(self, name: str, duration: float) -> Event:
-        """Run one timed FSM stage on the NIC core."""
-        self.cycles.record(name, duration)
-        return self.processor.submit(duration, category=name)
+    def stage(self, name: str, duration: float):
+        """Run one timed FSM stage on the NIC core.
+
+        Returns a yieldable wait: a plain delay on the fast path, a
+        completion event otherwise."""
+        cyc = self.cycles
+        if cyc.enabled:
+            cyc.record(name, duration)
+        return self.processor.submit_wait(duration, category=name)
+
+    def stages(self, pairs):
+        """Run several back-to-back FSM stages as one core occupancy.
+
+        ``pairs`` is ``[(name, duration), ...]``.  The core is busy for
+        the summed duration — identical start/finish times to yielding
+        each stage in turn — while the cycle counter still attributes
+        time per stage.  Only legal when nothing observable happens
+        between the stages (the firmware's parse/build sequences).
+        With fast paths disabled each stage is a separate submission,
+        exactly like the reference implementation.
+        """
+        cyc = self.cycles
+        if cyc.enabled:
+            for name, duration in pairs:
+                cyc.record(name, duration)
+        if _fastpath.ENABLED:
+            total = 0.0
+            for _name, duration in pairs:
+                total += duration
+            return self.processor.submit_wait(total, category=pairs[0][0])
+        done = None
+        for name, duration in pairs:
+            done = self.processor.submit(duration, category=name)
+        return done
 
     def dma_to_host(self, nbytes: int, kind: str = "data") -> Event:
         self._dma_check(kind, nbytes)
@@ -129,13 +169,14 @@ class ProgrammableNic:
             self.dma_faults += 1
             raise DmaError(f"{self.name}: DMA fault ({kind}, {nbytes}B)")
 
-    def stall(self, duration: float) -> Event:
+    def stall(self, duration: float):
         """Occupy the firmware core for ``duration`` µs (injected stall:
         a wedged firmware loop, an SRAM ECC scrub, a debug interrupt).
         All FSM stages queue behind it on the serial core."""
         self.stalls_injected += 1
-        self.cycles.record("fault_stall", duration)
-        return self.processor.submit(duration, category="fault_stall")
+        if self.cycles.enabled:
+            self.cycles.record("fault_stall", duration)
+        return self.processor.submit_wait(duration, category="fault_stall")
 
     def wire_time(self, pkt: Packet) -> float:
         """Serialization time of a packet on the attached link."""

@@ -115,7 +115,7 @@ class GmNic(_RxInterruptMixin):
         self.attachment = Attachment(f"{host.name}.{name}", self._on_wire_receive)
         self.attachment.mtu = mtu
         self.attachment.mac = mac
-        self.firmware = WorkQueue(sim, name=f"{host.name}.{name}.fw")
+        self.firmware = WorkQueue(sim, name=f"{host.name}.{name}.fw", eager=True)
         self._init_rx(sim, name)
         self.tx_packets = 0
         self.rx_packets = 0

@@ -10,7 +10,7 @@ from .address_space import AddressSpace, VirtualRange
 from .registration import Access, MemoryRegion, TranslationTable
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SGE:
     """Scatter/gather entry: (virtual address, length, registration key)."""
 

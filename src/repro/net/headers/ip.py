@@ -7,11 +7,11 @@ Both codecs are byte-exact; IPv4 includes its header checksum.
 from __future__ import annotations
 
 import struct
-from dataclasses import dataclass
-from typing import Tuple
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
 
 from ..addresses import IPv4Address, IPv6Address
-from ..checksum import checksum
+from ..checksum import checksum, incremental_update
 from .base import DecodeError, Header, need
 
 PROTO_TCP = 6
@@ -24,7 +24,7 @@ ECN_ECT0 = 0b10
 ECN_CE = 0b11
 
 
-@dataclass(eq=False)
+@dataclass(eq=False, slots=True, init=False)
 class IPv4Header(Header):
     """IPv4 without options (IHL=5)."""
 
@@ -38,8 +38,28 @@ class IPv4Header(Header):
     flags_df: bool = True
     flags_mf: bool = False
     frag_offset: int = 0
+    _wire: Optional[bytes] = field(default=None, init=False, repr=False)
 
     LEN = 20
+
+    def __init__(self, src: IPv4Address, dst: IPv4Address, protocol: int,
+                 total_length: int = 20, identification: int = 0,
+                 ttl: int = 64, dscp: int = 0, flags_df: bool = True,
+                 flags_mf: bool = False, frag_offset: int = 0):
+        # Hot-path constructor: direct slot writes, no cache invalidation
+        # (a fresh header has no cached wire bytes).
+        s = object.__setattr__
+        s(self, "src", src)
+        s(self, "dst", dst)
+        s(self, "protocol", protocol)
+        s(self, "total_length", total_length)
+        s(self, "identification", identification)
+        s(self, "ttl", ttl)
+        s(self, "dscp", dscp)
+        s(self, "flags_df", flags_df)
+        s(self, "flags_mf", flags_mf)
+        s(self, "frag_offset", frag_offset)
+        s(self, "_wire", None)
 
     @property
     def ecn(self) -> int:
@@ -49,10 +69,31 @@ class IPv4Header(Header):
     def ecn(self, value: int) -> None:
         self.dscp = (self.dscp & ~0b11) | (value & 0b11)
 
+    def set_ce(self) -> None:
+        """Mark Congestion Experienced in flight (RFC 3168).
+
+        When the wire bytes are cached, only the changed word and the
+        header checksum are patched (RFC 1624) instead of re-encoding.
+        """
+        wire = self._wire
+        new_dscp = self.dscp | 0b11
+        if wire is None:
+            self.dscp = new_dscp
+            return
+        old_word = (wire[0] << 8) | wire[1]
+        new_word = (wire[0] << 8) | new_dscp
+        old_csum = (wire[10] << 8) | wire[11]
+        new_csum = incremental_update(old_csum, old_word, new_word)
+        object.__setattr__(self, "dscp", new_dscp)
+        object.__setattr__(
+            self, "_wire",
+            wire[:1] + bytes((new_dscp,)) + wire[2:10]
+            + new_csum.to_bytes(2, "big") + wire[12:])
+
     def header_len(self) -> int:
         return self.LEN
 
-    def encode(self) -> bytes:
+    def _encode_wire(self) -> bytes:
         flags_frag = ((0x4000 if self.flags_df else 0)
                       | (0x2000 if self.flags_mf else 0)
                       | (self.frag_offset & 0x1FFF))
@@ -83,7 +124,7 @@ class IPv4Header(Header):
         return hdr, cls.LEN
 
 
-@dataclass(eq=False)
+@dataclass(eq=False, slots=True, init=False)
 class IPv6Header(Header):
     """Fixed 40-byte IPv6 header (no extension headers)."""
 
@@ -94,8 +135,22 @@ class IPv6Header(Header):
     hop_limit: int = 64
     traffic_class: int = 0
     flow_label: int = 0
+    _wire: Optional[bytes] = field(default=None, init=False, repr=False)
 
     LEN = 40
+
+    def __init__(self, src: IPv6Address, dst: IPv6Address, next_header: int,
+                 payload_length: int = 0, hop_limit: int = 64,
+                 traffic_class: int = 0, flow_label: int = 0):
+        s = object.__setattr__
+        s(self, "src", src)
+        s(self, "dst", dst)
+        s(self, "next_header", next_header)
+        s(self, "payload_length", payload_length)
+        s(self, "hop_limit", hop_limit)
+        s(self, "traffic_class", traffic_class)
+        s(self, "flow_label", flow_label)
+        s(self, "_wire", None)
 
     @property
     def ecn(self) -> int:
@@ -105,10 +160,22 @@ class IPv6Header(Header):
     def ecn(self, value: int) -> None:
         self.traffic_class = (self.traffic_class & ~0b11) | (value & 0b11)
 
+    def set_ce(self) -> None:
+        """Mark Congestion Experienced in flight, patching cached bytes
+        (IPv6 has no header checksum; only word 0 changes)."""
+        wire = self._wire
+        new_tc = self.traffic_class | 0b11
+        if wire is None:
+            self.traffic_class = new_tc
+            return
+        word0 = (6 << 28) | ((new_tc & 0xFF) << 20) | (self.flow_label & 0xFFFFF)
+        object.__setattr__(self, "traffic_class", new_tc)
+        object.__setattr__(self, "_wire", struct.pack("!I", word0) + wire[4:])
+
     def header_len(self) -> int:
         return self.LEN
 
-    def encode(self) -> bytes:
+    def _encode_wire(self) -> bytes:
         word0 = (6 << 28) | ((self.traffic_class & 0xFF) << 20) | (self.flow_label & 0xFFFFF)
         return (struct.pack("!IHBB", word0, self.payload_length,
                             self.next_header, self.hop_limit)

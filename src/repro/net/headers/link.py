@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import struct
 from dataclasses import dataclass, field
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 from ..addresses import MacAddress
 from .base import DecodeError, Header, need
@@ -20,20 +20,29 @@ ETHERTYPE_IPV4 = 0x0800
 ETHERTYPE_IPV6 = 0x86DD
 
 
-@dataclass(eq=False)
+@dataclass(eq=False, slots=True, init=False)
 class EthernetHeader(Header):
     """Ethernet II: dst(6) src(6) ethertype(2)."""
 
     dst: MacAddress
     src: MacAddress
     ethertype: int = ETHERTYPE_IPV6
+    _wire: Optional[bytes] = field(default=None, init=False, repr=False)
 
     LEN = 14
+
+    def __init__(self, dst: MacAddress, src: MacAddress,
+                 ethertype: int = ETHERTYPE_IPV6):
+        s = object.__setattr__
+        s(self, "dst", dst)
+        s(self, "src", src)
+        s(self, "ethertype", ethertype)
+        s(self, "_wire", None)
 
     def header_len(self) -> int:
         return self.LEN
 
-    def encode(self) -> bytes:
+    def _encode_wire(self) -> bytes:
         return self.dst.packed + self.src.packed + struct.pack("!H", self.ethertype)
 
     @classmethod
@@ -45,7 +54,7 @@ class EthernetHeader(Header):
         return cls(dst, src, ethertype), cls.LEN
 
 
-@dataclass(eq=False)
+@dataclass(eq=False, slots=True, init=False)
 class MyrinetHeader(Header):
     """Myrinet source route: route_len(1), route bytes, type(2).
 
@@ -54,20 +63,27 @@ class MyrinetHeader(Header):
 
     route: List[int] = field(default_factory=list)
     ptype: int = ETHERTYPE_IPV6
+    _wire: Optional[bytes] = field(default=None, init=False, repr=False)
 
     MAX_HOPS = 32
 
-    def __post_init__(self):
-        if len(self.route) > self.MAX_HOPS:
-            raise DecodeError(f"route too long: {len(self.route)} hops")
-        for hop in self.route:
+    def __init__(self, route: Optional[List[int]] = None,
+                 ptype: int = ETHERTYPE_IPV6):
+        route = [] if route is None else route
+        if len(route) > self.MAX_HOPS:
+            raise DecodeError(f"route too long: {len(route)} hops")
+        for hop in route:
             if not 0 <= hop <= 0xFF:
                 raise DecodeError(f"route byte out of range: {hop}")
+        s = object.__setattr__
+        s(self, "route", route)
+        s(self, "ptype", ptype)
+        s(self, "_wire", None)
 
     def header_len(self) -> int:
         return 1 + len(self.route) + 2
 
-    def encode(self) -> bytes:
+    def _encode_wire(self) -> bytes:
         return bytes([len(self.route)]) + bytes(self.route) + struct.pack("!H", self.ptype)
 
     @classmethod

@@ -12,6 +12,7 @@ import struct
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
+from ... import fastpath as _fastpath
 from ..checksum import combine, finish, ones_complement_sum
 from ..packet import Payload, ZeroPayload
 from .base import DecodeError, Header, need
@@ -19,19 +20,30 @@ from .base import DecodeError, Header, need
 # -- UDP --------------------------------------------------------------------
 
 
-@dataclass(eq=False)
+@dataclass(eq=False, slots=True, init=False)
 class UDPHeader(Header):
     src_port: int
     dst_port: int
     length: int = 8          # header + payload
     checksum: int = 0
+    _wire: Optional[bytes] = field(default=None, init=False, repr=False)
 
     LEN = 8
+    CSUM_OFFSET = 6
+
+    def __init__(self, src_port: int, dst_port: int, length: int = 8,
+                 checksum: int = 0):
+        s = object.__setattr__
+        s(self, "src_port", src_port)
+        s(self, "dst_port", dst_port)
+        s(self, "length", length)
+        s(self, "checksum", checksum)
+        s(self, "_wire", None)
 
     def header_len(self) -> int:
         return self.LEN
 
-    def encode(self) -> bytes:
+    def _encode_wire(self) -> bytes:
         return struct.pack("!HHHH", self.src_port, self.dst_port,
                            self.length, self.checksum)
 
@@ -49,12 +61,23 @@ def udp_fill_checksum(hdr: UDPHeader, pseudo_sum: int, payload: Payload) -> None
     hdr.checksum = 0
     acc = combine(pseudo_sum, ones_complement_sum(hdr.encode()), payload.csum())
     value = finish(acc)
-    hdr.checksum = value if value != 0 else 0xFFFF
+    value = value if value != 0 else 0xFFFF
+    hdr._store_checksum_field("checksum", value, UDPHeader.CSUM_OFFSET)
 
 
 def udp_verify_checksum(hdr: UDPHeader, pseudo_sum: int, payload: Payload) -> bool:
     if hdr.checksum == 0:       # checksum disabled (IPv4 only)
         return True
+    if _fastpath.ENABLED:
+        # Non-mutating: remove the stored checksum from the running sum
+        # by ones-complement subtraction instead of zeroing the field
+        # (which would invalidate the cached wire bytes twice).
+        stored = hdr.checksum
+        acc = combine(pseudo_sum, ones_complement_sum(hdr.encode()),
+                      payload.csum(), (~stored) & 0xFFFF)
+        expect = finish(acc)
+        expect = expect if expect != 0 else 0xFFFF
+        return expect == stored
     stored, hdr.checksum = hdr.checksum, 0
     try:
         acc = combine(pseudo_sum, ones_complement_sum(hdr.encode()), payload.csum())
@@ -89,7 +112,7 @@ OPT_TIMESTAMP = 8
 MAX_SACK_BLOCKS = 3
 
 
-@dataclass(eq=False)
+@dataclass(eq=False, slots=True, init=False)
 class TCPHeader(Header):
     src_port: int
     dst_port: int
@@ -106,8 +129,45 @@ class TCPHeader(Header):
     ts_val: Optional[int] = None
     ts_ecr: Optional[int] = None
     sack_blocks: List[Tuple[int, int]] = field(default_factory=list)
+    _wire: Optional[bytes] = field(default=None, init=False, repr=False)
+    _opts: Optional[bytes] = field(default=None, init=False, repr=False)
 
     BASE_LEN = 20
+    CSUM_OFFSET = 16
+
+    def __init__(self, src_port: int, dst_port: int, seq: int = 0,
+                 ack: int = 0, flags: int = 0, window: int = 0,
+                 checksum: int = 0, urgent: int = 0,
+                 mss: Optional[int] = None, wscale: Optional[int] = None,
+                 sack_permitted: bool = False, ts_val: Optional[int] = None,
+                 ts_ecr: Optional[int] = None,
+                 sack_blocks: Optional[List[Tuple[int, int]]] = None):
+        # Hand-written hot-path constructor: a fresh header has nothing
+        # cached to invalidate, so every field goes straight to its slot
+        # instead of through the invalidating __setattr__.
+        s = object.__setattr__
+        s(self, "src_port", src_port)
+        s(self, "dst_port", dst_port)
+        s(self, "seq", seq)
+        s(self, "ack", ack)
+        s(self, "flags", flags)
+        s(self, "window", window)
+        s(self, "checksum", checksum)
+        s(self, "urgent", urgent)
+        s(self, "mss", mss)
+        s(self, "wscale", wscale)
+        s(self, "sack_permitted", sack_permitted)
+        s(self, "ts_val", ts_val)
+        s(self, "ts_ecr", ts_ecr)
+        s(self, "sack_blocks", [] if sack_blocks is None else sack_blocks)
+        s(self, "_wire", None)
+        s(self, "_opts", None)
+
+    def __setattr__(self, name, value):
+        object.__setattr__(self, name, value)
+        if name[0] != "_":
+            object.__setattr__(self, "_wire", None)
+            object.__setattr__(self, "_opts", None)
 
     def flag(self, mask: int) -> bool:
         return bool(self.flags & mask)
@@ -116,6 +176,14 @@ class TCPHeader(Header):
         return "".join(ch for mask, ch in _FLAG_NAMES if self.flags & mask) or "."
 
     def _options_bytes(self) -> bytes:
+        opts = self._opts
+        if opts is not None and _fastpath.ENABLED:
+            return opts
+        opts = self._build_options()
+        object.__setattr__(self, "_opts", opts)
+        return opts
+
+    def _build_options(self) -> bytes:
         out = bytearray()
         if self.mss is not None:
             out += struct.pack("!BBH", OPT_MSS, 4, self.mss)
@@ -145,7 +213,7 @@ class TCPHeader(Header):
     def header_len(self) -> int:
         return self.BASE_LEN + len(self._options_bytes())
 
-    def encode(self) -> bytes:
+    def _encode_wire(self) -> bytes:
         opts = self._options_bytes()
         data_offset = (self.BASE_LEN + len(opts)) // 4
         return struct.pack(
@@ -207,10 +275,17 @@ class TCPHeader(Header):
 def tcp_fill_checksum(hdr: TCPHeader, pseudo_sum: int, payload: Payload) -> None:
     hdr.checksum = 0
     acc = combine(pseudo_sum, ones_complement_sum(hdr.encode()), payload.csum())
-    hdr.checksum = finish(acc)
+    hdr._store_checksum_field("checksum", finish(acc), TCPHeader.CSUM_OFFSET)
 
 
 def tcp_verify_checksum(hdr: TCPHeader, pseudo_sum: int, payload: Payload) -> bool:
+    if _fastpath.ENABLED:
+        # Non-mutating verify (see udp_verify_checksum): the encoded
+        # bytes usually come straight from the sender-side cache.
+        stored = hdr.checksum
+        acc = combine(pseudo_sum, ones_complement_sum(hdr.encode()),
+                      payload.csum(), (~stored) & 0xFFFF)
+        return finish(acc) == stored
     stored, hdr.checksum = hdr.checksum, 0
     try:
         acc = combine(pseudo_sum, ones_complement_sum(hdr.encode()), payload.csum())

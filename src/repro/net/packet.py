@@ -23,6 +23,9 @@ from .checksum import ones_complement_sum
 class Payload:
     """Interface: length, byte materialization, slicing, checksum sum."""
 
+    # No __dict__ on any payload: subclasses declare their own slots.
+    __slots__ = ()
+
     length: int
 
     def to_bytes(self) -> bytes:
@@ -190,7 +193,7 @@ class Packet:
     """A header stack (outermost first) plus payload plus link metadata."""
 
     __slots__ = ("headers", "payload", "route", "route_cursor", "born_at",
-                 "corrupted", "trace_id")
+                 "corrupted", "trace_id", "_wire_size")
 
     _next_trace_id = 0
 
@@ -202,12 +205,14 @@ class Packet:
         self.route_cursor: int = 0
         self.born_at: Optional[float] = None
         self.corrupted: bool = False
+        self._wire_size: Optional[int] = None
         Packet._next_trace_id += 1
         self.trace_id = Packet._next_trace_id
 
     def push(self, header) -> "Packet":
         """Prepend an (outer) header."""
         self.headers.insert(0, header)
+        self._wire_size = None
         return self
 
     def top(self):
@@ -219,6 +224,7 @@ class Packet:
         """Remove and return the outermost header."""
         if not self.headers:
             raise IndexError("packet has no headers")
+        self._wire_size = None
         return self.headers.pop(0)
 
     def find(self, header_type):
@@ -230,8 +236,17 @@ class Packet:
 
     @property
     def wire_size(self) -> int:
-        """Total bytes on the wire: all header bytes plus payload."""
-        return sum(h.header_len() for h in self.headers) + self.payload.length
+        """Total bytes on the wire: all header bytes plus payload.
+
+        Cached until the header stack changes (push/pop); header field
+        mutations after build never change header lengths.
+        """
+        size = self._wire_size
+        if size is None:
+            size = sum(h.header_len()
+                       for h in self.headers) + self.payload.length
+            self._wire_size = size
+        return size
 
     def copy_shallow(self) -> "Packet":
         """A distinct Packet sharing headers/payload (for retransmit clones)."""

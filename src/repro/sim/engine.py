@@ -70,11 +70,15 @@ class Event:
 
     def succeed(self, value: Any = None, delay: float = 0.0) -> "Event":
         """Trigger the event successfully; callbacks run ``delay`` from now."""
-        if self.triggered:
+        if self._value is not _PENDING:
             raise SimulationError(f"{self!r} already triggered")
+        if delay < 0:
+            raise SimulationError(f"negative delay: {delay}")
         self._ok = True
         self._value = value
-        self.sim._enqueue(delay, self)
+        sim = self.sim
+        sim._seq += 1
+        heapq.heappush(sim._heap, (sim.now + delay, sim._seq, self))
         return self
 
     def fail(self, exception: BaseException, delay: float = 0.0) -> "Event":
@@ -109,26 +113,67 @@ class Timeout(Event):
     def __init__(self, sim: "Simulator", delay: float, value: Any = None):
         if delay < 0:
             raise SimulationError(f"negative timeout delay: {delay}")
-        super().__init__(sim)
-        self._ok = True
+        self.sim = sim
+        self.callbacks = []
         self._value = value
-        sim._enqueue(delay, self)
+        self._ok = True
+        self._defused = False
+        sim._seq += 1
+        heapq.heappush(sim._heap, (sim.now + delay, sim._seq, self))
+
+
+class _ProcWake:
+    """Reusable heap entry for a process sleeping on a plain delay.
+
+    A process waits on at most one thing at a time, so one wake cell per
+    process can be re-pushed for every ``yield <float>`` without
+    allocating a Timeout (event object + callback list) per wait.
+    ``cancelled`` handles interruption: the stale heap entry is skipped
+    and a fresh cell takes its place.
+
+    ``fired`` implements the two-hop fire: the first pop re-pushes the
+    cell at the same time with a fresh sequence number and only the
+    second pop resumes the process.  The general work-queue path resumes
+    waiters via completion-handle → ``succeed`` → heap push, so *its*
+    resume order among same-time events is set at fire time; the wake
+    cell must match that or fast and naive modes diverge on exact-time
+    ties.
+    """
+
+    __slots__ = ("proc", "cancelled", "fired")
+
+    def __init__(self, proc: "Process"):
+        self.proc = proc
+        self.cancelled = False
+        self.fired = False
+
+
+# Sentinel passed to Process._resume when a plain-delay wake fires: looks
+# like a processed, successful Event carrying None.
+_WAKE_VALUE = Event.__new__(Event)
+_WAKE_VALUE.callbacks = None
+_WAKE_VALUE._value = None
+_WAKE_VALUE._ok = True
+_WAKE_VALUE._defused = False
 
 
 class Process(Event):
     """Drives a generator; the process *is* an event that fires on return.
 
-    The generator may yield any :class:`Event`; the process resumes with the
-    event's value (or has the event's exception thrown into it).
+    The generator may yield any :class:`Event` — or a plain non-negative
+    ``float``, shorthand for a Timeout of that many microseconds that
+    costs no event allocation.  The process resumes with the event's
+    value (or has the event's exception thrown into it).
     """
 
-    __slots__ = ("_gen", "_waiting_on")
+    __slots__ = ("_gen", "_waiting_on", "_wake")
 
     def __init__(self, sim: "Simulator", generator: Generator):
         if not hasattr(generator, "throw"):
             raise SimulationError(f"process target must be a generator, got {generator!r}")
         super().__init__(sim)
         self._gen = generator
+        self._wake: Optional[_ProcWake] = None
         bootstrap = Event(sim)
         bootstrap.callbacks.append(self._resume)
         bootstrap.succeed()
@@ -157,7 +202,11 @@ class Process(Event):
         if not self.is_alive:
             return  # the process finished before the interrupt was delivered
         waited = self._waiting_on
-        if waited is not None and waited.callbacks is not None \
+        if type(waited) is _ProcWake:
+            # The stale heap entry is skipped when popped; the process
+            # gets a fresh wake cell for its next plain-delay wait.
+            waited.cancelled = True
+        elif waited is not None and waited.callbacks is not None \
                 and self._resume in waited.callbacks:
             waited.callbacks.remove(self._resume)
         self._waiting_on = None
@@ -186,6 +235,18 @@ class Process(Event):
                     sim._enqueue(0.0, self)
                     return
                 if not isinstance(target, Event):
+                    if type(target) is float and target >= 0:
+                        # Plain-delay wait: re-push this process's
+                        # reusable wake cell instead of building a
+                        # Timeout (no event object, no callback list).
+                        wake = self._wake
+                        if wake is None or wake.cancelled:
+                            wake = self._wake = _ProcWake(self)
+                        sim._seq += 1
+                        heapq.heappush(sim._heap,
+                                       (sim.now + target, sim._seq, wake))
+                        self._waiting_on = wake
+                        return
                     event = Event(sim)
                     event.fail(
                         SimulationError(f"process yielded a non-event: {target!r}"))
@@ -193,7 +254,7 @@ class Process(Event):
                     continue
                 if target.sim is not sim:
                     raise SimulationError("event belongs to a different simulator")
-                if target.processed:
+                if target.callbacks is None:
                     # Already-processed events resume the process immediately.
                     event = target
                     continue
@@ -263,24 +324,39 @@ class AllOf(Event):
 
 
 class _CallbackHandle:
-    """Cancellable handle returned by :meth:`Simulator.call_later`."""
+    """Cancellable handle returned by :meth:`Simulator.call_later`.
 
-    __slots__ = ("_fn", "_args", "cancelled", "time")
+    Cancellation is lazy: the handle stays in the heap (marked dead) and
+    is skipped when popped.  The simulator counts dead handles and
+    compacts the heap when they are the majority, so timer-heavy
+    protocols (TCP re-arming its RTO on every ACK) do not drown the
+    heap in corpses.
+    """
 
-    def __init__(self, fn: Callable, args: tuple, time: float):
+    __slots__ = ("_fn", "_args", "cancelled", "time", "_sim")
+
+    def __init__(self, sim: "Simulator", fn: Callable, args: tuple, time: float):
+        self._sim = sim
         self._fn = fn
         self._args = args
         self.cancelled = False
         self.time = time
 
     def cancel(self) -> None:
+        if self.cancelled:
+            return
         self.cancelled = True
         self._fn = None
         self._args = ()
+        self._sim._note_cancelled()
 
 
 class Simulator:
     """The event loop: a priority heap of (time, seq, item)."""
+
+    #: Compaction floor: heaps smaller than this are never compacted
+    #: (the rebuild would cost more than the dead entries).
+    COMPACT_MIN_HEAP = 64
 
     def __init__(self):
         self.now: float = 0.0
@@ -288,6 +364,8 @@ class Simulator:
         self._seq: int = 0
         self._active_gen = None
         self._events_processed: int = 0
+        self._dead_handles: int = 0
+        self.compactions: int = 0
 
     # -- scheduling primitives ------------------------------------------
 
@@ -296,6 +374,27 @@ class Simulator:
             raise SimulationError(f"negative delay: {delay}")
         self._seq += 1
         heapq.heappush(self._heap, (self.now + delay, self._seq, item))
+
+    def _note_cancelled(self) -> None:
+        """A handle in the heap died; compact when >50% of the heap is dead.
+
+        Compaction preserves behaviour exactly: pop order of the
+        remaining ``(time, seq, item)`` entries is a total order, so any
+        heap over the same live entries drains identically.
+        """
+        self._dead_handles += 1
+        if (self._dead_handles >= self.COMPACT_MIN_HEAP
+                and self._dead_handles * 2 > len(self._heap)):
+            self._compact()
+
+    def _compact(self) -> None:
+        live = [entry for entry in self._heap
+                if not (type(entry[2]) is _CallbackHandle and entry[2].cancelled)]
+        heapq.heapify(live)
+        # In-place so the run loop's local binding of the heap stays valid.
+        self._heap[:] = live
+        self._dead_handles = 0
+        self.compactions += 1
 
     def event(self) -> Event:
         return Event(self)
@@ -314,8 +413,12 @@ class Simulator:
 
     def call_later(self, delay: float, fn: Callable, *args) -> _CallbackHandle:
         """Run ``fn(*args)`` after ``delay``; returns a cancellable handle."""
-        handle = _CallbackHandle(fn, args, self.now + delay)
-        self._enqueue(delay, handle)
+        if delay < 0:
+            raise SimulationError(f"negative delay: {delay}")
+        time = self.now + delay
+        handle = _CallbackHandle(self, fn, args, time)
+        self._seq += 1
+        heapq.heappush(self._heap, (time, self._seq, handle))
         return handle
 
     def call_soon(self, fn: Callable, *args) -> _CallbackHandle:
@@ -326,9 +429,24 @@ class Simulator:
     def _step(self) -> None:
         _time, _seq, item = heapq.heappop(self._heap)
         self.now = _time
-        if isinstance(item, _CallbackHandle):
+        kind = type(item)
+        if kind is _ProcWake:
+            if item.cancelled:
+                return
+            if not item.fired:
+                item.fired = True
+                self._seq += 1
+                heapq.heappush(self._heap, (_time, self._seq, item))
+                return
+            item.fired = False
+            self._events_processed += 1
+            item.proc._resume(_WAKE_VALUE)
+            return
+        if kind is _CallbackHandle:
             if not item.cancelled:
                 item._fn(*item._args)
+            elif self._dead_handles > 0:
+                self._dead_handles -= 1
             return
         # item is an Event whose callbacks are due.
         event: Event = item
@@ -346,15 +464,50 @@ class Simulator:
         exactly ``until`` if the run stops there.
         """
         budget = max_events
-        while self._heap:
-            if until is not None and self._heap[0][0] > until:
+        # The _step body is inlined here: at tens of thousands of events
+        # per run the method-call overhead is measurable.  _compact
+        # rewrites the heap in place, so the local binding stays valid.
+        heap = self._heap
+        pop = heapq.heappop
+        push = heapq.heappush
+        while heap:
+            if until is not None and heap[0][0] > until:
                 self.now = until
                 return
             if budget is not None:
                 if budget <= 0:
                     raise SimulationError("max_events budget exhausted")
                 budget -= 1
-            self._step()
+            _time, _seq, item = pop(heap)
+            self.now = _time
+            kind = type(item)
+            if kind is _ProcWake:
+                if item.cancelled:
+                    continue
+                if not item.fired:
+                    # Two-hop fire: see _ProcWake.  Keeps same-time tie
+                    # ordering identical to the general work-queue path.
+                    item.fired = True
+                    self._seq += 1
+                    push(heap, (_time, self._seq, item))
+                    continue
+                item.fired = False
+                self._events_processed += 1
+                item.proc._resume(_WAKE_VALUE)
+                continue
+            if kind is _CallbackHandle:
+                if not item.cancelled:
+                    item._fn(*item._args)
+                elif self._dead_handles > 0:
+                    self._dead_handles -= 1
+                continue
+            event = item
+            callbacks, event.callbacks = event.callbacks, None
+            for cb in callbacks:
+                cb(event)
+            self._events_processed += 1
+            if not event._ok and not event._defused and not callbacks:
+                raise event._value
         if until is not None and self.now < until:
             self.now = until
 

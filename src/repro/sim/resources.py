@@ -15,6 +15,7 @@ import heapq
 from collections import deque
 from typing import Any, Callable, Optional
 
+from .. import fastpath as _fastpath
 from .engine import Event, SimulationError, Simulator
 
 
@@ -133,14 +134,32 @@ class WorkQueue:
     Work runs one item at a time (non-preemptive).  Lower ``priority``
     values run first among queued items; ties are FIFO.  Each completed
     item charges its ``duration`` of busy time to its ``category``.
+
+    Queues constructed with ``eager=True`` (NIC cores, DMA engines —
+    anything fed exclusively by default-priority, callback-free work)
+    take a fast path when the global fast-path switch is on: the serial
+    core is modelled as an advancing busy horizon and each submission
+    costs a single pre-triggered event at ``horizon + duration``,
+    instead of an inner heap entry plus a dispatch callback plus a
+    completion event.  Identical start/finish times, identical FIFO
+    order; a submission with a callback or non-default priority (or an
+    in-flight dispatch chain) falls back to the general path and
+    serializes after the horizon.
+
+    ``detailed=False`` turns off per-category accounting (the per-event
+    dict churn) for callers that only need total utilization.
     """
 
-    def __init__(self, sim: Simulator, name: str = "cpu"):
+    def __init__(self, sim: Simulator, name: str = "cpu",
+                 eager: bool = False, detailed: bool = True):
         self.sim = sim
         self.name = name
+        self.eager = eager
+        self.detailed = detailed
         self._heap: list = []
         self._seq = 0
         self._busy = False
+        self._busy_until = 0.0
         self.busy_time = 0.0
         self.busy_by_category: dict = {}
         self._stats_epoch = 0.0
@@ -152,7 +171,7 @@ class WorkQueue:
 
     @property
     def busy(self) -> bool:
-        return self._busy
+        return self._busy or self.sim.now < self._busy_until
 
     def submit(self, duration: float, category: str = "work", priority: int = 0,
                fn: Optional[Callable] = None) -> Event:
@@ -162,13 +181,71 @@ class WorkQueue:
         """
         if duration < 0:
             raise SimulationError(f"negative work duration: {duration}")
-        done = Event(self.sim)
-        item = WorkItem(duration, category, priority, fn, done, self.sim.now)
+        sim = self.sim
+        if fn is None and priority == 0 and not self._busy \
+                and _fastpath.ENABLED:
+            now = sim.now
+            start = self._busy_until
+            if start < now:
+                start = now
+            # Eager queues always take the fast path; priority-capable
+            # queues (host CPUs) only when the core is idle *right now*
+            # — then the item starts immediately in both models and,
+            # being non-preemptible, cannot be reordered by a later
+            # higher-priority arrival.
+            if self.eager or (start == now and not self._heap):
+                finish = start + duration
+                self._busy_until = finish
+                self.busy_time += duration
+                if self.detailed:
+                    by_cat = self.busy_by_category
+                    by_cat[category] = by_cat.get(category, 0.0) + duration
+                self.items_completed += 1
+                # Fire via call_later → succeed so the waiter's resume
+                # order among same-time events is decided at completion
+                # time, exactly like the general path below (handle →
+                # _complete → succeed).  A plain Timeout here would give
+                # the waiter a submission-time sequence number and flip
+                # exact-time ties between fast and naive modes.
+                done = Event(sim)
+                sim.call_later(finish - now, done.succeed)
+                return done
+        done = Event(sim)
+        item = WorkItem(duration, category, priority, fn, done, sim.now)
         self._seq += 1
         heapq.heappush(self._heap, (priority, self._seq, item))
         if not self._busy:
             self._dispatch()
         return done
+
+    def submit_wait(self, duration: float, category: str = "work"):
+        """:meth:`submit` for callers that ``yield`` the result immediately.
+
+        On the fast path this returns a plain delay (float) — the
+        process trampoline turns it into a reusable wake cell, skipping
+        the Timeout allocation entirely.  Off the fast path (or under
+        contention) it returns the normal completion event.  Never use
+        this when the result is stored and yielded later: a plain delay
+        starts counting when yielded, not when submitted.
+        """
+        if duration < 0:
+            raise SimulationError(f"negative work duration: {duration}")
+        if not self._busy and _fastpath.ENABLED:
+            sim = self.sim
+            now = sim.now
+            start = self._busy_until
+            if start < now:
+                start = now
+            if self.eager or (start == now and not self._heap):
+                finish = start + duration
+                self._busy_until = finish
+                self.busy_time += duration
+                if self.detailed:
+                    by_cat = self.busy_by_category
+                    by_cat[category] = by_cat.get(category, 0.0) + duration
+                self.items_completed += 1
+                return finish - now
+        return self.submit(duration, category=category)
 
     def _dispatch(self) -> None:
         if not self._heap:
@@ -176,13 +253,19 @@ class WorkQueue:
             return
         self._busy = True
         _prio, _seq, item = heapq.heappop(self._heap)
-        item.started_at = self.sim.now
-        self.sim.call_later(item.duration, self._complete, item)
+        now = self.sim.now
+        start = self._busy_until
+        if start < now:
+            start = now
+        item.started_at = start
+        self._busy_until = start + item.duration
+        self.sim.call_later(self._busy_until - now, self._complete, item)
 
     def _complete(self, item: WorkItem) -> None:
         self.busy_time += item.duration
-        self.busy_by_category[item.category] = (
-            self.busy_by_category.get(item.category, 0.0) + item.duration)
+        if self.detailed:
+            by_cat = self.busy_by_category
+            by_cat[item.category] = by_cat.get(item.category, 0.0) + item.duration
         self.items_completed += 1
         if item.fn is not None:
             item.fn()

@@ -26,12 +26,18 @@ class StageRecorder:
     def __init__(self, nic):
         self.log = []
         orig = nic.stage
+        orig_multi = nic.stages
 
         def stage(name, duration):
             self.log.append(name)
             return orig(name, duration)
 
+        def stages(pairs):
+            self.log.extend(name for name, _d in pairs)
+            return orig_multi(pairs)
+
         nic.stage = stage
+        nic.stages = stages
 
     def first_window(self, start_stage, stages):
         """The slice of the log beginning at the first ``start_stage``."""

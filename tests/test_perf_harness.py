@@ -1,0 +1,99 @@
+"""The wall-clock perf harness: report structure and the regression gate.
+
+The harness itself must never affect simulated results — it only runs
+existing workloads — so these tests check the *measurement plumbing*:
+the ``BENCH_perf.json`` schema, the baseline round-trip, and the
+events/sec regression arithmetic CI relies on.
+"""
+
+import json
+
+import pytest
+
+from repro.bench.perf import (compare_to_baseline, load_baseline, run_perf,
+                              write_report)
+
+
+@pytest.fixture(scope="module")
+def quick_report():
+    # One real (quick) run shared by the structural tests.  Profiling and
+    # the naive-mode comparison re-run workloads; skip both for speed.
+    return run_perf(quick=True, profile=False, compare_naive=False)
+
+
+class TestReportStructure:
+    def test_all_workloads_measured(self, quick_report):
+        assert quick_report["harness"] == "repro-perf"
+        assert quick_report["quick"] is True
+        names = set(quick_report["workloads"])
+        assert names == {"ttcp_bulk", "pingpong", "kvstore_mixed",
+                         "chaos_recover"}
+
+    def test_workload_fields(self, quick_report):
+        for name, w in quick_report["workloads"].items():
+            assert w["wall_s"] > 0, name
+            assert w["bytes"] > 0, name
+            assert w["sim_bytes_per_wall_s"] > 0, name
+            if name == "chaos_recover":
+                # run_chaos owns its simulator; no event counter surfaces.
+                assert w["events_per_sec"] is None
+            else:
+                assert w["events_per_sec"] > 0, name
+                assert w["events"] > 0, name
+                assert w["sim_us"] > 0, name
+
+    def test_report_is_json_and_round_trips(self, quick_report, tmp_path):
+        path = tmp_path / "BENCH_perf.json"
+        out = write_report(quick_report, str(path))
+        assert out == str(path)
+        text = path.read_text()
+        assert text.endswith("\n")
+        assert json.loads(text) == json.loads(
+            json.dumps(quick_report, sort_keys=True))
+
+    def test_load_baseline_round_trip(self, quick_report, tmp_path):
+        path = tmp_path / "baseline_perf.json"
+        write_report(quick_report, str(path))
+        base = load_baseline(str(path))
+        assert base["workloads"].keys() == quick_report["workloads"].keys()
+
+    def test_load_baseline_missing_file(self, tmp_path):
+        assert load_baseline(str(tmp_path / "nope.json")) is None
+
+
+def _report_with(eps):
+    return {"workloads": {"ttcp_bulk": {"events_per_sec": eps}}}
+
+
+class TestRegressionGate:
+    def test_within_tolerance_passes(self):
+        ok, messages = compare_to_baseline(_report_with(80_000),
+                                           _report_with(100_000),
+                                           max_regression=0.30)
+        assert ok
+        assert any("ttcp_bulk" in m for m in messages)
+
+    def test_beyond_tolerance_fails(self):
+        ok, messages = compare_to_baseline(_report_with(69_000),
+                                           _report_with(100_000),
+                                           max_regression=0.30)
+        assert not ok
+        assert any("REGRESSION" in m for m in messages)
+
+    def test_improvement_passes(self):
+        ok, _ = compare_to_baseline(_report_with(250_000),
+                                    _report_with(100_000))
+        assert ok
+
+    def test_unmeasurable_workload_skipped(self):
+        # chaos_recover has no event counter: present in both, None eps.
+        ok, messages = compare_to_baseline(_report_with(None),
+                                           _report_with(None))
+        assert ok
+        assert any("skipped" in m for m in messages)
+
+    def test_workload_missing_from_baseline_skipped(self):
+        ok, messages = compare_to_baseline(_report_with(100_000),
+                                           {"workloads": {}})
+        assert ok
+        assert any("skipped" in m for m in messages)

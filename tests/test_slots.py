@@ -1,0 +1,104 @@
+"""No hot per-packet/per-event class may grow a ``__dict__``.
+
+``__slots__`` on these classes is a deliberate perf decision (millions
+of instances per bulk run); a stray class attribute or a subclass
+without slots silently reintroduces per-instance dicts.  These tests
+make the absence of ``__dict__`` an enforced contract.
+"""
+
+import pytest
+
+from repro.core.cq import CompletionQueue
+from repro.core.wr import Completion, WorkRequest, WROpcode
+from repro.mem.buffers import SGE
+from repro.net.headers.ip import IPv4Header, IPv6Header
+from repro.net.headers.link import EthernetHeader, MyrinetHeader
+from repro.net.headers.transport import TCPHeader, UDPHeader
+from repro.net.addresses import IPv6Address, MacAddress
+from repro.net.packet import (BytesPayload, ChainPayload, Packet,
+                              ZeroPayload)
+from repro.sim import Simulator
+from repro.sim.engine import Event, Process, Timeout, _CallbackHandle
+
+
+def _assert_no_dict(obj):
+    cls = type(obj)
+    assert not hasattr(obj, "__dict__"), \
+        f"{cls.__name__} instances grew a __dict__ (slots are broken)"
+    assert "__dict__" not in dir(cls) or not hasattr(obj, "__dict__")
+    # Frozen slotted dataclasses raise TypeError here (their generated
+    # __setattr__ trips on the recreated class); everything else raises
+    # AttributeError.  Either way the write must not succeed.
+    with pytest.raises((AttributeError, TypeError)):
+        obj.some_attribute_that_does_not_exist = 1
+
+
+class TestHeaderSlots:
+    def test_tcp_header(self):
+        _assert_no_dict(TCPHeader(1, 2, seq=3, ts_val=4))
+
+    def test_udp_header(self):
+        _assert_no_dict(UDPHeader(1, 2, length=16))
+
+    def test_ipv4_header(self):
+        from repro.net.addresses import IPv4Address
+        a = IPv4Address(bytes([10, 0, 0, 1]))
+        b = IPv4Address(bytes([10, 0, 0, 2]))
+        _assert_no_dict(IPv4Header(a, b, protocol=6))
+
+    def test_ipv6_header(self):
+        a = IPv6Address(bytes(16))
+        b = IPv6Address(bytes([1] * 16))
+        _assert_no_dict(IPv6Header(a, b, next_header=6))
+
+    def test_link_headers(self):
+        _assert_no_dict(MyrinetHeader([1, 2], 0x86DD))
+        _assert_no_dict(EthernetHeader(MacAddress.from_index(1),
+                                       MacAddress.from_index(2)))
+
+
+class TestPacketSlots:
+    def test_packet(self):
+        _assert_no_dict(Packet())
+
+    def test_payloads(self):
+        _assert_no_dict(ZeroPayload(10))
+        _assert_no_dict(BytesPayload(b"xy"))
+        _assert_no_dict(ChainPayload([BytesPayload(b"xy"), ZeroPayload(4)]))
+
+
+class TestCoreSlots:
+    def test_work_request(self):
+        wr = WorkRequest(1, WROpcode.RECV, [SGE(0, 64, 1)])
+        _assert_no_dict(wr)
+
+    def test_completion(self):
+        _assert_no_dict(Completion(1, 2, WROpcode.SEND))
+
+    def test_sge(self):
+        _assert_no_dict(SGE(0, 64, 1))
+
+
+class TestSimSlots:
+    def test_event_family(self):
+        sim = Simulator()
+        _assert_no_dict(Event(sim))
+        _assert_no_dict(Timeout(sim, 1.0))
+
+        def proc():
+            yield sim.timeout(1.0)
+
+        _assert_no_dict(Process(sim, proc()))
+
+    def test_callback_handle(self):
+        sim = Simulator()
+        handle = sim.call_later(5.0, lambda: None)
+        assert type(handle) is _CallbackHandle
+        _assert_no_dict(handle)
+
+    def test_cq_stays_functional(self):
+        # CompletionQueue itself is not slotted (one per QP, cold); this
+        # documents that only the per-entry objects are constrained.
+        sim = Simulator()
+        cq = CompletionQueue(sim, 1, 16)
+        assert hasattr(cq, "__dict__")

@@ -13,6 +13,8 @@ Usage::
     python -m repro all [--mb 409]
     python -m repro chaos --seed 1 [--drop 0.02 --corrupt 0.01 ...]
     python -m repro perf [--quick]
+    python -m repro trace ttcp [--out-dir traces/]
+    python -m repro metrics pingpong [--json]
 """
 
 from __future__ import annotations
@@ -115,7 +117,59 @@ def build_parser() -> argparse.ArgumentParser:
                         help="also overwrite the committed baseline")
     perf_p.add_argument("--no-profile", action="store_true",
                         help="skip the cProfile subsystem breakdown")
+    for cmd, help_text in (
+            ("trace", "run a workload with full observability on and "
+                      "write trace.jsonl / trace.chrome.json (Perfetto) / "
+                      "capture.pcapng (Wireshark) / metrics.txt"),
+            ("metrics", "run a workload with the metrics registry on and "
+                        "print the report")):
+        p = sub.add_parser(cmd, help=help_text)
+        p.add_argument("workload", choices=("ttcp", "pingpong"))
+        p.add_argument("--bytes", type=int, default=256 * 1024,
+                       help="ttcp transfer size")
+        p.add_argument("--chunk", type=int, default=8192,
+                       help="ttcp message size")
+        p.add_argument("--iterations", type=int, default=20,
+                       help="pingpong round trips")
+        p.add_argument("--msg-size", type=int, default=64,
+                       help="pingpong message size")
+        p.add_argument("--json", action="store_true",
+                       help="print the summary as JSON")
+        if cmd == "trace":
+            p.add_argument("--out-dir", default="traces",
+                           help="artifact output directory")
     return parser
+
+
+def run_trace_cmd(args) -> int:
+    import json as _json
+    from .obs.runner import render_summary, run_traced
+    write = args.command == "trace"
+    summary = run_traced(
+        workload=args.workload,
+        out_dir=getattr(args, "out_dir", "."),
+        total_bytes=args.bytes, chunk=args.chunk,
+        iterations=args.iterations, msg_size=args.msg_size,
+        write_artifacts=write)
+    if args.json:
+        print(_json.dumps(summary, indent=2, sort_keys=True))
+        return 0
+    print(render_summary(summary))
+    if args.command == "metrics":
+        print(_render_metrics_snapshot(summary["metrics"]))
+    return 0
+
+
+def _render_metrics_snapshot(snapshot: dict) -> str:
+    lines = ["metrics:"]
+    for name, value in snapshot.items():
+        if isinstance(value, dict):
+            detail = " ".join(f"{k}={v:.2f}" if isinstance(v, float)
+                              else f"{k}={v}" for k, v in value.items())
+            lines.append(f"  {name:40s} {detail}")
+        else:
+            lines.append(f"  {name:40s} {value:>12,}")
+    return "\n".join(lines)
 
 
 def run_perf_cmd(args) -> int:
@@ -185,11 +239,15 @@ def main(argv=None) -> int:
         print("  all        run everything (slow: full-size NBD)")
         print("  chaos      fault-injection run with invariant checks")
         print("  perf       simulator wall-clock benchmark (BENCH_perf.json)")
+        print("  trace      traced run: Perfetto/Wireshark/metrics artifacts")
+        print("  metrics    traced run: print the metrics report")
         return 0
     if args.command == "chaos":
         return run_chaos_cmd(args)
     if args.command == "perf":
         return run_perf_cmd(args)
+    if args.command in ("trace", "metrics"):
+        return run_trace_cmd(args)
     names = list(EXPERIMENTS) if args.command == "all" else [args.command]
     for name in names:
         desc, fn = EXPERIMENTS[name]

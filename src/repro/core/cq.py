@@ -14,9 +14,10 @@ from __future__ import annotations
 from collections import deque
 from typing import Deque, Generator, List, Optional
 
+from .. import obs
 from ..errors import VerbsError
 from ..sim import Event, Simulator
-from .wr import Completion
+from .wr import Completion, WROpcode
 
 CQE_BYTES = 32
 
@@ -57,6 +58,19 @@ class CompletionQueue:
         self.total_completions += 1
         if not cqe.ok:
             self.error_completions += 1
+        rec = obs.RECORDER
+        if rec is not None:
+            which = "recv" if cqe.opcode is WROpcode.RECV else "send"
+            elapsed = rec.end(("wr", cqe.qp_num, cqe.wr_id, which),
+                              status=cqe.status.name, bytes=cqe.byte_len)
+            rec.event("verbs", "cqe", track=f"qp{cqe.qp_num}.host",
+                      wr_id=cqe.wr_id, qp=cqe.qp_num,
+                      opcode=cqe.opcode.name, status=cqe.status.name,
+                      bytes=cqe.byte_len)
+            rec.metrics.counter("cq.cqe").add()
+            rec.metrics.counter(f"cq.cqe.{cqe.status.name}").add()
+            if elapsed is not None and cqe.ok:
+                rec.metrics.histogram(f"wr.{which}.latency_us").add(elapsed)
         for observer in list(self.observers):
             observer(cqe)
         while self._waiters:

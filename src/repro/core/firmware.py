@@ -16,6 +16,7 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Deque, Dict, List, Optional, Tuple
 
+from .. import obs
 from ..errors import (ConnectionReset, DmaError, QPStateError,
                       ResourceExhausted, VerbsError)
 from ..hw.lanai import ProgrammableNic
@@ -524,6 +525,11 @@ class QpipFirmware:
         yield self.nic.stage("get_wr", t.get_wr)
         wr = qp.take_recv()
         qp.wr_dequeued("recv")
+        rec = obs.RECORDER
+        if rec is not None:
+            rec.event("fw", "fw.deliver", track=f"{self.nic.attachment.name}.fw",
+                      qp=qp.qp_num, wr_id=wr.wr_id, bytes=payload.length)
+            rec.metrics.counter("fw.recv_delivered").add()
         if payload.length > wr.length:
             qp.untake_recv(wr)
             self._fail_endpoint(ep, WRStatus.LOCAL_LENGTH_ERROR)
@@ -556,6 +562,11 @@ class QpipFirmware:
         yield self.nic.stage("get_wr", t.get_wr)
         wr = qp.take_recv()
         qp.wr_dequeued("recv")
+        rec = obs.RECORDER
+        if rec is not None:
+            rec.event("fw", "fw.deliver", track=f"{self.nic.attachment.name}.fw",
+                      qp=qp.qp_num, wr_id=wr.wr_id, bytes=payload.length)
+            rec.metrics.counter("fw.recv_delivered").add()
         yield self.nic.stage("put_data", t.put_data)
         try:
             dma = self.nic.dma_to_host(payload.length)
@@ -621,6 +632,11 @@ class QpipFirmware:
             return
         wr = qp.send_queue.popleft()
         qp.wr_dequeued("send")
+        rec = obs.RECORDER
+        if rec is not None:
+            rec.event("fw", "fw.fetch_wr", track=f"{self.nic.attachment.name}.fw",
+                      qp=qp.qp_num, wr_id=wr.wr_id, bytes=wr.length)
+            rec.metrics.counter("fw.send_fetched").add()
         try:
             payload = self._read_wr_data(wr)
         except Exception:
@@ -948,6 +964,11 @@ class QpipFirmware:
     def _on_established(self, ep: FwEndpoint) -> None:
         if ep.qp is not None:
             ep.qp.state = QPState.CONNECTED
+            rec = obs.RECORDER
+            if rec is not None:
+                rec.event("qp", "qp.established",
+                          track=f"{self.nic.attachment.name}.fw", qp=ep.qp.qp_num)
+                rec.metrics.counter("qp.established").add()
             if ep.established_event is not None:
                 ev, ep.established_event = ep.established_event, None
                 self._notify_host(ev, ep.qp)
@@ -992,6 +1013,11 @@ class QpipFirmware:
         if qp.state is not QPState.ERROR:
             qp.state = QPState.ERROR
             self.qp_error_transitions += 1
+            rec = obs.RECORDER
+            if rec is not None:
+                rec.event("qp", "qp.error", track=f"{self.nic.attachment.name}.fw",
+                          qp=qp.qp_num, error=repr(qp.error))
+                rec.metrics.counter("qp.error_transitions").add()
 
     def _fail_endpoint(self, ep: FwEndpoint, status: WRStatus) -> None:
         if ep.conn is not None:
@@ -1008,6 +1034,11 @@ class QpipFirmware:
         qp = ep.qp
         if qp is None:
             return
+        rec = obs.RECORDER
+        if rec is not None:
+            rec.event("qp", "qp.flush", track=f"{self.nic.attachment.name}.fw",
+                      qp=qp.qp_num, status=status.name)
+            rec.metrics.counter("qp.flushes").add()
         for msg_id in list(ep.msg_map):
             wr = ep.msg_map.pop(msg_id)
             self._post_cqe(qp.send_cq, Completion(

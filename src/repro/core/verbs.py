@@ -12,6 +12,7 @@ from __future__ import annotations
 import itertools
 from typing import Generator, List, Optional
 
+from .. import obs
 from ..errors import (PostDeadlineExceeded, QPStateError, QueueFull,
                       VerbsError)
 from ..hw.host import Host
@@ -197,6 +198,14 @@ class QpipInterface:
     def _post(self, qp: QueuePair, wr: WorkRequest, which: str,
               timeout: Optional[float]) -> Generator:
         yield from self._enqueue(qp, wr, which, timeout)
+        rec = obs.RECORDER
+        if rec is not None:
+            rec.begin("verbs", f"wr.{which}",
+                      ("wr", qp.qp_num, wr.wr_id, which),
+                      track=f"qp{qp.qp_num}.host",
+                      wr_id=wr.wr_id, qp=qp.qp_num,
+                      opcode=wr.opcode.name, bytes=wr.length)
+            rec.metrics.counter(f"verbs.{which}_posted").add()
         cost = self.timing.post_descriptor + self.timing.doorbell
         yield self.host.cpu.submit(
             cost, category="qpip-post",

@@ -25,6 +25,7 @@ from __future__ import annotations
 
 from typing import Callable, List, Optional, Tuple
 
+from .. import obs
 from ..errors import ConfigError
 from ..net.packet import Packet
 from ..sim import Simulator
@@ -160,18 +161,40 @@ class _Direction:
         copies = 0
         extra_delay = 0.0
         hooks = self._active_hooks()
+        rec = obs.RECORDER
         if hooks:
             pkt, drop, copies, extra_delay, corrupted = \
                 run_packet_hooks(pkt, hooks)
             if corrupted:
                 self.packets_corrupted += 1
+                if rec is not None:
+                    rec.event("link", "link.corrupt", track=self.name,
+                              pkt=pkt.trace_id)
+                    rec.metrics.counter("link.corrupted").add()
             if drop:
                 self.packets_dropped += 1
+                if rec is not None:
+                    rec.event("link", "link.drop", track=self.name,
+                              pkt=pkt.trace_id, bytes=size)
+                    rec.metrics.counter("link.dropped").add()
                 return
             if copies:
                 self.packets_duplicated += copies
+                if rec is not None:
+                    rec.event("link", "link.dup", track=self.name,
+                              pkt=pkt.trace_id, copies=copies)
+                    rec.metrics.counter("link.duplicated").add(copies)
             if extra_delay:
                 self.packets_delayed += 1
+                if rec is not None:
+                    rec.event("link", "link.delay", track=self.name,
+                              pkt=pkt.trace_id, delay_us=extra_delay)
+                    rec.metrics.counter("link.delayed").add()
+        if rec is not None:
+            rec.event("link", "link.tx", track=self.name,
+                      pkt=pkt.trace_id, bytes=size)
+            rec.metrics.counter("link.pkts").add()
+            rec.metrics.counter("link.bytes").add(size)
         if self.dst.rx_mode == "cut_through":
             header_time = min(size, CUT_THROUGH_HEADER_BYTES) / self.bandwidth
             deliver_at = start + header_time + self.propagation

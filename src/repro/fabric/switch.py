@@ -12,6 +12,7 @@ import random
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
+from .. import obs
 from ..errors import ConfigError, RouteError
 from ..net.headers.ip import ECN_CE, ECN_ECT0, ECN_ECT1, IPv4Header, IPv6Header
 from ..net.headers.link import EthernetHeader, MyrinetHeader
@@ -101,6 +102,11 @@ class MyrinetSwitch(_EgressHooksMixin):
             return
         pkt, copies, delay = verdict
         self.forwarded += 1
+        rec = obs.RECORDER
+        if rec is not None:
+            rec.event("fabric", "switch.fwd", track=self.name,
+                      pkt=pkt.trace_id, out_port=out)
+            rec.metrics.counter("fabric.switch_fwd").add()
         self.sim.call_later(self.latency + delay, self.ports[out].transmit, pkt)
         for _ in range(copies):
             self.sim.call_later(self.latency + delay, self.ports[out].transmit,
@@ -210,6 +216,11 @@ class EthernetSwitch(_EgressHooksMixin):
             return
         pkt = q.pop(0)
         self.forwarded += 1
+        rec = obs.RECORDER
+        if rec is not None:
+            rec.event("fabric", "switch.fwd", track=self.name,
+                      pkt=pkt.trace_id, out_port=out_port)
+            rec.metrics.counter("fabric.switch_fwd").add()
         port = self.ports[out_port]
         port.transmit(pkt)
         # Pace the queue at the egress link rate so the capacity bound is real.

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional
 
+from .. import obs
 from ..errors import ConfigError
 from ..net import InetStack, RouteEntry
 from ..net.addresses import IPAddress, MacAddress
@@ -109,6 +110,11 @@ class HostKernel:
 
     def _softirq(self, pkt: Packet) -> None:
         self.packets_processed += 1
+        rec = obs.RECORDER
+        if rec is not None:
+            rec.event("host", "host.rx", track=self.name,
+                      pkt=pkt.trace_id, bytes=pkt.wire_size)
+            rec.metrics.counter("host.rx_pkts").add()
         self.stack.packet_in(pkt)
 
     # -- transmit path ----------------------------------------------------------
@@ -145,6 +151,11 @@ class HostKernel:
             cost += self.host.checksum_cost(payload.length)
 
         def emit():
+            rec = obs.RECORDER
+            if rec is not None:
+                rec.event("host", "host.tx", track=self.name,
+                          bytes=payload.length)
+                rec.metrics.counter("host.tx_segs").add()
             self.stack.send_segment(conn, hdr, payload)
             self._drain_step(conn)
 

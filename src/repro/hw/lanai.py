@@ -20,6 +20,7 @@ from collections import deque
 from typing import Callable, Deque, Optional
 
 from .. import fastpath as _fastpath
+from .. import obs
 from ..errors import DmaError
 from ..fabric.link import Attachment
 from ..net.packet import Packet
@@ -127,6 +128,11 @@ class ProgrammableNic:
         cyc = self.cycles
         if cyc.enabled:
             cyc.record(name, duration)
+        rec = obs.RECORDER
+        if rec is not None:
+            rec.complete("fw.stage", name, duration,
+                         track=f"{self.host.name}.{self.name}.core")
+            rec.metrics.histogram(f"fw.stage_us.{name}").add(duration)
         return self.processor.submit_wait(duration, category=name)
 
     def stages(self, pairs):
@@ -144,6 +150,12 @@ class ProgrammableNic:
         if cyc.enabled:
             for name, duration in pairs:
                 cyc.record(name, duration)
+        rec = obs.RECORDER
+        if rec is not None:
+            track = f"{self.host.name}.{self.name}.core"
+            for name, duration in pairs:
+                rec.complete("fw.stage", name, duration, track=track)
+                rec.metrics.histogram(f"fw.stage_us.{name}").add(duration)
         if _fastpath.ENABLED:
             total = 0.0
             for _name, duration in pairs:
@@ -187,10 +199,20 @@ class ProgrammableNic:
 
     def wire_transmit(self, pkt: Packet) -> None:
         self.packets_tx += 1
+        rec = obs.RECORDER
+        if rec is not None:
+            rec.event("nic", "nic.tx", track=f"{self.attachment.name}.wire",
+                      pkt=pkt.trace_id, bytes=pkt.wire_size)
+            rec.metrics.counter(f"nic.{self.attachment.name}.tx_pkts").add()
         self.attachment.transmit(pkt)
 
     def _on_wire_receive(self, pkt: Packet, _at: Attachment) -> None:
         self.packets_rx += 1
+        rec = obs.RECORDER
+        if rec is not None:
+            rec.event("nic", "nic.rx", track=f"{self.attachment.name}.wire",
+                      pkt=pkt.trace_id, bytes=pkt.wire_size)
+            rec.metrics.counter(f"nic.{self.attachment.name}.rx_pkts").add()
         self.rx_queue.append(pkt)
         self._poke()
 

@@ -32,6 +32,7 @@ from dataclasses import dataclass
 from typing import Deque, List, Optional, Tuple
 from collections import deque
 
+from ... import obs
 from ...errors import ConnectionReset
 from ...sim import Simulator, Timer
 from ..addresses import FourTuple
@@ -506,6 +507,11 @@ class TcpConnection:
             if desc.retransmit:
                 chunk.retransmits += 1
                 self.stats.retransmitted_segs += 1
+                rec = obs.RECORDER
+                if rec is not None:
+                    rec.event("tcp", "tcp.retransmit", track="tcp",
+                              seq=chunk.seq, port=self.tuple.local.port)
+                    rec.metrics.counter("tcp.retransmitted_segs").add()
                 self._rtt_probe = None  # Karn's rule
             else:
                 chunk.sent_at = now
@@ -598,6 +604,11 @@ class TcpConnection:
         if not self._retx:
             return
         self.stats.rto_timeouts += 1
+        rec = obs.RECORDER
+        if rec is not None:
+            rec.event("tcp", "tcp.rto", track="tcp",
+                      port=self.tuple.local.port)
+            rec.metrics.counter("tcp.rto_timeouts").add()
         self.rtt.on_timeout()
         self.cc.on_retransmission_timeout(self.flight_size)
         self._rtt_probe = None
@@ -909,6 +920,11 @@ class TcpConnection:
         if not self._retx:
             return
         self.stats.fast_retransmits += 1
+        rec = obs.RECORDER
+        if rec is not None:
+            rec.event("tcp", "tcp.fast_retransmit", track="tcp",
+                      port=self.tuple.local.port)
+            rec.metrics.counter("tcp.fast_retransmits").add()
         self._rtt_probe = None
         self.output_queue.append(
             SegDescriptor("data", chunk=self._retx[0], retransmit=True))

@@ -1,0 +1,98 @@
+"""Traced workload runner backing ``repro trace`` / ``repro metrics``.
+
+Runs one of the paper's mini-workloads on a QPIP pair with the full
+observability stack on: span tracer installed, wiretaps at both NICs.
+Artifacts land in an output directory:
+
+* ``trace.jsonl``        — the raw event stream, one JSON object per line
+* ``trace.chrome.json``  — Chrome ``trace_event``; open in Perfetto
+* ``capture.pcapng``     — the sender-side wire capture; open in Wireshark
+* ``metrics.txt``        — rendered metrics report
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict
+
+from .. import obs
+
+WORKLOADS = ("ttcp", "pingpong")
+
+
+def run_traced(workload: str = "ttcp", out_dir: str = ".",
+               total_bytes: int = 256 * 1024, chunk: int = 8192,
+               iterations: int = 20, msg_size: int = 64,
+               write_artifacts: bool = True) -> Dict:
+    """Run ``workload`` with tracing enabled; returns a summary dict."""
+    if workload not in WORKLOADS:
+        raise ValueError(f"unknown traced workload {workload!r} "
+                         f"(choose from {WORKLOADS})")
+    from ..bench.configs import build_qpip_pair
+    from ..sim import Simulator
+    from ..tools import Wiretap
+
+    sim = Simulator()
+    a, b, _fabric = build_qpip_pair(sim)
+    tap = Wiretap(sim)
+    tap.attach_qpip_nic(a.nic)
+
+    summary: Dict = {"workload": workload}
+    with obs.capture(sim) as rec:
+        if workload == "ttcp":
+            from ..apps.ttcp import qpip_ttcp
+            res = qpip_ttcp(sim, a, b, total_bytes=total_bytes, chunk=chunk)
+            summary["bytes_moved"] = res.bytes_moved
+            summary["elapsed_us"] = res.elapsed_us
+            summary["gbps"] = (8.0 * res.bytes_moved / res.elapsed_us / 1e3
+                               if res.elapsed_us else 0.0)
+        else:
+            from ..apps.pingpong import qpip_tcp_rtt
+            res = qpip_tcp_rtt(sim, a, b, iterations=iterations,
+                               msg_size=msg_size)
+            rtts = list(res.rtts)
+            summary["iterations"] = len(rtts)
+            summary["rtt_us_mean"] = sum(rtts) / len(rtts) if rtts else 0.0
+
+    summary["sim_us"] = sim.now
+    summary["events"] = len(rec.records)
+    summary["dropped_events"] = rec.dropped
+    summary["open_spans"] = rec.open_spans()
+    summary["packets_captured"] = len(tap)
+    summary["metrics"] = rec.metrics.snapshot()
+
+    if write_artifacts:
+        os.makedirs(out_dir, exist_ok=True)
+        paths = {
+            "trace_jsonl": os.path.join(out_dir, "trace.jsonl"),
+            "trace_chrome": os.path.join(out_dir, "trace.chrome.json"),
+            "pcapng": os.path.join(out_dir, "capture.pcapng"),
+            "metrics": os.path.join(out_dir, "metrics.txt"),
+        }
+        rec.to_jsonl(paths["trace_jsonl"])
+        rec.to_chrome(paths["trace_chrome"])
+        tap.write_pcapng(paths["pcapng"])
+        with open(paths["metrics"], "w") as fh:
+            fh.write(rec.metrics.render())
+            fh.write("\n")
+        summary["artifacts"] = paths
+    return summary
+
+
+def render_summary(summary: Dict) -> str:
+    lines = [f"repro trace: {summary['workload']} "
+             f"({summary['sim_us']:.1f} sim-us)"]
+    if "bytes_moved" in summary:
+        lines.append(f"  moved {summary['bytes_moved']:,} bytes in "
+                     f"{summary['elapsed_us']:.1f} us "
+                     f"({summary['gbps']:.2f} Gb/s)")
+    if "rtt_us_mean" in summary:
+        lines.append(f"  {summary['iterations']} round trips, mean RTT "
+                     f"{summary['rtt_us_mean']:.2f} us")
+    lines.append(f"  {summary['events']:,} trace events "
+                 f"({summary['dropped_events']} dropped, "
+                 f"{summary['open_spans']} spans left open), "
+                 f"{summary['packets_captured']:,} packets captured")
+    for label, path in summary.get("artifacts", {}).items():
+        lines.append(f"  wrote {label:13s} {path}")
+    return "\n".join(lines)

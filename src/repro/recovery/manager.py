@@ -30,6 +30,7 @@ from __future__ import annotations
 from collections import defaultdict, deque
 from typing import Callable, Dict, Generator, List, Optional
 
+from .. import obs
 from ..core import QPTransport, WROpcode
 from ..errors import (CircuitOpen, NetworkError, PostDeadlineExceeded,
                       QPStateError, QpTornDown, QueueFull, ReproError,
@@ -387,8 +388,17 @@ class RecoveryManager(_ReliableBase):
                     self.stats["heals"] += 1
                 self.trace.append(
                     f"{self.sim.now:.1f}:up{self.session.incarnations}")
+                rec = obs.RECORDER
+                if rec is not None:
+                    rec.event("recovery", "session.up", track=self.name,
+                              incarnation=self.session.incarnations)
+                    rec.metrics.counter("recovery.incarnations_up").add()
                 for seq in self.session.tx.replay_order():
                     self.stats["replayed_wrs"] += 1
+                    if rec is not None:
+                        rec.event("recovery", "wr.replay", track=self.name,
+                                  seq=seq)
+                        rec.metrics.counter("recovery.replayed_wrs").add()
                     yield from self._post_data(seq)
                 if self.watchdog is not None:
                     self.watchdog.arm()
@@ -515,6 +525,11 @@ class RecoveryManager(_ReliableBase):
     def _on_qp_failure(self, cqe) -> None:
         if not self._need_recovery:     # count transitions, not every CQE
             self.stats["qp_failures"] += 1
+            rec = obs.RECORDER
+            if rec is not None:
+                rec.event("recovery", "qp.failure_detected", track=self.name,
+                          qp=cqe.qp_num, status=cqe.status.name)
+                rec.metrics.counter("recovery.qp_failures").add()
         self._trigger_recovery()
 
     def _on_data_sent(self, seq) -> None:

@@ -1,0 +1,190 @@
+"""CLI coverage: exit codes, output shape, and error paths for repro.cli.
+
+Slow experiments are monkeypatched with cheap stubs — these tests pin
+the dispatch plumbing (parser wiring, exit codes, JSON shape), not the
+physics behind each experiment.
+"""
+
+import json
+
+import pytest
+
+import repro.cli as cli
+from repro.cli import EXPERIMENTS, build_parser, main
+
+
+class TestListAndDispatch:
+    def test_list_exits_zero_and_names_every_experiment(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in EXPERIMENTS:
+            assert name in out
+        for extra in ("all", "chaos", "perf", "trace", "metrics"):
+            assert extra in out
+
+    def test_no_command_behaves_like_list(self, capsys):
+        assert main([]) == 0
+        assert "experiments:" in capsys.readouterr().out
+
+    def test_unknown_experiment_is_a_usage_error(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["fig99"])
+        assert exc.value.code == 2
+        assert "invalid choice" in capsys.readouterr().err
+
+    def test_single_experiment_dispatch(self, capsys, monkeypatch):
+        monkeypatch.setitem(EXPERIMENTS, "fig3",
+                            ("stub", lambda args: "FIG3-STUB-OUTPUT"))
+        assert main(["fig3"]) == 0
+        out = capsys.readouterr().out
+        assert "FIG3-STUB-OUTPUT" in out
+        assert "[fig3 ran in" in out
+
+    def test_all_runs_every_experiment_once(self, capsys, monkeypatch):
+        ran = []
+        for name in list(EXPERIMENTS):
+            monkeypatch.setitem(
+                EXPERIMENTS, name,
+                ("stub", lambda args, _n=name: ran.append(_n) or f"ran {_n}"))
+        assert main(["all"]) == 0
+        assert ran == list(EXPERIMENTS)
+        # fig7's stub still receives the parsed --mb argument.
+        out = capsys.readouterr().out
+        assert "ran fig7" in out
+
+    def test_fig7_mb_flag_reaches_the_experiment(self, capsys, monkeypatch):
+        seen = {}
+        monkeypatch.setitem(
+            EXPERIMENTS, "fig7",
+            ("stub", lambda args: seen.setdefault("mb", args.mb) and "" or ""))
+        assert main(["fig7", "--mb", "7"]) == 0
+        assert seen["mb"] == 7
+
+
+class TestChaosCommand:
+    def test_tiny_chaos_run_passes_invariants(self, capsys):
+        assert main(["chaos", "--seed", "1",
+                     "--messages", "4", "--size", "256"]) == 0
+        out = capsys.readouterr().out
+        assert "chaos[ttcp] seed=1" in out
+        assert "4/4 messages" in out
+
+    def test_kvstore_without_recover_is_an_error(self, capsys):
+        rc = main(["chaos", "--workload", "kvstore",
+                   "--messages", "4", "--size", "256"])
+        assert rc == 2
+        assert "repro chaos: error:" in capsys.readouterr().err
+
+
+class TestPerfCommand:
+    @pytest.fixture
+    def stub_perf(self, monkeypatch, tmp_path):
+        """Replace the benchmark internals with instant stubs."""
+        import repro.bench.perf as perf
+        report = {"workloads": {"w": {"events_per_sec": 100.0}}}
+        calls = {}
+
+        monkeypatch.setattr(perf, "run_perf",
+                            lambda quick, profile: calls.setdefault(
+                                "run", (quick, profile)) or report)
+        monkeypatch.setattr(perf, "write_report",
+                            lambda rep, path: calls.setdefault(
+                                "wrote", path) or path)
+        monkeypatch.setattr(perf, "render", lambda rep: "PERF-RENDERED")
+        monkeypatch.setattr(perf, "load_baseline", lambda path: None)
+        return calls
+
+    def test_perf_without_baseline_exits_zero(self, capsys, stub_perf,
+                                              tmp_path):
+        out_path = str(tmp_path / "perf.json")
+        assert main(["perf", "--quick", "--out", out_path]) == 0
+        out = capsys.readouterr().out
+        assert "PERF-RENDERED" in out
+        assert "no baseline found" in out
+        assert stub_perf["run"] == (True, True)
+        assert stub_perf["wrote"] == out_path
+
+    def test_perf_regression_exits_one(self, capsys, monkeypatch, stub_perf,
+                                       tmp_path):
+        import repro.bench.perf as perf
+        monkeypatch.setattr(perf, "load_baseline", lambda path: {"base": 1})
+        monkeypatch.setattr(perf, "compare_to_baseline",
+                            lambda rep, base, max_regression:
+                            (False, ["w: regressed"]))
+        assert main(["perf", "--quick",
+                     "--out", str(tmp_path / "perf.json")]) == 1
+        captured = capsys.readouterr()
+        assert "w: regressed" in captured.out
+        assert "regressed more than" in captured.err
+
+
+class TestTraceAndMetricsCommands:
+    def test_trace_writes_artifacts(self, capsys, tmp_path):
+        out_dir = tmp_path / "traces"
+        assert main(["trace", "ttcp", "--bytes", "65536",
+                     "--out-dir", str(out_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "repro trace: ttcp" in out
+        for artifact in ("trace.jsonl", "trace.chrome.json",
+                         "capture.pcapng", "metrics.txt"):
+            assert (out_dir / artifact).is_file(), artifact
+
+    def test_trace_json_summary_shape(self, capsys, tmp_path):
+        assert main(["trace", "ttcp", "--bytes", "32768", "--json",
+                     "--out-dir", str(tmp_path)]) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["workload"] == "ttcp"
+        assert summary["bytes_moved"] == 32768
+        assert summary["events"] > 0
+        assert summary["packets_captured"] > 0
+        assert "metrics" in summary
+        assert set(summary["artifacts"]) == {
+            "trace_jsonl", "trace_chrome", "pcapng", "metrics"}
+
+    def test_metrics_prints_report_without_artifacts(self, capsys, tmp_path,
+                                                     monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert main(["metrics", "pingpong", "--iterations", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "repro trace: pingpong" in out
+        assert "metrics:" in out
+        assert "cq.cqe" in out
+        # metrics mode is report-only: no artifact files appear.
+        assert not list(tmp_path.iterdir())
+
+    def test_metrics_json_has_registry_snapshot(self, capsys):
+        assert main(["metrics", "pingpong", "--iterations", "2",
+                     "--json"]) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["iterations"] == 2
+        assert summary["metrics"]["verbs.send_posted"] >= 2
+
+    def test_unknown_workload_is_a_usage_error(self):
+        with pytest.raises(SystemExit) as exc:
+            main(["trace", "nfsstone"])
+        assert exc.value.code == 2
+
+    def test_recorder_uninstalled_after_cli_run(self, capsys, tmp_path,
+                                                monkeypatch):
+        from repro import obs
+        monkeypatch.chdir(tmp_path)
+        assert main(["metrics", "ttcp", "--bytes", "32768"]) == 0
+        assert obs.RECORDER is None
+
+
+class TestParser:
+    def test_every_experiment_has_a_subparser(self):
+        parser = build_parser()
+        for name in EXPERIMENTS:
+            args = parser.parse_args([name])
+            assert args.command == name
+
+    def test_trace_defaults(self):
+        args = build_parser().parse_args(["trace", "ttcp"])
+        assert args.out_dir == "traces"
+        assert args.bytes == 256 * 1024
+        assert args.chunk == 8192
+
+    def test_metrics_has_no_out_dir(self):
+        args = build_parser().parse_args(["metrics", "ttcp"])
+        assert not hasattr(args, "out_dir")

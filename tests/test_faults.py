@@ -5,8 +5,10 @@ import random
 
 import pytest
 
+from repro import obs
 from repro.bench.configs import build_qpip_pair
 from repro.core import QPState, QPTransport, WRStatus
+from repro.obs import TraceQuery
 from repro.errors import (CompletionError, ConfigError, QPStateError,
                           ResourceExhausted)
 from repro.fabric.link import FaultVerdict, run_packet_hooks
@@ -377,12 +379,30 @@ class TestFailureSemantics:
             with pytest.raises(QPStateError):
                 yield from iface.post_recv(qp, [buf.sge(0, 4096)])
 
-        run_procs(sim, client())
+        with obs.capture(sim) as rec:
+            run_procs(sim, client())
         assert statuses.count(WRStatus.LOCAL_DMA_ERROR) == 1
         assert statuses.count(WRStatus.FLUSHED) == 3
         assert rig["client_qp"].state is QPState.ERROR
         assert a.nic.dma_faults == 1
         assert a.firmware.dma_wr_errors == 1
+        # Trace-level view of the same story: the QP errors exactly once,
+        # flushes exactly once, and after the error transition nothing
+        # completes successfully on that QP again.
+        q = TraceQuery(rec)
+        qp_num = rig["client_qp"].qp_num
+        # Both nodes number their QPs locally, so pin the client's
+        # firmware track to keep the peer's mirror events out.
+        fw = f"{a.nic.attachment.name}.fw"
+        q.assert_span_order("qp.error", "qp.flush", qp=qp_num, track=fw)
+        assert q.count("qp", "qp.error", qp=qp_num, track=fw) == 1
+        # The error flush, plus possibly an idempotent re-flush when the
+        # teardown RST exchange settles.
+        assert q.count("qp", "qp.flush", qp=qp_num, track=fw,
+                       status="FLUSHED") >= 1
+        error = q.first("qp", "qp.error", qp=qp_num, track=fw)
+        q.assert_no_event("verbs", "cqe", after=error.ts,
+                          qp=qp_num, status="SUCCESS")
 
     def test_remote_destroy_flushes_in_flight_sends(self, sim, pair):
         """The peer tears its QP down mid-transfer: the client sees the
@@ -412,12 +432,25 @@ class TestFailureSemantics:
             yield sim.timeout(900.0)
             yield from b.iface.destroy_qp(rig["server_qp"])
 
-        run_procs(sim, client(), killer())
+        with obs.capture(sim) as rec:
+            run_procs(sim, client(), killer())
         # WR conservation: posted == completed, none silently dropped.
         qp = rig["client_qp"]
         assert qp.state is QPState.ERROR
         assert len(completions) == qp.sends_posted
         assert any(not c.ok for c in completions)
+        # The trace shows the same conservation law: every posted WR span
+        # got a matching CQE, and the client's QP errored then flushed.
+        q = TraceQuery(rec)
+        assert (q.count("verbs", "cqe", qp=qp.qp_num, opcode="SEND")
+                == q.count("verbs", "wr.send", ph="b", qp=qp.qp_num))
+        fw = f"{a.nic.attachment.name}.fw"
+        q.assert_span_order("qp.error", "qp.flush", qp=qp.qp_num, track=fw)
+        # Every span begun on the client QP was also ended (flushes
+        # close spans too): nothing is left dangling after teardown.
+        ended = {ev.span for ev in rec.records if ev.ph == "e"}
+        for begin in q.events("verbs", "wr.send", qp=qp.qp_num):
+            assert begin.span in ended, f"span {begin.span} never ended"
 
     def test_completion_raise_for_status(self, sim, pair):
         a, b, _fabric = pair

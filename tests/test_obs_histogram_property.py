@@ -1,0 +1,91 @@
+"""Property tests: ExactHistogram percentiles vs a naive sorted-list oracle.
+
+The oracle is the nearest-rank definition computed from scratch on every
+call; the implementation caches a sorted copy and must agree exactly on
+any sample set and any percentile, including the empty and single-sample
+edge cases.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.obs.metrics import ExactHistogram
+
+finite = st.floats(allow_nan=False, allow_infinity=False, width=32)
+percent = st.floats(min_value=0.0, max_value=100.0, allow_nan=False)
+
+
+def oracle(samples, p):
+    s = sorted(samples)
+    if p == 0:
+        return s[0]
+    # Same underflow clamp as the implementation: exact nearest-rank has
+    # rank >= 1 for any p > 0; float underflow (p/100*n -> 0.0) does not.
+    return s[max(1, math.ceil(p / 100.0 * len(s))) - 1]
+
+
+@given(st.lists(finite, min_size=1, max_size=200), percent)
+def test_matches_oracle(samples, p):
+    h = ExactHistogram()
+    for x in samples:
+        h.add(x)
+    assert h.percentile(p) == oracle(samples, p)
+
+
+@given(st.lists(finite, min_size=1, max_size=100))
+def test_extremes_are_min_and_max(samples):
+    h = ExactHistogram()
+    for x in samples:
+        h.add(x)
+    assert h.percentile(0) == min(samples)
+    assert h.percentile(100) == max(samples)
+
+
+@given(st.lists(finite, min_size=1, max_size=50),
+       percent, percent)
+def test_monotone_in_p(samples, p1, p2):
+    h = ExactHistogram()
+    for x in samples:
+        h.add(x)
+    lo, hi = sorted((p1, p2))
+    assert h.percentile(lo) <= h.percentile(hi)
+
+
+@given(finite)
+def test_single_sample_is_every_percentile(x):
+    h = ExactHistogram()
+    h.add(x)
+    for p in (0, 1, 50, 99, 100):
+        assert h.percentile(p) == x
+
+
+@given(st.lists(finite, min_size=1, max_size=50), percent,
+       st.lists(finite, min_size=1, max_size=10))
+def test_cache_invalidation_after_more_samples(samples, p, more):
+    """Interleaved percentile() calls must not stale the sorted cache."""
+    h = ExactHistogram()
+    for x in samples:
+        h.add(x)
+    assert h.percentile(p) == oracle(samples, p)
+    for x in more:
+        h.add(x)
+    assert h.percentile(p) == oracle(samples + more, p)
+
+
+def test_empty_histogram_raises():
+    h = ExactHistogram()
+    with pytest.raises(ValueError):
+        h.percentile(50)
+    with pytest.raises(ValueError):
+        h.mean
+
+
+def test_out_of_range_percentile_raises():
+    h = ExactHistogram()
+    h.add(1.0)
+    with pytest.raises(ValueError):
+        h.percentile(-0.1)
+    with pytest.raises(ValueError):
+        h.percentile(100.1)

@@ -3,7 +3,9 @@ semantics over the simulated Myrinet fabric."""
 
 import pytest
 
+from repro import obs
 from repro.bench.configs import build_qpip_pair
+from repro.obs import TraceQuery
 from repro.core import (MessageReassembler, QPState, QPTransport, WRStatus,
                         frame_message)
 from repro.errors import MemoryRegistrationError, QPStateError, VerbsError
@@ -146,12 +148,21 @@ class TestSendReceive:
             results["recv_cqe"] = cqes[0]
             results["data"] = rig["server_bufs"][0].read(22)
 
-        run_procs(sim, client(), server())
+        with obs.capture(sim) as rec:
+            run_procs(sim, client(), server())
         assert results["data"] == b"direct data placement!"
         assert results["recv_cqe"].byte_len == 22
         assert results["recv_cqe"].ok
         # Send completes only when the data is ACKed (paper §3).
         assert results["send_cqe"].ok
+        # The WR is visible at every layer it crossed, in causal order:
+        # posted on the host, fetched by firmware, serialized, switched,
+        # received, delivered by the remote firmware, completed.
+        q = TraceQuery(rec)
+        q.assert_span_order("wr.send", "fw.fetch_wr", "nic.tx",
+                            "switch.fwd", "nic.rx", "fw.deliver", "cqe")
+        q.assert_no_event("fw", "qp.error")
+        q.assert_latency_between("wr.send", "cqe", max_us=10_000)
 
     def test_many_messages_in_order(self, sim, pair):
         a, b, _fabric = pair
@@ -190,12 +201,19 @@ class TestSendReceive:
                 cqes = yield from a.iface.wait(rig["client_cq"])
                 done += len(cqes)
 
-        run_procs(sim, client())
-        sim.run(until=sim.now + 1_000_000)
+        with obs.capture(sim) as rec:
+            run_procs(sim, client())
+            sim.run(until=sim.now + 1_000_000)
         qp = rig["client_qp"]
         assert qp.sends_posted == 10
         assert qp.sends_completed == 10
         assert rig["server_qp"].recvs_completed == 10
+        # The trace agrees with the QP counters, per opcode and status.
+        q = TraceQuery(rec)
+        assert q.count("verbs", "wr.send", ph="b") == 10
+        assert q.count("verbs", "cqe", opcode="SEND", status="SUCCESS") == 10
+        assert q.count("verbs", "cqe", opcode="RECV", status="SUCCESS") == 10
+        assert rec.metrics.counter("cq.cqe").value == 20
 
     def test_unregistered_memory_rejected(self, sim, pair):
         a, b, _fabric = pair

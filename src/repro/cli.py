@@ -138,6 +138,36 @@ def build_parser() -> argparse.ArgumentParser:
         if cmd == "trace":
             p.add_argument("--out-dir", default="traces",
                            help="artifact output directory")
+    cluster_p = sub.add_parser(
+        "cluster", help="sharded parallel simulation of a large fabric; "
+                        "bit-for-bit deterministic vs one process")
+    cluster_p.add_argument("--workload", choices=("ttcp", "pingpong"),
+                           default="ttcp")
+    cluster_p.add_argument("--topology", choices=("fat-tree", "ring"),
+                           default="fat-tree")
+    cluster_p.add_argument("--hosts", type=int, default=16)
+    cluster_p.add_argument("--flows", type=int, default=8)
+    cluster_p.add_argument("--workers", type=int, default=2,
+                           help="shard count (1 = plain single-process run)")
+    cluster_p.add_argument("--bytes", type=int, default=65536,
+                           help="ttcp bytes per flow")
+    cluster_p.add_argument("--iterations", type=int, default=10,
+                           help="pingpong round trips per flow")
+    cluster_p.add_argument("--seed", type=int, default=1)
+    cluster_p.add_argument("--horizon", type=float, default=20_000_000.0,
+                           help="simulated horizon in microseconds")
+    cluster_p.add_argument("--in-process", action="store_true",
+                           help="drive shards in one OS process (debug)")
+    cluster_p.add_argument("--check-determinism", action="store_true",
+                           help="also run the 1-process oracle and require "
+                                "bit-for-bit identical observables")
+    cluster_p.add_argument("--bench", action="store_true",
+                           help="measure events/sec at 1/2/4 workers and "
+                                "merge into BENCH_perf.json")
+    cluster_p.add_argument("--out", default="BENCH_perf.json",
+                           help="--bench report path")
+    cluster_p.add_argument("--json", action="store_true",
+                           help="print the result as JSON")
     return parser
 
 
@@ -230,6 +260,65 @@ def run_chaos_cmd(args) -> int:
     return 0 if result.ok else 1
 
 
+def run_cluster_cmd(args) -> int:
+    import json as _json
+    from .cluster import (ClusterError, ClusterSpec, assert_equivalent,
+                          make_flows, run_cluster, run_single)
+    from .cluster.bench import (measure_scaling, merge_into_bench_report,
+                                render_scaling, scaling_spec)
+    if args.bench:
+        spec = scaling_spec(hosts=max(args.hosts, 32), seed=args.seed,
+                            horizon=args.horizon)
+        scaling = measure_scaling(spec, processes=not args.in_process,
+                                  check_determinism=args.check_determinism)
+        path = merge_into_bench_report(scaling, args.out)
+        if args.json:
+            print(_json.dumps(scaling, indent=2, sort_keys=True))
+        else:
+            print(render_scaling(scaling))
+        print(f"[merged into {path}]")
+        return 0
+    spec = ClusterSpec(
+        topology=args.topology, hosts=args.hosts, seed=args.seed,
+        hosts_per_edge=max(2, min(4, args.hosts // args.workers)),
+        horizon=args.horizon, metrics=True,
+        flows=make_flows(args.workload, args.hosts, args.flows,
+                         seed=args.seed, total_bytes=args.bytes,
+                         iterations=args.iterations))
+    try:
+        result = run_cluster(spec, args.workers,
+                             processes=not args.in_process
+                             and args.workers > 1)
+        if args.check_determinism:
+            assert_equivalent(run_single(spec), result)
+    except ClusterError as exc:
+        print(f"repro cluster: error: {exc}", file=sys.stderr)
+        return 1
+    summary = {
+        "workload": args.workload, "topology": spec.topology,
+        "hosts": spec.hosts, "flows": len(spec.flows),
+        "workers": result.num_workers, "events": result.events,
+        "barriers": result.barriers, "trunk_msgs": result.trunk_msgs,
+        "events_per_sec": round(result.events_per_sec, 1),
+        "sim_time_us": result.now,
+        "per_worker_events": result.per_worker_events,
+    }
+    if args.check_determinism:
+        summary["determinism"] = "bit-identical to 1-process oracle"
+    if args.json:
+        print(_json.dumps(summary, indent=2, sort_keys=True))
+        return 0
+    print(f"cluster: {args.workload} x{len(spec.flows)} on "
+          f"{spec.hosts}-host {spec.topology}, "
+          f"{result.num_workers} worker(s)")
+    for key in ("events", "barriers", "trunk_msgs", "events_per_sec",
+                "sim_time_us"):
+        print(f"  {key:16s} {summary[key]:>14,}")
+    if "determinism" in summary:
+        print(f"  determinism: {summary['determinism']}")
+    return 0
+
+
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
     if args.command in (None, "list"):
@@ -241,6 +330,8 @@ def main(argv=None) -> int:
         print("  perf       simulator wall-clock benchmark (BENCH_perf.json)")
         print("  trace      traced run: Perfetto/Wireshark/metrics artifacts")
         print("  metrics    traced run: print the metrics report")
+        print("  cluster    sharded parallel run of a large fabric "
+              "(bit-for-bit deterministic)")
         return 0
     if args.command == "chaos":
         return run_chaos_cmd(args)
@@ -248,6 +339,8 @@ def main(argv=None) -> int:
         return run_perf_cmd(args)
     if args.command in ("trace", "metrics"):
         return run_trace_cmd(args)
+    if args.command == "cluster":
+        return run_cluster_cmd(args)
     names = list(EXPERIMENTS) if args.command == "all" else [args.command]
     for name in names:
         desc, fn = EXPERIMENTS[name]

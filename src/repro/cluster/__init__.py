@@ -1,0 +1,30 @@
+"""Sharded parallel simulation of datacenter-scale QPIP fabrics.
+
+The paper's scalability argument ("a large array of devices ... scalable
+throughput", §1) needs topologies a single Python event loop cannot
+reach in tolerable wall-clock time.  ``repro.cluster`` partitions a
+fabric blueprint at trunk links into shards, runs each shard in its own
+:class:`~repro.sim.Simulator` (optionally its own worker process), and
+synchronizes them with a conservative time-windowed protocol whose
+lookahead is the cut trunks' propagation + serialization floor.
+
+The headline property is *bit-for-bit determinism*: a sharded run
+produces exactly the CQE streams, wire traces, and metrics of the
+single-process run — see docs/cluster.md for the protocol and the
+tie-break interpolation that makes it hold.
+"""
+
+from .partition import Partition, lookahead, partition_blueprint
+from .runner import (ClusterResult, ClusterRunner, assert_equivalent,
+                     run_cluster, run_single)
+from .shard import ClusterError, PortalDirection, PortalLink, ShardWorker, \
+    TrunkMsg
+from .spec import ClusterSpec, FlowSpec, make_flows
+
+__all__ = [
+    "ClusterSpec", "FlowSpec", "make_flows",
+    "Partition", "partition_blueprint", "lookahead",
+    "ShardWorker", "TrunkMsg", "PortalLink", "PortalDirection",
+    "ClusterRunner", "ClusterResult", "ClusterError",
+    "run_cluster", "run_single", "assert_equivalent",
+]

@@ -1,0 +1,85 @@
+"""Partition a fabric blueprint into shards along trunk links.
+
+The cut is host-driven: host-bearing switches are grouped contiguously
+(by switch id) into ``num_shards`` groups of roughly equal host count,
+and hostless switches (fat-tree spines) are round-robined across shards.
+Only trunks may be cut — a host link never crosses a shard boundary, so
+every NIC lives in the same kernel as its edge switch.
+
+The conservative sync lookahead comes from the cut trunks themselves: a
+packet entering a cut trunk at time *t* cannot be delivered before
+``t + propagation + 1/bandwidth`` (cut-through switches forward after a
+header flit of at least one byte; real Myrinet frames are far larger, so
+the floor is strict, never tight — see docs/cluster.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..errors import ConfigError
+from ..fabric.topology import FabricBlueprint
+
+
+@dataclass
+class Partition:
+    """Switch → shard assignment plus the induced trunk cut."""
+
+    num_shards: int
+    switch_shard: Dict[int, int]
+    cross_trunks: List[int]          # indices into blueprint.trunks
+
+    def hosts_of(self, bp: FabricBlueprint, shard: int) -> List[int]:
+        return [i for i, (_n, sid, _p) in enumerate(bp.hosts)
+                if self.switch_shard[sid] == shard]
+
+
+def partition_blueprint(bp: FabricBlueprint, num_shards: int) -> Partition:
+    if num_shards < 1:
+        raise ConfigError("num_shards must be >= 1")
+    total_hosts = len(bp.hosts)
+    if total_hosts == 0:
+        raise ConfigError("cannot partition a fabric with no hosts")
+    hosts_per_switch: Dict[int, int] = {}
+    for _name, sid, _port in bp.hosts:
+        hosts_per_switch[sid] = hosts_per_switch.get(sid, 0) + 1
+    if num_shards > len(hosts_per_switch):
+        raise ConfigError(
+            f"{num_shards} shards but only {len(hosts_per_switch)} "
+            "host-bearing switches (a host link cannot be cut)")
+    switch_shard: Dict[int, int] = {}
+    # Contiguous host-balanced grouping over host-bearing switches.
+    cumulative = 0
+    for sid in range(len(bp.switch_ports)):
+        count = hosts_per_switch.get(sid, 0)
+        if count:
+            switch_shard[sid] = min(num_shards - 1,
+                                    cumulative * num_shards // total_hosts)
+            cumulative += count
+    # Hostless switches (spines) round-robin for trunk-cut balance.
+    spill = 0
+    for sid in range(len(bp.switch_ports)):
+        if sid not in switch_shard:
+            switch_shard[sid] = spill % num_shards
+            spill += 1
+    cross = [i for i, (a, _pa, b, _pb, _prop) in enumerate(bp.trunks)
+             if switch_shard[a] != switch_shard[b]]
+    shards_used = set(switch_shard.values())
+    if len(shards_used) != num_shards:
+        raise ConfigError(f"partition produced only {len(shards_used)} "
+                          f"non-empty shards of {num_shards}")
+    return Partition(num_shards, switch_shard, cross)
+
+
+def lookahead(bp: FabricBlueprint, part: Partition) -> float:
+    """The sync window floor: minimum cross-trunk latency.
+
+    Any packet crossing a cut trunk takes at least the trunk propagation
+    plus one byte of cut-through serialization, so a window of this width
+    can be simulated in parallel with all inbound deliveries known.
+    """
+    if not part.cross_trunks:
+        return float("inf")
+    return min(bp.trunks[i][4] for i in part.cross_trunks) \
+        + 1.0 / bp.bandwidth

@@ -1,0 +1,104 @@
+"""Declarative description of a cluster run.
+
+A :class:`ClusterSpec` is a pure-data value (picklable, hashable pieces)
+that fully determines a workload: topology, flows, horizon, seed.  Both
+the single-process oracle and every shard worker rebuild their world
+from the same spec, which is what makes the sharded run reproducible —
+nothing about the construction depends on which process executes it.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Tuple
+
+from ..errors import ConfigError
+from ..fabric.topology import (FabricBlueprint, fat_tree_blueprint,
+                               ring_blueprint)
+
+#: Per-flow listener ports: flow ``i`` listens on ``FLOW_PORT_BASE + i``,
+#: so any number of flows can share a destination host.
+FLOW_PORT_BASE = 9000
+
+
+@dataclass(frozen=True)
+class FlowSpec:
+    """One client/server pair riding the fabric."""
+
+    flow_id: int
+    kind: str                 # "ttcp" | "pingpong"
+    src: int                  # client host index
+    dst: int                  # server host index
+    start: float = 0.0        # client-side start offset (us)
+    total_bytes: int = 65536  # ttcp
+    chunk: int = 8192
+    queue_depth: int = 8
+    recv_buffers: int = 16
+    iterations: int = 10      # pingpong
+    msg_size: int = 64
+
+    @property
+    def port(self) -> int:
+        return FLOW_PORT_BASE + self.flow_id
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """Everything a worker needs to rebuild its shard of the world."""
+
+    topology: str = "fat-tree"          # "fat-tree" | "ring"
+    hosts: int = 8
+    hosts_per_edge: int = 4             # fat-tree
+    spines: int = 2
+    ring_switches: int = 4              # ring (hosts spread evenly)
+    trunk_propagation: float = 1.0
+    flows: Tuple[FlowSpec, ...] = ()
+    horizon: float = 5_000_000.0        # us; must exceed flow completion
+    seed: int = 1
+    mtu: int = 16384
+    capture_hosts: Tuple[str, ...] = () # host names to wiretap
+    metrics: bool = False
+
+    def blueprint(self) -> FabricBlueprint:
+        if self.topology == "fat-tree":
+            return fat_tree_blueprint(
+                self.hosts, hosts_per_edge=self.hosts_per_edge,
+                spines=self.spines,
+                trunk_propagation=self.trunk_propagation)
+        if self.topology == "ring":
+            if self.hosts % self.ring_switches:
+                raise ConfigError("ring: hosts must divide evenly over "
+                                  "ring_switches")
+            return ring_blueprint(
+                self.ring_switches,
+                hosts_per_switch=self.hosts // self.ring_switches,
+                trunk_propagation=self.trunk_propagation)
+        raise ConfigError(f"unknown topology {self.topology!r}")
+
+
+def make_flows(kind: str, hosts: int, count: int, seed: int = 1,
+               total_bytes: int = 65536, chunk: int = 8192,
+               iterations: int = 10, msg_size: int = 64,
+               stagger: float = 200.0) -> Tuple[FlowSpec, ...]:
+    """Deterministic flow list: host pairs drawn from ``seed``, start
+    times staggered so connection handshakes do not all collide at t=0.
+
+    Pairs are biased toward crossing the fabric (src and dst halves), the
+    interesting case for trunk contention and shard cuts.
+    """
+    if hosts < 2:
+        raise ConfigError("need at least 2 hosts for a flow")
+    rng = random.Random(seed)
+    flows = []
+    for i in range(count):
+        src = rng.randrange(hosts)
+        dst = (src + hosts // 2 + rng.randrange(max(1, hosts // 4))) % hosts
+        if dst == src:
+            dst = (src + 1) % hosts
+        flows.append(FlowSpec(
+            flow_id=i, kind=kind, src=src, dst=dst,
+            start=round(rng.uniform(0.0, stagger), 3),
+            total_bytes=total_bytes, chunk=chunk,
+            iterations=iterations, msg_size=msg_size))
+    return tuple(flows)

@@ -1,0 +1,153 @@
+"""Per-flow workload drivers for cluster runs.
+
+These mirror :mod:`repro.apps.ttcp` / :mod:`repro.apps.pingpong` but are
+written for many concurrent flows on a shared fabric and they record the
+full CQE stream — the observable the determinism guarantee is stated
+over.  The oracle (1-process) and every shard run execute *these same
+generators*, so any divergence is the sync protocol's fault, not the
+workload's.
+
+CQE records are ``(wr_id, qp_num, opcode, status, byte_len, time)``
+tuples; ``qp_num`` is per-firmware, hence identical however the fabric
+is sharded.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator
+
+from ..core import QPTransport
+from ..net.addresses import Endpoint
+from ..sim import Simulator
+from .spec import FlowSpec
+
+
+def _cqe_tuple(cqe, now: float):
+    return (cqe.wr_id, cqe.qp_num, cqe.opcode.name, cqe.status.name,
+            cqe.byte_len, now)
+
+
+def ttcp_server(sim: Simulator, node, fs: FlowSpec,
+                record: Dict) -> Generator:
+    """Streaming receiver: posts a buffer ring, counts delivered bytes."""
+    cqes = record.setdefault("server_cqes", [])
+    iface = node.iface
+    cq = yield from iface.create_cq()
+    qp = yield from iface.create_qp(QPTransport.TCP, cq,
+                                    max_recv_wr=fs.recv_buffers + 4)
+    bufs = []
+    buf_size = max(fs.chunk, 4096)
+    for _ in range(fs.recv_buffers):
+        buf = yield from iface.register_memory(buf_size)
+        yield from iface.post_recv(qp, [buf.sge()])
+        bufs.append(buf)
+    listener = yield from iface.listen(fs.port)
+    yield from iface.accept(listener, qp)
+    got = 0
+    ring = 0
+    while got < fs.total_bytes:
+        for cqe in (yield from iface.wait(cq)):
+            cqes.append(_cqe_tuple(cqe, sim.now))
+            got += cqe.byte_len
+            if got >= fs.total_bytes:
+                break
+            yield from iface.post_recv(qp, [bufs[ring].sge()])
+            ring = (ring + 1) % len(bufs)
+    record["rx_bytes"] = got
+    record["rx_done"] = sim.now
+
+
+def ttcp_client(sim: Simulator, node, peer_addr, fs: FlowSpec,
+                record: Dict) -> Generator:
+    """Streaming sender: pipelines ``queue_depth`` outstanding sends."""
+    cqes = record.setdefault("client_cqes", [])
+    iface = node.iface
+    cq = yield from iface.create_cq()
+    qp = yield from iface.create_qp(QPTransport.TCP, cq,
+                                    max_send_wr=fs.queue_depth + 4)
+    sbuf = yield from iface.register_memory(fs.chunk)
+    yield sim.timeout(1000.0 + fs.start)
+    yield from iface.connect(qp, Endpoint(peer_addr, fs.port))
+    max_msg = node.firmware.endpoints[qp.qp_num].conn.max_message
+    record["t_start"] = sim.now
+    sent = 0
+    inflight = 0
+    while sent < fs.total_bytes or inflight > 0:
+        while sent < fs.total_bytes and inflight < fs.queue_depth:
+            n = min(fs.chunk, max_msg, fs.total_bytes - sent)
+            yield from iface.post_send(qp, [sbuf.sge(0, n)])
+            sent += n
+            inflight += 1
+        for cqe in (yield from iface.wait(cq)):
+            cqes.append(_cqe_tuple(cqe, sim.now))
+            inflight -= 1
+    record["tx_bytes"] = sent
+    record["tx_done"] = sim.now
+
+
+def pingpong_server(sim: Simulator, node, fs: FlowSpec,
+                    record: Dict) -> Generator:
+    """Echo server: answers ``iterations`` pings on a spinning CQ."""
+    cqes = record.setdefault("server_cqes", [])
+    iface = node.iface
+    cq = yield from iface.create_cq()
+    qp = yield from iface.create_qp(QPTransport.TCP, cq)
+    buf_size = max(4096, fs.msg_size)
+    bufs = []
+    for _ in range(4):
+        buf = yield from iface.register_memory(buf_size)
+        yield from iface.post_recv(qp, [buf.sge()])
+        bufs.append(buf)
+    sbuf = yield from iface.register_memory(buf_size)
+    listener = yield from iface.listen(fs.port)
+    yield from iface.accept(listener, qp)
+    done = 0
+    ring = 0
+    while done < fs.iterations:
+        for cqe in (yield from iface.spin(cq)):
+            cqes.append(_cqe_tuple(cqe, sim.now))
+            if cqe.opcode.value != "RECV":
+                continue
+            yield from iface.post_send(qp, [sbuf.sge(0, fs.msg_size)])
+            yield from iface.post_recv(qp, [bufs[ring].sge()])
+            ring = (ring + 1) % len(bufs)
+            done += 1
+    record["echoed"] = done
+
+
+def pingpong_client(sim: Simulator, node, peer_addr, fs: FlowSpec,
+                    record: Dict) -> Generator:
+    """RTT sampler: one outstanding ping at a time."""
+    cqes = record.setdefault("client_cqes", [])
+    rtts = record.setdefault("rtts", [])
+    iface = node.iface
+    cq = yield from iface.create_cq()
+    qp = yield from iface.create_qp(QPTransport.TCP, cq)
+    buf_size = max(4096, fs.msg_size)
+    bufs = []
+    for _ in range(4):
+        buf = yield from iface.register_memory(buf_size)
+        yield from iface.post_recv(qp, [buf.sge()])
+        bufs.append(buf)
+    sbuf = yield from iface.register_memory(buf_size)
+    yield sim.timeout(1000.0 + fs.start)
+    yield from iface.connect(qp, Endpoint(peer_addr, fs.port))
+    record["t_start"] = sim.now
+    ring = 0
+    for _ in range(fs.iterations):
+        t0 = sim.now
+        yield from iface.post_send(qp, [sbuf.sge(0, fs.msg_size)])
+        got_pong = False
+        while not got_pong:
+            for cqe in (yield from iface.spin(cq)):
+                cqes.append(_cqe_tuple(cqe, sim.now))
+                if cqe.opcode.value == "RECV":
+                    got_pong = True
+                    rtts.append(sim.now - t0)
+                    yield from iface.post_recv(qp, [bufs[ring].sge()])
+                    ring = (ring + 1) % len(bufs)
+    record["tx_done"] = sim.now
+
+
+SERVER_DRIVERS = {"ttcp": ttcp_server, "pingpong": pingpong_server}
+CLIENT_DRIVERS = {"ttcp": ttcp_client, "pingpong": pingpong_client}

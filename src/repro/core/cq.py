@@ -25,11 +25,16 @@ CQE_BYTES = 32
 class CompletionQueue:
     """One completion ring."""
 
-    def __init__(self, sim: Simulator, cq_num: int, capacity: int = 1024):
+    def __init__(self, sim: Simulator, cq_num: int, capacity: int = 1024,
+                 span_scope: str = ""):
         if capacity <= 0:
             raise VerbsError("CQ capacity must be positive")
         self.sim = sim
         self.cq_num = cq_num
+        # Disambiguates WR span keys across hosts: qp_num and wr_id are
+        # per-firmware counters, so a shared recorder watching several
+        # hosts would otherwise collide identical (qp, wr, dir) tuples.
+        self.span_scope = span_scope
         self.capacity = capacity
         self._ring: Deque[Completion] = deque()
         self._waiters: Deque[Event] = deque()
@@ -61,7 +66,8 @@ class CompletionQueue:
         rec = obs.RECORDER
         if rec is not None:
             which = "recv" if cqe.opcode is WROpcode.RECV else "send"
-            elapsed = rec.end(("wr", cqe.qp_num, cqe.wr_id, which),
+            elapsed = rec.end(("wr", self.span_scope, cqe.qp_num,
+                               cqe.wr_id, which),
                               status=cqe.status.name, bytes=cqe.byte_len)
             rec.event("verbs", "cqe", track=f"qp{cqe.qp_num}.host",
                       wr_id=cqe.wr_id, qp=cqe.qp_num,

@@ -108,7 +108,8 @@ class QpipInterface:
         return QpipBuffer(self.aspace, region)
 
     def create_cq(self, capacity: int = 1024) -> Generator:
-        cq = CompletionQueue(self.sim, next(self._cq_nums), capacity)
+        cq = CompletionQueue(self.sim, next(self._cq_nums), capacity,
+                             span_scope=str(self.fw.addr))
         # Blocking waiters are woken through the driver's "lightweight
         # interrupt service routine" (paper §4.1) — far cheaper than the
         # full network ISR + softirq path.
@@ -200,8 +201,10 @@ class QpipInterface:
         yield from self._enqueue(qp, wr, which, timeout)
         rec = obs.RECORDER
         if rec is not None:
+            scope_cq = qp.recv_cq if which == "recv" else qp.send_cq
             rec.begin("verbs", f"wr.{which}",
-                      ("wr", qp.qp_num, wr.wr_id, which),
+                      ("wr", scope_cq.span_scope, qp.qp_num,
+                       wr.wr_id, which),
                       track=f"qp{qp.qp_num}.host",
                       wr_id=wr.wr_id, qp=qp.qp_num,
                       opcode=wr.opcode.name, bytes=wr.length)

@@ -3,10 +3,12 @@
 from .link import Attachment, Link
 from .switch import EthernetSwitch, MyrinetSwitch, RedParams
 from .topology import (GIGE_BANDWIDTH, MYRINET_BANDWIDTH, EthernetFabric,
-                       FabricNode, MyrinetFabric)
+                       FabricBlueprint, FabricNode, MyrinetFabric,
+                       fat_tree_blueprint, ring_blueprint)
 
 __all__ = [
     "Attachment", "Link", "EthernetSwitch", "MyrinetSwitch", "RedParams",
     "GIGE_BANDWIDTH", "MYRINET_BANDWIDTH", "EthernetFabric", "FabricNode",
-    "MyrinetFabric",
+    "MyrinetFabric", "FabricBlueprint", "fat_tree_blueprint",
+    "ring_blueprint",
 ]

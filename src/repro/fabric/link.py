@@ -201,6 +201,17 @@ class _Direction:
         else:
             deliver_at = start + tx_time + self.propagation
         deliver_at += extra_delay
+        self._schedule_delivery(pkt, deliver_at, copies)
+
+    def _schedule_delivery(self, pkt: Packet, deliver_at: float,
+                           copies: int) -> None:
+        """Hand the packet to the receiver at ``deliver_at``.
+
+        Split out of :meth:`transmit` so a cluster shard can route the
+        fully-timed packet across a process boundary instead
+        (:class:`repro.cluster.shard.PortalDirection`) while sharing the
+        serialization, hook, and accounting logic above byte-for-byte.
+        """
         self.sim.call_later(deliver_at - self.sim.now, self.dst.on_receive,
                             pkt, self.dst)
         for _ in range(copies):

@@ -152,6 +152,27 @@ class MetricsRegistry:
                              else {"count": 0})
         return out
 
+    def dump(self) -> Dict[str, dict]:
+        """Lossless, picklable export: every sample, not just summaries.
+
+        ``snapshot()`` is for reports; ``dump()`` is for merging
+        registries from cluster shard workers — histogram percentiles
+        over a merged registry must be computed from the union of the
+        raw samples, which a summary cannot provide.
+        """
+        out: Dict[str, dict] = {}
+        for name in sorted(self._instruments):
+            inst = self._instruments[name]
+            if isinstance(inst, Counter):
+                out[name] = {"type": "counter", "value": inst.value}
+            elif isinstance(inst, Gauge):
+                out[name] = {"type": "gauge", "value": inst.value,
+                             "min": inst.min, "max": inst.max}
+            else:
+                out[name] = {"type": "histogram",
+                             "samples": list(inst.samples)}
+        return out
+
     def render(self) -> str:
         """Human-readable report, one metric per line."""
         lines = ["metrics:"]

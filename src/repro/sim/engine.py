@@ -16,6 +16,7 @@ increasing sequence number, so a given program is bit-for-bit deterministic.
 from __future__ import annotations
 
 import heapq
+from bisect import bisect_right
 from typing import Any, Callable, Generator, Iterable, Optional
 
 _PENDING = object()
@@ -366,6 +367,12 @@ class Simulator:
         self._events_processed: int = 0
         self._dead_handles: int = 0
         self.compactions: int = 0
+        # Window log for cross-simulator injection (repro.cluster): the
+        # kernel seq value after the last event at each processed time,
+        # appended by run_window().  Parallel arrays for bisect.
+        self._log_times: list = []
+        self._log_seqs: list = []
+        self._injected: int = 0
 
     # -- scheduling primitives ------------------------------------------
 
@@ -524,3 +531,123 @@ class Simulator:
     def peek(self) -> float:
         """Time of the next scheduled item, or ``inf`` when idle."""
         return self._heap[0][0] if self._heap else float("inf")
+
+    # -- cross-simulator injection (repro.cluster) -----------------------
+    #
+    # A sharded cluster run places each fabric partition in its own
+    # Simulator.  Packets that cross a cut trunk are delivered by
+    # injecting a callback into the destination kernel at the exact
+    # simulated timestamp the single-process run would have used.  The
+    # only delicate part is the *tie-break*: in one process the delivery
+    # callback would carry the seq assigned when the sender transmitted
+    # (at time t_send), so it must order before any local event scheduled
+    # after t_send and after any scheduled at or before t_send.
+    #
+    # run_window() keeps a log of (time, seq-after-that-time) pairs; an
+    # injected entry gets the fractional key ``seq_at(t_send) + 0.5``.
+    # Fractional keys never collide with the integer seqs of native
+    # entries, and a third tuple element (a per-kernel injection counter,
+    # assigned by the caller in a globally deterministic order)
+    # disambiguates injected entries whose keys tie.  Injected heap
+    # entries are 4-tuples; only run_window() tolerates them, so a
+    # kernel that has ever seen inject() must be driven by run_window().
+
+    def seq_at(self, t: float) -> int:
+        """Seq floor for time ``t``: the kernel seq after the last
+        processed event time ≤ ``t`` (0 before any logged window)."""
+        idx = bisect_right(self._log_times, t) - 1
+        return self._log_seqs[idx] if idx >= 0 else 0
+
+    def inject(self, at_time: float, sent_time: float,
+               fn: Callable, *args) -> _CallbackHandle:
+        """Schedule ``fn(*args)`` at absolute ``at_time``, ordered among
+        local events as if it had been scheduled at ``sent_time``."""
+        if at_time < self.now:
+            raise SimulationError(
+                f"inject at {at_time} is in the past (now={self.now})")
+        handle = _CallbackHandle(self, fn, args, at_time)
+        self._injected += 1
+        heapq.heappush(self._heap, (at_time, self.seq_at(sent_time) + 0.5,
+                                    self._injected, handle))
+        return handle
+
+    def trim_window_log(self, before: float) -> None:
+        """Drop log entries no longer reachable by seq_at() queries with
+        ``t >= before`` (the entry at ``before``'s floor is kept)."""
+        idx = bisect_right(self._log_times, before) - 1
+        if idx > 0:
+            del self._log_times[:idx]
+            del self._log_seqs[:idx]
+
+    def next_live_time(self) -> float:
+        """Like :meth:`peek`, but prunes dead timers off the heap top so
+        an armed-then-cancelled RTO does not masquerade as pending work
+        (a conservative sync window would otherwise stall on it)."""
+        heap = self._heap
+        while heap:
+            item = heap[0][-1]
+            kind = type(item)
+            if kind is _CallbackHandle and item.cancelled:
+                heapq.heappop(heap)
+                if self._dead_handles > 0:
+                    self._dead_handles -= 1
+                continue
+            if kind is _ProcWake and item.cancelled:
+                heapq.heappop(heap)
+                continue
+            return heap[0][0]
+        return float("inf")
+
+    def run_window(self, until: float) -> None:
+        """Run one conservative sync window: like ``run(until=until)``
+        but tolerant of injected 4-tuple heap entries, and appending to
+        the window log so later injections can interpolate seqs.
+
+        A separate copy of the run loop (rather than a flag in ``run``)
+        keeps the single-process hot path untouched.
+        """
+        heap = self._heap
+        pop = heapq.heappop
+        push = heapq.heappush
+        times = self._log_times
+        seqs = self._log_seqs
+        while heap:
+            entry = heap[0]
+            _time = entry[0]
+            if _time > until:
+                break
+            pop(heap)
+            item = entry[-1]
+            if _time != self.now:
+                times.append(self.now)
+                seqs.append(self._seq)
+                self.now = _time
+            kind = type(item)
+            if kind is _ProcWake:
+                if item.cancelled:
+                    continue
+                if not item.fired:
+                    item.fired = True
+                    self._seq += 1
+                    push(heap, (_time, self._seq, item))
+                    continue
+                item.fired = False
+                self._events_processed += 1
+                item.proc._resume(_WAKE_VALUE)
+                continue
+            if kind is _CallbackHandle:
+                if not item.cancelled:
+                    item._fn(*item._args)
+                elif self._dead_handles > 0:
+                    self._dead_handles -= 1
+                continue
+            event = item
+            callbacks, event.callbacks = event.callbacks, None
+            for cb in callbacks:
+                cb(event)
+            self._events_processed += 1
+            if not event._ok and not event._defused and not callbacks:
+                raise event._value
+        self.now = until
+        times.append(until)
+        seqs.append(self._seq)

@@ -6,9 +6,49 @@ system — purely observational.
 
 from __future__ import annotations
 
-from typing import List
+from typing import Dict, Iterable, List
 
 from ..net.tcp import TcpConnection
+
+
+def merge_metrics_dumps(dumps: Iterable[Dict[str, dict]]):
+    """Merge per-shard :meth:`MetricsRegistry.dump` exports into one
+    registry (`repro.cluster`: each worker process meters its own shard).
+
+    * counters sum;
+    * histograms concatenate exactly — every sample survives, so
+      percentiles over the merged registry are exact order statistics of
+      the union (shard concatenation order differs from the global
+      chronological order, so compare sample *multisets*, not lists);
+    * gauges keep the global min/max; ``value`` (last-write-wins) is
+      taken from the last shard that set one, since a true global "last"
+      does not survive sharding.
+    """
+    from ..obs.metrics import MetricsRegistry
+    merged = MetricsRegistry()
+    for dump in dumps:
+        for name in sorted(dump):
+            entry = dump[name]
+            kind = entry["type"]
+            if kind == "counter":
+                merged.counter(name).add(entry["value"])
+            elif kind == "gauge":
+                gauge = merged.gauge(name)
+                for bound, pick in (("min", min), ("max", max)):
+                    val = entry[bound]
+                    if val is not None:
+                        prev = getattr(gauge, bound)
+                        setattr(gauge, bound,
+                                val if prev is None else pick(prev, val))
+                if entry["value"] is not None:
+                    gauge.value = entry["value"]
+            elif kind == "histogram":
+                hist = merged.histogram(name)
+                hist.samples.extend(entry["samples"])
+                hist._sorted = None
+            else:
+                raise ValueError(f"unknown instrument type {kind!r}")
+    return merged
 
 
 def connection_report(conn: TcpConnection) -> str:

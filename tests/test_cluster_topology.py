@@ -1,0 +1,166 @@
+"""Topology builders + routing pins (cluster satellites).
+
+Fat-tree/ring blueprints must be structurally sound (port budgets, no
+orphan trunks) and every route must actually walk the fabric from the
+source switch to the destination host port.  Equal-cost choices are
+pinned: neither trunk insertion order (MyrinetFabric BFS) nor trunk
+list order (blueprint ECMP hash) may change a route, because routes are
+part of the bit-for-bit determinism contract in repro.cluster.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.errors import ConfigError, RouteError
+from repro.fabric import (FabricBlueprint, MyrinetFabric, fat_tree_blueprint,
+                          ring_blueprint)
+from repro.sim import Simulator
+
+
+def walk_route(bp: FabricBlueprint, src: str, dst: str, route):
+    """Follow one egress-port byte per hop; return the terminal
+    (switch, port) the last byte selects."""
+    # Map (switch, port) -> (far switch, far port) for every trunk side.
+    far = {}
+    for a, pa, b, pb, _prop in bp.trunks:
+        far[(a, pa)] = (b, pb)
+        far[(b, pb)] = (a, pa)
+    sid = bp.host(src)[1]
+    for i, port in enumerate(route):
+        assert 0 <= port < bp.switch_ports[sid], (src, dst, route, i)
+        if i == len(route) - 1:
+            return sid, port
+        assert (sid, port) in far, \
+            f"route {src}->{dst} hop {i} exits a non-trunk port"
+        sid, _far_port = far[(sid, port)]
+    raise AssertionError("empty route")
+
+
+class TestFatTreeInvariants:
+    def test_16_host_two_stage_shape(self):
+        bp = fat_tree_blueprint(16, hosts_per_edge=4, spines=2)
+        assert len(bp.switch_ports) == 4 + 2         # 4 edges + 2 spines
+        assert len(bp.trunks) == 4 * 2               # full edge-spine mesh
+        assert len(bp.hosts) == 16
+
+    def test_port_budgets_exactly_consumed(self):
+        bp = fat_tree_blueprint(16, hosts_per_edge=4, spines=2)
+        used = [0] * len(bp.switch_ports)
+        seen = set()
+        for a, pa, b, pb, _prop in bp.trunks:
+            for sid, port in ((a, pa), (b, pb)):
+                assert (sid, port) not in seen, "port double-booked"
+                seen.add((sid, port))
+                used[sid] += 1
+        for _name, sid, port in bp.hosts:
+            assert (sid, port) not in seen
+            seen.add((sid, port))
+            used[sid] += 1
+        # The builder sizes switches to what the wiring consumes: no
+        # orphan trunk ports, no oversubscribed switch.
+        assert used == bp.switch_ports
+
+    def test_no_orphan_trunks(self):
+        bp = fat_tree_blueprint(12, hosts_per_edge=4, spines=2)
+        host_switches = {sid for _n, sid, _p in bp.hosts}
+        for a, _pa, b, _pb, _prop in bp.trunks:
+            # Every trunk connects an edge (has hosts) to a spine.
+            assert (a in host_switches) != (b in host_switches)
+
+    def test_every_pair_routes_to_the_destination_port(self):
+        bp = fat_tree_blueprint(16, hosts_per_edge=4, spines=2)
+        names = [name for name, _s, _p in bp.hosts]
+        for src in names:
+            for dst in names:
+                if src == dst:
+                    continue
+                route = bp.route(src, dst)
+                _dname, dsid, dport = bp.host(dst)
+                assert walk_route(bp, src, dst, route) == (dsid, dport), \
+                    (src, dst, route)
+
+    def test_intra_edge_route_is_single_hop(self):
+        bp = fat_tree_blueprint(8, hosts_per_edge=4, spines=2)
+        assert len(bp.route("h0", "h1")) == 1
+        assert len(bp.route("h0", "h4")) == 3    # edge -> spine -> edge
+
+    def test_route_rejects_unknown_and_self(self):
+        bp = fat_tree_blueprint(8)
+        with pytest.raises(RouteError):
+            bp.route("h0", "nope")
+        with pytest.raises(RouteError):
+            bp.route("h3", "h3")
+
+
+class TestRing:
+    def test_needs_three_switches(self):
+        with pytest.raises(ConfigError):
+            ring_blueprint(2)
+
+    def test_routes_valid_both_ways_around(self):
+        bp = ring_blueprint(5, hosts_per_switch=2)
+        names = [name for name, _s, _p in bp.hosts]
+        for src in names:
+            for dst in names:
+                if src == dst:
+                    continue
+                _d, dsid, dport = bp.host(dst)
+                assert walk_route(bp, src, dst, bp.route(src, dst)) \
+                    == (dsid, dport)
+
+
+class TestPinnedTieBreaks:
+    def test_blueprint_ecmp_ignores_trunk_list_order(self):
+        bp = fat_tree_blueprint(16, hosts_per_edge=4, spines=2)
+        shuffled = dataclasses.replace(
+            bp, trunks=list(reversed(bp.trunks)))
+        names = [name for name, _s, _p in bp.hosts]
+        for src in names:
+            for dst in names:
+                if src != dst:
+                    assert bp.route(src, dst) == shuffled.route(src, dst)
+
+    def test_ecmp_spreads_across_spines(self):
+        bp = fat_tree_blueprint(16, hosts_per_edge=4, spines=2)
+        first_hops = {bp.route("h0", dst)[0]
+                      for dst in ("h4", "h5", "h8", "h9", "h12", "h13")}
+        assert len(first_hops) > 1, "ECMP hash never picked spine 1"
+
+    def _diamond_path(self, order):
+        """sw0 and sw3 joined via sw1 and sw2; returns the *switch path*
+        the BFS route takes.  Port numbers shift with insertion order
+        (sequential allocator) but the path must not."""
+        from repro.fabric.link import Attachment
+        sim = Simulator()
+        fab = MyrinetFabric(sim)
+        for _ in range(4):
+            fab.add_switch(4)
+        for a, b in order:
+            fab.connect_switches(a, b)
+        fab.attach_host("src", Attachment(sim, "src"), switch_id=0)
+        fab.attach_host("dst", Attachment(sim, "dst"), switch_id=3)
+        route = fab.source_route("src", "dst")
+        far = {}
+        for a, pa, b, pb in fab._trunks:
+            far[(a, pa)] = b
+            far[(b, pb)] = a
+        path, sid = [0], 0
+        for port in route[:-1]:
+            sid = far[(sid, port)]
+            path.append(sid)
+        return path
+
+    def test_myrinet_bfs_path_is_insertion_order_independent(self):
+        paths = {
+            tuple(self._diamond_path(order))
+            for order in (
+                [(0, 1), (0, 2), (1, 3), (2, 3)],
+                [(0, 2), (0, 1), (2, 3), (1, 3)],
+                [(2, 3), (1, 3), (0, 2), (0, 1)],
+                [(1, 3), (2, 3), (0, 2), (0, 1)],
+            )}
+        # Sorted adjacency pins the equal-cost choice to the lowest
+        # neighbor id: always src -> sw1 -> dst, however the trunks
+        # were declared.
+        assert paths == {(0, 1, 3)}

@@ -15,6 +15,8 @@ Usage::
     python -m repro perf [--quick]
     python -m repro trace ttcp [--out-dir traces/]
     python -m repro metrics pingpong [--json]
+    python -m repro cluster --hosts 16 --workers 2 [--check-determinism]
+    python -m repro gate check [--tier commit --workers 2 --json]
 """
 
 from __future__ import annotations
@@ -99,6 +101,9 @@ def build_parser() -> argparse.ArgumentParser:
                          help="forced QP restarts in --recover mode")
     chaos_p.add_argument("--check-determinism", action="store_true",
                          help="run twice and compare completion traces")
+    chaos_p.add_argument("--json", action="store_true",
+                         help="print the result (or a structured error "
+                              "object) as JSON")
     perf_p = sub.add_parser(
         "perf", help="measure simulator wall-clock performance (events/sec) "
                      "on fixed workloads and write BENCH_perf.json")
@@ -168,7 +173,40 @@ def build_parser() -> argparse.ArgumentParser:
                            help="--bench report path")
     cluster_p.add_argument("--json", action="store_true",
                            help="print the result as JSON")
+    gate_p = sub.add_parser(
+        "gate", help="scenario-corpus regression gate: run the committed "
+                     "scenarios/ specs and compare against golden digests")
+    gate_p.add_argument("action",
+                        choices=("list", "run", "record", "check"),
+                        help="list specs / run with invariants only / "
+                             "record golden baselines / check for drift")
+    gate_p.add_argument("names", nargs="*",
+                        help="scenario names (default: the whole tier)")
+    gate_p.add_argument("--scenarios-dir", default="scenarios",
+                        help="spec directory (default: scenarios/)")
+    gate_p.add_argument("--tier", choices=("commit", "nightly"),
+                        default="commit",
+                        help="commit = fast subset (default); "
+                             "nightly = the full corpus")
+    gate_p.add_argument("--workers", type=int, default=2,
+                        help="concurrent scenario worker processes")
+    gate_p.add_argument("--json", action="store_true",
+                        help="print the report as JSON")
+    gate_p.add_argument("--report", default=None,
+                        help="also write the JSON report to this path "
+                             "(CI drift artifact)")
     return parser
+
+
+def _json_error(command: str, kind: str, message: str, exit_code: int,
+                **extra) -> int:
+    """Machine-readable failure contract shared by the cluster/chaos/gate
+    commands: nonzero exit + one structured JSON error object on stdout."""
+    import json as _json
+    obj = {"ok": False, "command": command,
+           "error": dict(extra, kind=kind, message=message)}
+    print(_json.dumps(obj, indent=2, sort_keys=True))
+    return exit_code
 
 
 def run_trace_cmd(args) -> int:
@@ -231,6 +269,7 @@ def run_perf_cmd(args) -> int:
 
 
 def run_chaos_cmd(args) -> int:
+    import json as _json
     from .errors import ReproError
     from .faults import FaultPlan, check_determinism, run_chaos
     try:
@@ -249,15 +288,35 @@ def run_chaos_cmd(args) -> int:
                       recover=args.recover, restarts=args.restarts)
         if args.check_determinism:
             result, _again = check_determinism(seed=args.seed, **kwargs)
-            print(result.summary())
-            print("  determinism: identical traces across two runs")
         else:
             result = run_chaos(seed=args.seed, **kwargs)
-            print(result.summary())
     except ReproError as exc:
+        if args.json:
+            return _json_error("chaos", type(exc).__name__, str(exc), 2)
         print(f"repro chaos: error: {exc}", file=sys.stderr)
         return 2
-    return 0 if result.ok else 1
+    violations = result.violations()
+    if args.json:
+        if violations:
+            return _json_error("chaos", "invariant_violation",
+                               "; ".join(violations), 1,
+                               violations=violations, seed=args.seed,
+                               workload=args.workload)
+        summary = {"ok": True, "command": "chaos", "seed": args.seed,
+                   "workload": args.workload,
+                   "messages_delivered": result.messages_delivered,
+                   "bytes_delivered": result.bytes_delivered,
+                   "determinism": bool(args.check_determinism)}
+        print(_json.dumps(summary, indent=2, sort_keys=True))
+        return 0
+    print(result.summary())
+    if args.check_determinism:
+        print("  determinism: identical traces across two runs")
+    if violations:
+        print("repro chaos: invariant violation: "
+              + "; ".join(violations), file=sys.stderr)
+        return 1
+    return 0
 
 
 def run_cluster_cmd(args) -> int:
@@ -292,6 +351,9 @@ def run_cluster_cmd(args) -> int:
         if args.check_determinism:
             assert_equivalent(run_single(spec), result)
     except ClusterError as exc:
+        if args.json:
+            return _json_error("cluster", type(exc).__name__, str(exc), 1,
+                               workers=args.workers, seed=args.seed)
         print(f"repro cluster: error: {exc}", file=sys.stderr)
         return 1
     summary = {
@@ -319,6 +381,70 @@ def run_cluster_cmd(args) -> int:
     return 0
 
 
+def run_gate_cmd(args) -> int:
+    import json as _json
+    from .errors import ReproError
+    from .gate import (check_outcomes, checks_json, load_corpus,
+                       outcomes_json, record_outcomes, render_checks,
+                       render_outcomes, render_scenario_list, run_corpus)
+    try:
+        specs = load_corpus(args.scenarios_dir, tier=args.tier,
+                            names=args.names or None)
+    except ReproError as exc:
+        if args.json:
+            return _json_error("gate", type(exc).__name__, str(exc), 2)
+        print(f"repro gate: error: {exc}", file=sys.stderr)
+        return 2
+    if args.action == "list":
+        if args.json:
+            print(_json.dumps(
+                {"ok": True, "command": "gate",
+                 "scenarios": [s.to_dict() for s in specs]},
+                indent=2, sort_keys=True))
+        else:
+            print(render_scenario_list(specs))
+        return 0
+    if not specs:
+        if args.json:
+            return _json_error("gate", "ConfigError",
+                               "no scenarios selected", 2)
+        print("repro gate: error: no scenarios selected", file=sys.stderr)
+        return 2
+
+    def progress(outcome):
+        if not args.json:
+            mark = "PASS" if outcome.ok else "FAIL"
+            print(f"  [{mark}] {outcome.name} ({outcome.status}, "
+                  f"{outcome.wall_s:.2f}s)", flush=True)
+
+    if not args.json:
+        print(f"gate {args.action}: {len(specs)} scenario(s), "
+              f"{args.workers} worker(s)", flush=True)
+    outcomes = run_corpus(specs, jobs=args.workers, progress=progress)
+    if args.action == "check":
+        checks = check_outcomes(specs, outcomes, args.scenarios_dir)
+        report = checks_json(checks)
+        rendered = render_checks(checks)
+    else:
+        report = outcomes_json(outcomes)
+        rendered = render_outcomes(outcomes)
+        if args.action == "record":
+            paths = record_outcomes(specs, outcomes, args.scenarios_dir)
+            report["recorded"] = paths
+            rendered += "\n  recorded {} golden file(s)".format(len(paths))
+    if args.report:
+        with open(args.report, "w", encoding="utf-8") as f:
+            _json.dump(report, f, indent=2, sort_keys=True)
+            f.write("\n")
+    if args.json:
+        print(_json.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(rendered)
+        if not report["ok"]:
+            print("repro gate: FAILED", file=sys.stderr)
+    return 0 if report["ok"] else 1
+
+
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
     if args.command in (None, "list"):
@@ -332,6 +458,8 @@ def main(argv=None) -> int:
         print("  metrics    traced run: print the metrics report")
         print("  cluster    sharded parallel run of a large fabric "
               "(bit-for-bit deterministic)")
+        print("  gate       scenario-corpus regression gate "
+              "(record/check golden digests)")
         return 0
     if args.command == "chaos":
         return run_chaos_cmd(args)
@@ -341,6 +469,8 @@ def main(argv=None) -> int:
         return run_trace_cmd(args)
     if args.command == "cluster":
         return run_cluster_cmd(args)
+    if args.command == "gate":
+        return run_gate_cmd(args)
     names = list(EXPERIMENTS) if args.command == "all" else [args.command]
     for name in names:
         desc, fn = EXPERIMENTS[name]

@@ -15,16 +15,16 @@ tie-break interpolation that makes it hold.
 """
 
 from .partition import Partition, lookahead, partition_blueprint
-from .runner import (ClusterResult, ClusterRunner, assert_equivalent,
-                     run_cluster, run_single)
+from .runner import (ClusterResult, ClusterRunner, WorkerHung,
+                     assert_equivalent, run_cluster, run_single)
 from .shard import ClusterError, PortalDirection, PortalLink, ShardWorker, \
     TrunkMsg
-from .spec import ClusterSpec, FlowSpec, make_flows
+from .spec import ClusterSpec, FlowSpec, incast_flows, make_flows
 
 __all__ = [
-    "ClusterSpec", "FlowSpec", "make_flows",
+    "ClusterSpec", "FlowSpec", "make_flows", "incast_flows",
     "Partition", "partition_blueprint", "lookahead",
     "ShardWorker", "TrunkMsg", "PortalLink", "PortalDirection",
-    "ClusterRunner", "ClusterResult", "ClusterError",
+    "ClusterRunner", "ClusterResult", "ClusterError", "WorkerHung",
     "run_cluster", "run_single", "assert_equivalent",
 ]

@@ -35,6 +35,27 @@ from .partition import lookahead, partition_blueprint
 from .shard import ClusterError, ShardWorker, TrunkMsg
 from .spec import ClusterSpec
 
+#: Forked-worker shutdown: grace period for a clean exit, then the
+#: terminate/kill escalation ladder gets the same again per rung.
+SHUTDOWN_GRACE_S = 5.0
+
+
+class WorkerHung(ClusterError):
+    """A forked shard worker stopped responding.
+
+    Carries the shard id and the last sync window end the worker
+    acknowledged — the point up to which its results are known good.
+    Raised when a step reply does not arrive within ``step_timeout``, or
+    when shutdown had to escalate past a clean join.
+    """
+
+    def __init__(self, shard_id: int, last_window: float, detail: str):
+        super().__init__(
+            f"shard {shard_id} hung {detail} "
+            f"(last acknowledged window end: {last_window:g}us)")
+        self.shard_id = shard_id
+        self.last_window = last_window
+
 
 @dataclass
 class ClusterResult:
@@ -51,6 +72,7 @@ class ClusterResult:
     trunk_msgs: int = 0
     wall_s: float = 0.0
     per_worker_events: List[int] = field(default_factory=list)
+    fault_counts: Dict[str, Dict[str, int]] = field(default_factory=dict)
 
     @property
     def events_per_sec(self) -> float:
@@ -112,9 +134,16 @@ def _worker_main(conn, spec: ClusterSpec, shard_id: int,
 class _ProcessHandle:
     """Worker in a forked process; windows across shards overlap."""
 
-    def __init__(self, spec: ClusterSpec, shard_id: int, num_shards: int):
+    def __init__(self, spec: ClusterSpec, shard_id: int, num_shards: int,
+                 step_timeout: Optional[float] = None):
         import multiprocessing as mp
         self.shard_id = shard_id
+        self.step_timeout = step_timeout
+        #: Last sync window end this worker acknowledged (``-inf`` until
+        #: the first "state" reply) — shipped inside :class:`WorkerHung`.
+        self.last_window = float("-inf")
+        self._sent_window = float("-inf")
+        self.escalated = False
         ctx = mp.get_context("fork")
         self._conn, child = ctx.Pipe()
         self._proc = ctx.Process(target=_worker_main,
@@ -124,6 +153,11 @@ class _ProcessHandle:
         child.close()
 
     def _recv(self, want: str):
+        if self.step_timeout is not None and \
+                not self._conn.poll(self.step_timeout):
+            raise WorkerHung(
+                self.shard_id, self.last_window,
+                f"awaiting {want!r} after {self.step_timeout:g}s")
         try:
             msg = self._conn.recv()
         except EOFError:
@@ -142,10 +176,13 @@ class _ProcessHandle:
         return self._recv("ready")[0]
 
     def send_step(self, until: float, msgs: List[TrunkMsg]) -> None:
+        self._sent_window = until
         self._conn.send(("step", until, msgs))
 
     def recv_state(self):
-        return self._recv("state")
+        state = self._recv("state")
+        self.last_window = self._sent_window
+        return state
 
     def send_finish(self) -> None:
         self._conn.send(("finish",))
@@ -154,21 +191,35 @@ class _ProcessHandle:
         return self._recv("result")[0]
 
     def close(self) -> None:
+        """Shut the worker down, escalating if it will not die.
+
+        Grace join → SIGTERM → grace join → SIGKILL → join.  Sets
+        ``escalated`` when the clean join was not enough, so the runner
+        can turn a leaked-process situation into a loud
+        :class:`WorkerHung` instead of hiding it.
+        """
         self._conn.close()
-        self._proc.join(timeout=5)
-        if self._proc.is_alive():  # pragma: no cover - defensive
+        deadline = time.monotonic() + SHUTDOWN_GRACE_S
+        self._proc.join(timeout=max(0.0, deadline - time.monotonic()))
+        if self._proc.is_alive():
+            self.escalated = True
             self._proc.terminate()
-            self._proc.join()
+            self._proc.join(timeout=SHUTDOWN_GRACE_S)
+            if self._proc.is_alive():  # pragma: no cover - defensive
+                self._proc.kill()
+                self._proc.join()
 
 
 class ClusterRunner:
     """Partition, spawn, synchronize, merge."""
 
     def __init__(self, spec: ClusterSpec, num_workers: int,
-                 processes: bool = False):
+                 processes: bool = False,
+                 step_timeout: Optional[float] = None):
         self.spec = spec
         self.num_workers = num_workers
         self.processes = processes
+        self.step_timeout = step_timeout
         bp = spec.blueprint()
         self.partition = partition_blueprint(bp, num_workers)
         self.lookahead = lookahead(bp, self.partition)
@@ -176,14 +227,29 @@ class ClusterRunner:
 
     def run(self) -> ClusterResult:
         spec = self.spec
-        handle_cls = _ProcessHandle if self.processes else _InProcessHandle
-        handles = [handle_cls(spec, i, self.num_workers)
-                   for i in range(self.num_workers)]
+        if self.processes:
+            handles = [_ProcessHandle(spec, i, self.num_workers,
+                                      step_timeout=self.step_timeout)
+                       for i in range(self.num_workers)]
+        else:
+            handles = [_InProcessHandle(spec, i, self.num_workers)
+                       for i in range(self.num_workers)]
+        failed = True
         try:
-            return self._drive(handles)
+            result = self._drive(handles)
+            failed = False
         finally:
             for h in handles:
                 h.close()
+        # A worker that needed terminate/kill after a *clean* run is a
+        # wedged shard: fail loudly rather than silently reap it.  (After
+        # an error the original exception already tells the story.)
+        if not failed:
+            for h in handles:
+                if getattr(h, "escalated", False):
+                    raise WorkerHung(h.shard_id, h.last_window,
+                                     "at shutdown; terminate/kill needed")
+        return result
 
     def _shard_of_trunk_side(self, trunk: int, to_b: bool) -> int:
         a, _pa, b, _pb, _prop = self._bp.trunks[trunk]
@@ -243,12 +309,18 @@ def _merge_results(spec: ClusterSpec, results: List[dict],
         wire.update(res["wire"])
     dumps = [res["metrics"] for res in results if res["metrics"] is not None]
     metrics = merge_metrics_dumps(dumps).dump() if dumps else None
+    fault_counts: Dict[str, Dict[str, int]] = {}
+    for res in results:
+        # Each injection point lives in exactly one shard (the transmit
+        # owner), so this union never collides.
+        fault_counts.update(res.get("fault_counts", {}))
     return ClusterResult(
         spec=spec, num_workers=num_workers, flows=flows, wire=wire,
         metrics=metrics,
         events=sum(res["events"] for res in results),
         now=max(res["now"] for res in results),
-        per_worker_events=[res["events"] for res in results])
+        per_worker_events=[res["events"] for res in results],
+        fault_counts=fault_counts)
 
 
 def run_single(spec: ClusterSpec) -> ClusterResult:
@@ -263,10 +335,12 @@ def run_single(spec: ClusterSpec) -> ClusterResult:
 
 
 def run_cluster(spec: ClusterSpec, num_workers: int,
-                processes: bool = False) -> ClusterResult:
+                processes: bool = False,
+                step_timeout: Optional[float] = None) -> ClusterResult:
     if num_workers == 1 and not processes:
         return run_single(spec)
-    return ClusterRunner(spec, num_workers, processes=processes).run()
+    return ClusterRunner(spec, num_workers, processes=processes,
+                         step_timeout=step_timeout).run()
 
 
 def assert_equivalent(oracle: ClusterResult, sharded: ClusterResult) -> None:
@@ -316,6 +390,10 @@ def assert_equivalent(oracle: ClusterResult, sharded: ClusterResult) -> None:
                 raise ClusterError(
                     f"metric {name} diverges:\n  oracle : "
                     f"{norm_a[name]!r}\n  sharded: {norm_b[name]!r}")
+    if oracle.fault_counts != sharded.fault_counts:
+        raise ClusterError(
+            f"fault counts diverge:\n  oracle : {oracle.fault_counts!r}\n"
+            f"  sharded: {sharded.fault_counts!r}")
     if oracle.now != sharded.now:
         raise ClusterError(f"final times differ: {oracle.now} vs "
                            f"{sharded.now}")

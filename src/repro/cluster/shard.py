@@ -26,14 +26,15 @@ from typing import Dict, List, Optional, Tuple
 
 from .. import obs
 from ..core import QpipFirmware, QpipInterface
-from ..errors import ReproError
+from ..errors import ConfigError, ReproError
 from ..fabric.link import Link, _Direction
 from ..fabric.switch import MyrinetSwitch
+from ..faults.inject import FaultInjector
 from ..hw import Host, ProgrammableNic
 from ..net.addresses import IPv6Address
 from ..net.packet import Packet
 from ..obs.trace import TraceRecorder
-from ..sim import Simulator
+from ..sim import RngHub, Simulator
 from ..tools.wiretap import Wiretap
 from .partition import Partition, partition_blueprint
 from .spec import ClusterSpec
@@ -148,6 +149,9 @@ class ShardWorker:
         self._flow_procs: List[Tuple[int, str, object]] = []
         # (trunk index, to_b) -> local switch-port attachment to inject at
         self._trunk_rx: Dict[Tuple[int, bool], object] = {}
+        # trunk index -> locally-owned transmit directions by "a2b"/"b2a"
+        self._trunk_dirs: Dict[int, Dict[str, _Direction]] = {}
+        self.injectors: Dict[str, FaultInjector] = {}
         self._last_until = 0.0
         prev = obs.RECORDER
         obs.RECORDER = self.recorder
@@ -172,18 +176,24 @@ class ShardWorker:
             name = f"trunk{a}.{pa}-{b}.{pb}"
             local_a, local_b = self._local_switch(a), self._local_switch(b)
             if local_a and local_b:
-                Link(sim, self.switches[a].port(pa), self.switches[b].port(pb),
-                     bp.bandwidth, prop, name=name)
+                link = Link(sim, self.switches[a].port(pa),
+                            self.switches[b].port(pb),
+                            bp.bandwidth, prop, name=name)
+                self._trunk_dirs[idx] = {
+                    "a2b": link.direction_from(link.a),
+                    "b2a": link.direction_from(link.b)}
             elif local_a:
                 port = self.switches[a].port(pa)
-                PortalLink(sim, port, bp.bandwidth, prop, name,
-                           f"{name}:a->b", self.outbox, idx, to_b=True)
+                pl = PortalLink(sim, port, bp.bandwidth, prop, name,
+                                f"{name}:a->b", self.outbox, idx, to_b=True)
                 self._trunk_rx[(idx, False)] = port
+                self._trunk_dirs[idx] = {"a2b": pl.direction_from(port)}
             elif local_b:
                 port = self.switches[b].port(pb)
-                PortalLink(sim, port, bp.bandwidth, prop, name,
-                           f"{name}:b->a", self.outbox, idx, to_b=False)
+                pl = PortalLink(sim, port, bp.bandwidth, prop, name,
+                                f"{name}:b->a", self.outbox, idx, to_b=False)
                 self._trunk_rx[(idx, True)] = port
+                self._trunk_dirs[idx] = {"b2a": pl.direction_from(port)}
         # Hosts in global index order (bootstrap-order backbone).
         for i, (hname, sid, port) in enumerate(bp.hosts):
             if not self._local_switch(sid):
@@ -209,6 +219,10 @@ class ShardWorker:
                 self.nodes[fs.dst].firmware.add_route(
                     IPv6Address.from_index(fs.src + 1),
                     source_route=bp.route(dst_name, src_name))
+        # Fault bindings: pure hook installs, no events.  Every shard
+        # validates every binding (errors must not depend on the cut),
+        # but only the shard owning the transmit side installs it.
+        self._install_faults()
         # Wiretaps before flows spawn, so t=0 traffic is captured too.
         capture = set(self.spec.capture_hosts)
         for i, node in self.nodes.items():
@@ -230,6 +244,49 @@ class ShardWorker:
                     IPv6Address.from_index(fs.dst + 1), fs, record)
                 self._flow_procs.append((fs.flow_id, "client",
                                          sim.process(gen)))
+
+    def _install_faults(self) -> None:
+        """Bind the spec's fault plans to their local link directions.
+
+        Each binding gets an RNG stream named after its injection point
+        (derived from the spec seed), so a given direction sees the same
+        fault decisions for the same packet sequence whether the fabric
+        runs in one kernel or sharded — the injector state lives wholly
+        in the shard that owns the transmit side.
+        """
+        if not self.spec.faults:
+            return
+        hub = RngHub(self.spec.seed)
+        host_index = {name: i for i, (name, _sid, _port)
+                      in enumerate(self.bp.hosts)}
+        for binding in self.spec.faults:
+            kind, selector, direction = binding.target()
+            if kind == "trunk":
+                idx = int(selector)
+                if idx >= len(self.bp.trunks):
+                    raise ConfigError(
+                        f"fault binding {binding.where!r}: trunk {idx} "
+                        f"not in blueprint ({len(self.bp.trunks)} trunks)")
+                target = self._trunk_dirs.get(idx, {}).get(direction)
+            else:
+                if selector not in host_index:
+                    raise ConfigError(
+                        f"fault binding {binding.where!r}: unknown host "
+                        f"{selector!r}")
+                node = self.nodes.get(host_index[selector])
+                if node is None:
+                    target = None
+                else:
+                    link = node.nic.attachment.link
+                    src = node.nic.attachment if direction == "tx" \
+                        else link.b
+                    target = link.direction_from(src)
+            if target is None:
+                continue            # transmit side lives in another shard
+            injector = FaultInjector(self.sim, binding.plan(),
+                                     hub.stream(binding.rng_stream_name()))
+            target.add_hook(injector)
+            self.injectors[binding.where] = injector
 
     # -- the conservative window protocol --------------------------------
 
@@ -295,6 +352,8 @@ class ShardWorker:
             "wire": wire,
             "metrics": (self.recorder.metrics.dump()
                         if self.recorder is not None else None),
+            "fault_counts": {where: inj.counts()
+                             for where, inj in self.injectors.items()},
             "events": self.sim._events_processed,
             "now": self.sim.now,
         }

@@ -16,6 +16,7 @@ from typing import Tuple
 from ..errors import ConfigError
 from ..fabric.topology import (FabricBlueprint, fat_tree_blueprint,
                                ring_blueprint)
+from ..faults.plan import FaultBinding
 
 #: Per-flow listener ports: flow ``i`` listens on ``FLOW_PORT_BASE + i``,
 #: so any number of flows can share a destination host.
@@ -37,6 +38,7 @@ class FlowSpec:
     recv_buffers: int = 16
     iterations: int = 10      # pingpong
     msg_size: int = 64
+    verify: bool = False      # ttcp: seq-stamped payloads checked on receive
 
     @property
     def port(self) -> int:
@@ -59,6 +61,7 @@ class ClusterSpec:
     mtu: int = 16384
     capture_hosts: Tuple[str, ...] = () # host names to wiretap
     metrics: bool = False
+    faults: Tuple[FaultBinding, ...] = ()  # wire faults, per injection point
 
     def blueprint(self) -> FabricBlueprint:
         if self.topology == "fat-tree":
@@ -102,3 +105,29 @@ def make_flows(kind: str, hosts: int, count: int, seed: int = 1,
             total_bytes=total_bytes, chunk=chunk,
             iterations=iterations, msg_size=msg_size))
     return tuple(flows)
+
+
+def incast_flows(senders: int, hosts: int, dst: int = 0,
+                 total_bytes: int = 16384, chunk: int = 4096,
+                 stagger: float = 0.0, verify: bool = True,
+                 queue_depth: int = 8) -> Tuple[FlowSpec, ...]:
+    """N→1 incast: every host but ``dst`` streams to ``dst`` at once.
+
+    ``stagger`` spreads the start offsets linearly (0 = the worst case:
+    all senders fire together).  The returned flows are ttcp with
+    verified payloads by default — incast collapse must never surface as
+    corruption or loss, only as time.
+    """
+    if senders < 1:
+        raise ConfigError("incast needs at least 1 sender")
+    if senders >= hosts:
+        raise ConfigError(f"incast {senders}->1 needs {senders + 1} hosts, "
+                          f"have {hosts}")
+    if not 0 <= dst < hosts:
+        raise ConfigError(f"incast dst {dst} outside 0..{hosts - 1}")
+    srcs = [h for h in range(hosts) if h != dst][:senders]
+    return tuple(FlowSpec(
+        flow_id=i, kind="ttcp", src=src, dst=dst,
+        start=round(i * stagger, 3), total_bytes=total_bytes,
+        chunk=chunk, verify=verify, queue_depth=queue_depth)
+        for i, src in enumerate(srcs))

@@ -17,6 +17,7 @@ from __future__ import annotations
 from typing import Dict, Generator
 
 from ..core import QPTransport
+from ..faults.chaos import message_bytes
 from ..net.addresses import Endpoint
 from ..sim import Simulator
 from .spec import FlowSpec
@@ -25,6 +26,43 @@ from .spec import FlowSpec
 def _cqe_tuple(cqe, now: float):
     return (cqe.wr_id, cqe.qp_num, cqe.opcode.name, cqe.status.name,
             cqe.byte_len, now)
+
+
+class _Verifier:
+    """Receive-side payload auditor for ``verify`` flows.
+
+    Every message carries an 8-byte sequence stamp plus a seq-derived
+    fill (:func:`repro.faults.chaos.message_bytes`).  Whatever the wire
+    did — corruption, duplication, reordering, loss-plus-retransmit —
+    the application must observe the exact byte stream, in order,
+    exactly once.  Counters land in the flow record and feed the gate's
+    ``no_app_corruption`` invariant.
+    """
+
+    def __init__(self, record: Dict):
+        self.record = record
+        record["srv_verified"] = 0
+        record["srv_mismatches"] = 0
+        record["srv_dup"] = 0
+        record["srv_ooo"] = 0
+        self._next_seq = 0
+
+    def consume(self, data: bytes) -> None:
+        rec = self.record
+        if len(data) < 8:
+            rec["srv_mismatches"] += 1
+            return
+        seq = int.from_bytes(data[:8], "big")
+        if seq < self._next_seq:
+            rec["srv_dup"] += 1
+            return
+        if seq > self._next_seq:
+            rec["srv_ooo"] += 1
+        self._next_seq = seq + 1
+        if data != message_bytes(seq, len(data)):
+            rec["srv_mismatches"] += 1
+        else:
+            rec["srv_verified"] += 1
 
 
 def ttcp_server(sim: Simulator, node, fs: FlowSpec,
@@ -43,12 +81,19 @@ def ttcp_server(sim: Simulator, node, fs: FlowSpec,
         bufs.append(buf)
     listener = yield from iface.listen(fs.port)
     yield from iface.accept(listener, qp)
+    verifier = _Verifier(record) if fs.verify else None
     got = 0
     ring = 0
+    nrecv = 0
     while got < fs.total_bytes:
         for cqe in (yield from iface.wait(cq)):
             cqes.append(_cqe_tuple(cqe, sim.now))
             got += cqe.byte_len
+            if verifier is not None:
+                # Recv WRs complete in posting order, so completion k
+                # landed in the k-th posted buffer.
+                verifier.consume(bufs[nrecv % len(bufs)].read(cqe.byte_len))
+                nrecv += 1
             if got >= fs.total_bytes:
                 break
             yield from iface.post_recv(qp, [bufs[ring].sge()])
@@ -65,17 +110,31 @@ def ttcp_client(sim: Simulator, node, peer_addr, fs: FlowSpec,
     cq = yield from iface.create_cq()
     qp = yield from iface.create_qp(QPTransport.TCP, cq,
                                     max_send_wr=fs.queue_depth + 4)
-    sbuf = yield from iface.register_memory(fs.chunk)
+    if fs.verify:
+        # One buffer per in-flight send: a shared buffer would be
+        # overwritten under a WR the firmware has not yet DMAed.
+        sbufs = []
+        for _ in range(fs.queue_depth):
+            sbufs.append((yield from iface.register_memory(fs.chunk)))
+    else:
+        sbuf = yield from iface.register_memory(fs.chunk)
     yield sim.timeout(1000.0 + fs.start)
     yield from iface.connect(qp, Endpoint(peer_addr, fs.port))
     max_msg = node.firmware.endpoints[qp.qp_num].conn.max_message
     record["t_start"] = sim.now
     sent = 0
+    seq = 0
     inflight = 0
     while sent < fs.total_bytes or inflight > 0:
         while sent < fs.total_bytes and inflight < fs.queue_depth:
             n = min(fs.chunk, max_msg, fs.total_bytes - sent)
-            yield from iface.post_send(qp, [sbuf.sge(0, n)])
+            if fs.verify:
+                buf = sbufs[seq % fs.queue_depth]
+                buf.write(message_bytes(seq, n))
+                seq += 1
+            else:
+                buf = sbuf
+            yield from iface.post_send(qp, [buf.sge(0, n)])
             sent += n
             inflight += 1
         for cqe in (yield from iface.wait(cq)):

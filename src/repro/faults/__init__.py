@@ -27,11 +27,13 @@ from .chaos import ChaosResult, check_determinism, run_chaos
 from .inject import FaultInjector, corrupt_packet, install_on_link, \
     install_on_switch
 from .nicfaults import DmaFaultWindow, NicFaultController
-from .plan import FaultPlan, FaultSpec
+from .plan import FaultBinding, FaultEntry, FaultPlan, FaultSpec
 
 __all__ = [
     "ChaosResult",
     "DmaFaultWindow",
+    "FaultBinding",
+    "FaultEntry",
     "FaultInjector",
     "FaultPlan",
     "FaultSpec",

@@ -9,8 +9,8 @@ each with its own RNG stream (see :mod:`repro.faults.inject`).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, Iterator, List, Optional
+from dataclasses import dataclass, fields as dataclass_fields
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
 from ..errors import ConfigError
 from ..net.packet import Packet
@@ -134,3 +134,117 @@ class FaultPlan:
 
     def __repr__(self):
         return f"<FaultPlan {self.describe()}>"
+
+
+@dataclass(frozen=True)
+class FaultEntry:
+    """A pure-data, hashable twin of :class:`FaultSpec` (no predicate).
+
+    This is the form fault plans take inside frozen cluster/scenario
+    specs: picklable across worker processes and loadable from
+    YAML/JSON.  :meth:`to_spec` compiles it back into the live form.
+    """
+
+    kind: str
+    rate: float = 1.0
+    start: float = 0.0
+    stop: Optional[float] = None
+    burst: int = 1
+    delay: float = 0.0
+    jitter: float = 0.0
+    copies: int = 1
+
+    def __post_init__(self):
+        self.to_spec()          # reuse FaultSpec's validation
+
+    def to_spec(self) -> FaultSpec:
+        return FaultSpec(kind=self.kind, rate=self.rate, start=self.start,
+                         stop=self.stop, burst=self.burst, delay=self.delay,
+                         jitter=self.jitter, copies=self.copies)
+
+    def to_dict(self) -> Dict[str, object]:
+        """Minimal dict form: defaults are omitted (stable YAML/JSON)."""
+        out: Dict[str, object] = {}
+        for f in dataclass_fields(self):
+            value = getattr(self, f.name)
+            if f.name == "kind" or value != f.default:
+                out[f.name] = value
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "FaultEntry":
+        known = {f.name for f in dataclass_fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ConfigError(f"unknown fault entry keys {sorted(unknown)}")
+        return cls(**data)
+
+
+#: Valid injection-point directions per target kind.
+_BINDING_DIRECTIONS = {"host": ("tx", "rx"), "trunk": ("a2b", "b2a")}
+
+
+@dataclass(frozen=True)
+class FaultBinding:
+    """A fault plan bound to one named injection point, as pure data.
+
+    ``where`` addresses a link direction in a blueprint fabric:
+
+    * ``host:<name>:tx`` — the direction leaving host ``<name>``'s NIC;
+    * ``host:<name>:rx`` — the direction arriving at the NIC;
+    * ``trunk:<index>:a2b`` / ``:b2a`` — one direction of trunk
+      ``<index>`` in blueprint order.
+
+    The injector RNG stream is named after ``where``, so the same
+    binding behaves bit-identically however the fabric is sharded.
+    """
+
+    where: str
+    entries: Tuple[FaultEntry, ...]
+
+    def __post_init__(self):
+        self.target()           # validate the address
+        if not self.entries:
+            raise ConfigError(f"fault binding {self.where!r} has no entries")
+
+    def target(self) -> Tuple[str, str, str]:
+        """Parse ``where`` into ``(kind, selector, direction)``."""
+        parts = self.where.split(":")
+        if len(parts) != 3:
+            raise ConfigError(
+                f"bad fault binding {self.where!r} (want "
+                f"host:<name>:tx|rx or trunk:<index>:a2b|b2a)")
+        kind, selector, direction = parts
+        if kind not in _BINDING_DIRECTIONS:
+            raise ConfigError(f"bad fault target kind {kind!r} in "
+                              f"{self.where!r}")
+        if direction not in _BINDING_DIRECTIONS[kind]:
+            raise ConfigError(
+                f"bad direction {direction!r} for {kind} binding "
+                f"{self.where!r} (one of {_BINDING_DIRECTIONS[kind]})")
+        if kind == "trunk" and not selector.isdigit():
+            raise ConfigError(f"trunk selector must be an index: "
+                              f"{self.where!r}")
+        return kind, selector, direction
+
+    def plan(self) -> FaultPlan:
+        return FaultPlan([e.to_spec() for e in self.entries])
+
+    def rng_stream_name(self) -> str:
+        return f"fault.{self.where}"
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"where": self.where,
+                "plan": [e.to_dict() for e in self.entries]}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "FaultBinding":
+        unknown = set(data) - {"where", "plan"}
+        if unknown:
+            raise ConfigError(f"unknown fault binding keys "
+                              f"{sorted(unknown)}")
+        if "where" not in data or "plan" not in data:
+            raise ConfigError("fault binding needs 'where' and 'plan'")
+        return cls(where=data["where"],
+                   entries=tuple(FaultEntry.from_dict(e)
+                                 for e in data["plan"]))

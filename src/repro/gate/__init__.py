@@ -1,0 +1,40 @@
+"""The regression gate: a declarative scenario corpus with golden drift
+detection.
+
+``repro.gate`` turns the simulator's determinism guarantee into an
+enforced contract.  A :class:`ScenarioSpec` (a YAML/JSON file under
+``scenarios/``) names a topology, a workload, a fault plan, a seed, the
+shardings that must agree bit-for-bit, and the invariants the run must
+uphold — including the hostile-network family: incast fan-in,
+reordering storms, duplication floods, and payload corruption that must
+be caught by checksums and healed by retransmission with zero
+app-visible corruption.
+
+``repro gate record`` pins each scenario's observable digests (CQE
+streams, wire traces, metrics, fault counters) under
+``scenarios/golden/``; ``repro gate check`` replays the corpus in
+crash-isolated worker processes with per-scenario wall-clock caps and
+fails naming the first divergent digest.  See docs/gate.md.
+"""
+
+from .digest import compare_digests, evaluate_invariants, scenario_digests
+from .golden import (GateCheck, check_outcomes, golden_path, read_golden,
+                     record_outcomes, write_golden)
+from .report import (checks_json, outcomes_json, render_checks,
+                     render_outcomes, render_scenario_list)
+from .runner import (ScenarioFailed, ScenarioOutcome, ScenarioPassed,
+                     run_corpus, run_scenario)
+from .spec import (Expectation, ScenarioSpec, WorkloadSpec, load_corpus,
+                   load_scenario)
+
+__all__ = [
+    "ScenarioSpec", "WorkloadSpec", "Expectation",
+    "load_scenario", "load_corpus",
+    "scenario_digests", "evaluate_invariants", "compare_digests",
+    "run_scenario", "run_corpus",
+    "ScenarioPassed", "ScenarioFailed", "ScenarioOutcome",
+    "GateCheck", "check_outcomes", "record_outcomes",
+    "golden_path", "read_golden", "write_golden",
+    "outcomes_json", "checks_json",
+    "render_outcomes", "render_checks", "render_scenario_list",
+]

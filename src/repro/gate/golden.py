@@ -1,0 +1,110 @@
+"""Golden baselines: record and check per-scenario digest files.
+
+``scenarios/golden/<name>.json`` pins a scenario's digests at record
+time.  ``check`` replays the corpus and diffs each scenario's fresh
+digests against its golden file, producing named first-divergence
+reports — a failing gate always says *which scenario* and *which
+digest* moved, never just "something changed".
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from .digest import compare_digests
+from .runner import ScenarioOutcome
+from .spec import ScenarioSpec
+
+GOLDEN_DIRNAME = "golden"
+GOLDEN_FORMAT = 1
+
+
+def golden_path(scenarios_dir: str, name: str) -> str:
+    return os.path.join(scenarios_dir, GOLDEN_DIRNAME, f"{name}.json")
+
+
+def write_golden(scenarios_dir: str, name: str, digests: Dict) -> str:
+    path = golden_path(scenarios_dir, name)
+    os.makedirs(os.path.dirname(path), exist_ok=True)
+    with open(path, "w", encoding="utf-8") as f:
+        json.dump({"format": GOLDEN_FORMAT, "scenario": name,
+                   "digests": digests},
+                  f, indent=1, sort_keys=True)
+        f.write("\n")
+    return path
+
+
+def read_golden(scenarios_dir: str, name: str) -> Optional[Dict]:
+    path = golden_path(scenarios_dir, name)
+    if not os.path.exists(path):
+        return None
+    with open(path, "r", encoding="utf-8") as f:
+        return json.load(f)
+
+
+@dataclass
+class GateCheck:
+    """One scenario's verdict from ``repro gate check``."""
+
+    name: str
+    status: str          # "ok" | "drift" | "no_golden" | failure statuses
+    wall_s: float
+    detail: str = ""
+    divergences: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    @property
+    def first_divergence(self) -> Optional[str]:
+        return self.divergences[0] if self.divergences else None
+
+
+def check_outcomes(scenarios: List[ScenarioSpec],
+                   outcomes: List[ScenarioOutcome],
+                   scenarios_dir: str) -> List[GateCheck]:
+    """Diff each outcome against its golden file."""
+    checks: List[GateCheck] = []
+    for spec, outcome in zip(scenarios, outcomes):
+        if not outcome.ok:
+            checks.append(GateCheck(spec.name, outcome.status,
+                                    outcome.wall_s, detail=outcome.detail))
+            continue
+        golden = read_golden(scenarios_dir, spec.name)
+        if golden is None:
+            checks.append(GateCheck(
+                spec.name, "no_golden", outcome.wall_s,
+                detail=f"no golden baseline at "
+                       f"{golden_path(scenarios_dir, spec.name)}; run "
+                       f"'repro gate record'"))
+            continue
+        diffs = compare_digests(golden["digests"], outcome.digests,
+                                spec.tolerances)
+        if diffs:
+            checks.append(GateCheck(
+                spec.name, "drift", outcome.wall_s,
+                detail=f"first divergence: {diffs[0]}",
+                divergences=diffs))
+        else:
+            checks.append(GateCheck(spec.name, "ok", outcome.wall_s))
+    return checks
+
+
+def record_outcomes(scenarios: List[ScenarioSpec],
+                    outcomes: List[ScenarioOutcome],
+                    scenarios_dir: str) -> List[str]:
+    """Write golden files for every passing outcome; returns the paths.
+
+    Failing scenarios are *not* recorded — a baseline must come from a
+    clean run.
+    """
+    paths = []
+    for spec, outcome in zip(scenarios, outcomes):
+        if outcome.ok:
+            paths.append(write_golden(scenarios_dir, spec.name,
+                                      outcome.digests))
+    return paths

@@ -1,0 +1,98 @@
+"""Rendering gate results: terminal tables, JSON objects, drift reports.
+
+The JSON shapes here are the machine interface of the gate (CI parses
+them and archives the drift report artifact), so they are stable:
+top-level ``ok``/``counts``/``scenarios``, one entry per scenario with
+``name``/``status``/``wall_s`` plus failure detail when present.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .golden import GateCheck
+from .runner import ScenarioOutcome
+from .spec import ScenarioSpec
+
+
+def _count(rows, status_of) -> Dict[str, int]:
+    counts: Dict[str, int] = {}
+    for row in rows:
+        status = status_of(row)
+        counts[status] = counts.get(status, 0) + 1
+    return counts
+
+
+def outcomes_json(outcomes: List[ScenarioOutcome]) -> Dict:
+    scenarios = []
+    for o in outcomes:
+        entry: Dict = {"name": o.name, "status": o.status,
+                       "wall_s": round(o.wall_s, 3)}
+        if not o.ok:
+            entry["detail"] = o.detail
+        scenarios.append(entry)
+    return {
+        "ok": all(o.ok for o in outcomes),
+        "counts": _count(outcomes, lambda o: o.status),
+        "scenarios": scenarios,
+    }
+
+
+def checks_json(checks: List[GateCheck]) -> Dict:
+    scenarios = []
+    for c in checks:
+        entry: Dict = {"name": c.name, "status": c.status,
+                       "wall_s": round(c.wall_s, 3)}
+        if not c.ok:
+            entry["detail"] = c.detail
+            if c.divergences:
+                entry["divergences"] = c.divergences
+        scenarios.append(entry)
+    return {
+        "ok": all(c.ok for c in checks),
+        "counts": _count(checks, lambda c: c.status),
+        "scenarios": scenarios,
+    }
+
+
+def _render_rows(rows) -> List[str]:
+    width = max((len(r.name) for r in rows), default=4)
+    lines = []
+    for r in rows:
+        mark = "PASS" if r.ok else "FAIL"
+        lines.append(f"  {mark}  {r.name:<{width}s}  "
+                     f"{r.status:<16s} {r.wall_s:7.2f}s")
+        if not r.ok:
+            detail = getattr(r, "detail", "")
+            for dline in detail.splitlines()[:8]:
+                lines.append(f"         {dline}")
+    return lines
+
+
+def render_outcomes(outcomes: List[ScenarioOutcome]) -> str:
+    lines = ["gate run:"]
+    lines += _render_rows(outcomes)
+    counts = _count(outcomes, lambda o: o.status)
+    summary = ", ".join(f"{v} {k}" for k, v in sorted(counts.items()))
+    lines.append(f"  => {summary}")
+    return "\n".join(lines)
+
+
+def render_checks(checks: List[GateCheck]) -> str:
+    lines = ["gate check:"]
+    lines += _render_rows(checks)
+    counts = _count(checks, lambda c: c.status)
+    summary = ", ".join(f"{v} {k}" for k, v in sorted(counts.items()))
+    lines.append(f"  => {summary}")
+    return "\n".join(lines)
+
+
+def render_scenario_list(specs: List[ScenarioSpec]) -> str:
+    lines = ["scenarios:"]
+    width = max((len(s.name) for s in specs), default=4)
+    for s in specs:
+        faults = f", {len(s.faults)} fault binding(s)" if s.faults else ""
+        lines.append(f"  {s.name:<{width}s}  [{s.tier:7s}] "
+                     f"{s.description or '(no description)'}"
+                     f"{faults}")
+    return "\n".join(lines)

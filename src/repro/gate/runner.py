@@ -1,0 +1,196 @@
+"""Corpus execution: one forked child per scenario, hard wall-clock caps.
+
+The gate must never hang and never let one bad scenario take down the
+run: each scenario executes in its own forked process with a deadline.
+A child that wedges is terminated (then killed), a child that dies
+mid-run is reaped — either way the scenario becomes a structured
+:class:`ScenarioFailed`, and the rest of the corpus keeps going.
+
+Inside the child every requested sharding runs *in-process* (the same
+sync protocol, one OS process) — the container is small and the crash
+isolation boundary is the scenario, not the shard.  The first sharding
+is the reference; every other is required bit-for-bit identical via
+:func:`~repro.cluster.assert_equivalent` before invariants are checked.
+"""
+
+from __future__ import annotations
+
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Union
+
+from ..cluster import assert_equivalent, run_cluster
+from .digest import evaluate_invariants, scenario_digests
+from .spec import ScenarioSpec
+
+#: Post-deadline shutdown ladder: SIGTERM, wait this long, then SIGKILL.
+KILL_GRACE_S = 2.0
+
+
+@dataclass
+class ScenarioPassed:
+    """A scenario that ran all shardings, matched across them, and
+    upheld every invariant."""
+
+    name: str
+    wall_s: float
+    workers: List[int]
+    digests: Dict = field(repr=False, default_factory=dict)
+
+    ok = True
+    status = "ok"
+
+
+@dataclass
+class ScenarioFailed:
+    """A scenario that did not produce a clean result.
+
+    ``status`` is one of:
+
+    * ``invariant_failed`` — ran, but an expectation was violated;
+    * ``error`` — raised (including cross-sharding divergence);
+    * ``timeout`` — exceeded its wall-clock cap and was terminated;
+    * ``crashed`` — the child died without reporting (signal, SIGKILL).
+    """
+
+    name: str
+    status: str
+    detail: str
+    wall_s: float
+    digests: Optional[Dict] = field(repr=False, default=None)
+
+    ok = False
+
+
+ScenarioOutcome = Union[ScenarioPassed, ScenarioFailed]
+
+
+def run_scenario(spec: ScenarioSpec) -> Dict:
+    """Run one scenario (in this process): every sharding, cross-check,
+    invariants, digests.  Returns a plain dict (pipe-friendly)."""
+    cspec = spec.cluster_spec()
+    reference = run_cluster(cspec, spec.workers[0])
+    for workers in spec.workers[1:]:
+        assert_equivalent(reference, run_cluster(cspec, workers))
+    violations = evaluate_invariants(spec, reference)
+    return {
+        "digests": scenario_digests(reference),
+        "violations": violations,
+        "workers": list(spec.workers),
+    }
+
+
+def _scenario_child(conn, spec: ScenarioSpec) -> None:
+    """Forked child body: run, report, exit."""
+    try:
+        conn.send(("done", run_scenario(spec)))
+    except BaseException:
+        try:
+            conn.send(("error", traceback.format_exc()))
+        except (BrokenPipeError, OSError):  # pragma: no cover - defensive
+            pass
+    finally:
+        conn.close()
+
+
+class _Job:
+    """One in-flight scenario child."""
+
+    def __init__(self, spec: ScenarioSpec):
+        import multiprocessing as mp
+        ctx = mp.get_context("fork")
+        self.spec = spec
+        self.t0 = time.monotonic()
+        self.deadline = self.t0 + spec.timeout_s
+        self.conn, child = ctx.Pipe()
+        self.proc = ctx.Process(target=_scenario_child,
+                                args=(child, spec), daemon=True)
+        self.proc.start()
+        child.close()
+
+    def wall(self) -> float:
+        return time.monotonic() - self.t0
+
+    def reap(self) -> ScenarioOutcome:
+        """Collect the child's report (its pipe is readable)."""
+        name = self.spec.name
+        try:
+            msg = self.conn.recv()
+        except EOFError:
+            self.proc.join(timeout=KILL_GRACE_S)
+            return ScenarioFailed(
+                name, "crashed",
+                f"scenario worker died without reporting "
+                f"(exitcode={self.proc.exitcode})", self.wall())
+        if msg[0] == "error":
+            return ScenarioFailed(name, "error", msg[1], self.wall())
+        payload = msg[1]
+        if payload["violations"]:
+            return ScenarioFailed(
+                name, "invariant_failed",
+                "\n".join(payload["violations"]), self.wall(),
+                digests=payload["digests"])
+        return ScenarioPassed(name, self.wall(), payload["workers"],
+                              payload["digests"])
+
+    def kill(self) -> ScenarioOutcome:
+        """Deadline exceeded: terminate, escalate to SIGKILL, report."""
+        self.proc.terminate()
+        self.proc.join(timeout=KILL_GRACE_S)
+        if self.proc.is_alive():  # pragma: no cover - defensive
+            self.proc.kill()
+            self.proc.join()
+        return ScenarioFailed(
+            self.spec.name, "timeout",
+            f"exceeded wall-clock cap of {self.spec.timeout_s:g}s; "
+            f"worker terminated", self.wall())
+
+    def close(self) -> None:
+        self.conn.close()
+        self.proc.join(timeout=KILL_GRACE_S)
+        if self.proc.is_alive():
+            self.proc.terminate()
+            self.proc.join(timeout=KILL_GRACE_S)
+            if self.proc.is_alive():  # pragma: no cover - defensive
+                self.proc.kill()
+                self.proc.join()
+
+
+def run_corpus(scenarios: List[ScenarioSpec], jobs: int = 1,
+               progress=None) -> List[ScenarioOutcome]:
+    """Run the corpus, at most ``jobs`` scenario children at a time.
+
+    Results come back in corpus order regardless of completion order.
+    ``progress`` (optional callable) receives each outcome as it lands.
+    """
+    from multiprocessing.connection import wait as conn_wait
+    jobs = max(1, jobs)
+    queue = list(scenarios)
+    running: List[_Job] = []
+    outcomes: Dict[str, ScenarioOutcome] = {}
+
+    def settle(job: _Job, outcome: ScenarioOutcome) -> None:
+        outcomes[job.spec.name] = outcome
+        job.close()
+        running.remove(job)
+        if progress is not None:
+            progress(outcome)
+
+    try:
+        while queue or running:
+            while queue and len(running) < jobs:
+                running.append(_Job(queue.pop(0)))
+            next_deadline = min(j.deadline for j in running)
+            timeout = max(0.0, min(next_deadline - time.monotonic(), 1.0))
+            ready = conn_wait([j.conn for j in running], timeout=timeout)
+            now = time.monotonic()
+            for job in list(running):
+                if job.conn in ready:
+                    settle(job, job.reap())
+                elif now >= job.deadline:
+                    settle(job, job.kill())
+    finally:
+        for job in list(running):  # pragma: no cover - error path
+            job.close()
+    return [outcomes[s.name] for s in scenarios]

@@ -1,0 +1,300 @@
+"""Declarative scenario specs: the unit of the regression gate.
+
+A :class:`ScenarioSpec` is a pure-data description of one reproducible
+run: topology, workload, fault plan, seed, the shardings to cross-check,
+and the invariants the run must uphold.  Specs live as YAML (or JSON)
+files in ``scenarios/`` and compile to a
+:class:`~repro.cluster.ClusterSpec`; the corpus is the executable
+contract of the simulator — every hostile-network behaviour the paper's
+transport must survive, pinned to golden digests.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field, fields as dataclass_fields
+from typing import Dict, List, Optional, Tuple
+
+from ..cluster.spec import ClusterSpec, FlowSpec, incast_flows, make_flows
+from ..errors import ConfigError
+from ..faults.plan import FaultBinding
+
+#: Tiers: ``commit`` runs on every push; ``nightly`` is the heavy tail.
+TIERS = ("commit", "nightly")
+
+
+def _require_keys(data: Dict, allowed, what: str) -> None:
+    unknown = set(data) - set(allowed)
+    if unknown:
+        raise ConfigError(f"{what}: unknown keys {sorted(unknown)} "
+                          f"(allowed: {sorted(allowed)})")
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """What the hosts do: random pairs or an N→1 incast."""
+
+    pattern: str = "pairs"        # "pairs" | "incast"
+    kind: str = "ttcp"            # pairs: "ttcp" | "pingpong"
+    count: int = 4                # pairs: number of flows
+    senders: int = 4              # incast: fan-in degree
+    dst: int = 0                  # incast: victim host index
+    total_bytes: int = 16384      # ttcp bytes per flow
+    chunk: int = 4096             # ttcp message size
+    iterations: int = 10          # pingpong round trips
+    msg_size: int = 64            # pingpong message size
+    stagger: float = 200.0        # start-offset spread (us)
+    queue_depth: int = 8          # ttcp sender pipeline depth
+    verify: bool = True           # ttcp: seq-stamped payload audit
+
+    def __post_init__(self):
+        if self.pattern not in ("pairs", "incast"):
+            raise ConfigError(f"workload pattern {self.pattern!r} "
+                              f"not in ('pairs', 'incast')")
+        if self.kind not in ("ttcp", "pingpong"):
+            raise ConfigError(f"workload kind {self.kind!r} "
+                              f"not in ('ttcp', 'pingpong')")
+        if self.verify and self.kind == "ttcp" and self.chunk < 8:
+            raise ConfigError("verify needs chunk >= 8 (seq stamp)")
+
+    def flows(self, hosts: int, seed: int) -> Tuple[FlowSpec, ...]:
+        from dataclasses import replace
+        if self.pattern == "incast":
+            return incast_flows(
+                self.senders, hosts, dst=self.dst,
+                total_bytes=self.total_bytes, chunk=self.chunk,
+                stagger=self.stagger, verify=self.verify,
+                queue_depth=self.queue_depth)
+        flows = make_flows(
+            self.kind, hosts, self.count, seed=seed,
+            total_bytes=self.total_bytes, chunk=self.chunk,
+            iterations=self.iterations, msg_size=self.msg_size,
+            stagger=self.stagger)
+        if self.verify and self.kind == "ttcp":
+            flows = tuple(replace(f, verify=True,
+                                  queue_depth=self.queue_depth)
+                          for f in flows)
+        return flows
+
+    def to_dict(self) -> Dict:
+        out = {}
+        for f in dataclass_fields(self):
+            value = getattr(self, f.name)
+            if value != f.default:
+                out[f.name] = value
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "WorkloadSpec":
+        _require_keys(data, [f.name for f in dataclass_fields(cls)],
+                      "workload")
+        return cls(**data)
+
+
+@dataclass(frozen=True)
+class Expectation:
+    """Invariants a scenario run must uphold (checked on the merged
+    result of the first sharding; every other sharding is bit-for-bit
+    cross-checked against it, so one evaluation covers all)."""
+
+    completes_by_us: Optional[float] = None  # all flows done by this time
+    no_app_corruption: bool = True   # verify flows: 0 mismatch/dup/ooo
+    no_wr_errors: bool = True        # every CQE status is SUCCESS
+    min_checksum_errors: int = 0     # net.checksum_errors >= this
+    min_retransmits: int = 0         # tcp.retransmitted_segs >= this
+    #: "<where>.<counter>" -> minimum, e.g. {"trunk:0:a2b.delays": 4}
+    min_fault: Dict[str, int] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict:
+        out = {}
+        for f in dataclass_fields(self):
+            value = getattr(self, f.name)
+            default = {} if f.name == "min_fault" else f.default
+            if value != default:
+                out[f.name] = value
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "Expectation":
+        _require_keys(data, [f.name for f in dataclass_fields(cls)],
+                      "expect")
+        return cls(**data)
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One gate scenario: a named, seeded, invariant-checked run."""
+
+    name: str
+    description: str = ""
+    tier: str = "commit"                 # "commit" | "nightly"
+    topology: str = "fat-tree"
+    hosts: int = 8
+    hosts_per_edge: int = 4
+    spines: int = 2
+    ring_switches: int = 4
+    trunk_propagation: float = 1.0
+    mtu: int = 16384
+    seed: int = 1
+    horizon: float = 10_000_000.0
+    workload: WorkloadSpec = field(default_factory=WorkloadSpec)
+    faults: Tuple[FaultBinding, ...] = ()
+    capture_hosts: Tuple[str, ...] = ()
+    workers: Tuple[int, ...] = (1, 2)    # shardings to run + cross-check
+    timeout_s: float = 60.0              # wall-clock cap in the gate
+    expect: Expectation = field(default_factory=Expectation)
+    #: metric name -> {"rel": r} or {"abs": a} band for golden compare
+    tolerances: Dict[str, Dict[str, float]] = field(default_factory=dict)
+
+    def __post_init__(self):
+        if not self.name or "/" in self.name or self.name.startswith("."):
+            raise ConfigError(f"bad scenario name {self.name!r}")
+        if self.tier not in TIERS:
+            raise ConfigError(f"scenario {self.name}: tier {self.tier!r} "
+                              f"not in {TIERS}")
+        if not self.workers:
+            raise ConfigError(f"scenario {self.name}: empty workers list")
+        if self.timeout_s <= 0:
+            raise ConfigError(f"scenario {self.name}: timeout_s must be "
+                              f"positive")
+        for tol in self.tolerances.values():
+            _require_keys(tol, ("rel", "abs"),
+                          f"scenario {self.name}: tolerance")
+
+    def cluster_spec(self) -> ClusterSpec:
+        return ClusterSpec(
+            topology=self.topology, hosts=self.hosts,
+            hosts_per_edge=self.hosts_per_edge, spines=self.spines,
+            ring_switches=self.ring_switches,
+            trunk_propagation=self.trunk_propagation,
+            flows=self.workload.flows(self.hosts, self.seed),
+            horizon=self.horizon, seed=self.seed, mtu=self.mtu,
+            capture_hosts=self.capture_hosts, metrics=True,
+            faults=self.faults)
+
+    # -- serialisation ---------------------------------------------------
+
+    _SIMPLE = ("description", "tier", "topology", "hosts", "hosts_per_edge",
+               "spines", "ring_switches", "trunk_propagation", "mtu",
+               "seed", "horizon", "timeout_s")
+
+    def to_dict(self) -> Dict:
+        out: Dict = {"name": self.name}
+        defaults = {f.name: f.default for f in dataclass_fields(self)}
+        for key in self._SIMPLE:
+            value = getattr(self, key)
+            if value != defaults[key]:
+                out[key] = value
+        wl = self.workload.to_dict()
+        if wl:
+            out["workload"] = wl
+        if self.faults:
+            out["faults"] = [b.to_dict() for b in self.faults]
+        if self.capture_hosts:
+            out["capture_hosts"] = list(self.capture_hosts)
+        if self.workers != (1, 2):
+            out["workers"] = list(self.workers)
+        exp = self.expect.to_dict()
+        if exp:
+            out["expect"] = exp
+        if self.tolerances:
+            out["tolerances"] = {k: dict(v)
+                                 for k, v in self.tolerances.items()}
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "ScenarioSpec":
+        allowed = ["name", "workload", "faults", "capture_hosts",
+                   "workers", "expect", "tolerances"] + list(cls._SIMPLE)
+        _require_keys(data, allowed, "scenario")
+        if "name" not in data:
+            raise ConfigError("scenario: missing 'name'")
+        kwargs: Dict = {k: data[k] for k in cls._SIMPLE if k in data}
+        kwargs["name"] = data["name"]
+        if "workload" in data:
+            kwargs["workload"] = WorkloadSpec.from_dict(data["workload"])
+        if "faults" in data:
+            kwargs["faults"] = tuple(FaultBinding.from_dict(b)
+                                     for b in data["faults"])
+        if "capture_hosts" in data:
+            kwargs["capture_hosts"] = tuple(data["capture_hosts"])
+        if "workers" in data:
+            kwargs["workers"] = tuple(int(w) for w in data["workers"])
+        if "expect" in data:
+            kwargs["expect"] = Expectation.from_dict(data["expect"])
+        if "tolerances" in data:
+            kwargs["tolerances"] = {str(k): dict(v)
+                                    for k, v in data["tolerances"].items()}
+        return cls(**kwargs)
+
+
+# -- file loading --------------------------------------------------------
+
+def _parse_spec_text(text: str, path: str) -> Dict:
+    """Parse a scenario file: YAML when available, JSON always.
+
+    PyYAML is optional (every committed spec is also valid to re-save as
+    JSON); a ``.yaml`` file without the library is a clear ConfigError,
+    not an ImportError traceback.
+    """
+    if path.endswith(".json"):
+        return json.loads(text)
+    try:
+        import yaml
+    except ImportError:  # pragma: no cover - container ships pyyaml
+        raise ConfigError(
+            f"{path}: PyYAML not installed; convert the spec to .json "
+            f"or install pyyaml") from None
+    data = yaml.safe_load(text)
+    if not isinstance(data, dict):
+        raise ConfigError(f"{path}: expected a mapping at top level")
+    return data
+
+
+def load_scenario(path: str) -> ScenarioSpec:
+    """Load one spec file; its ``name`` must match the filename stem."""
+    with open(path, "r", encoding="utf-8") as f:
+        data = _parse_spec_text(f.read(), path)
+    spec = ScenarioSpec.from_dict(data)
+    stem = os.path.splitext(os.path.basename(path))[0]
+    if spec.name != stem:
+        raise ConfigError(f"{path}: scenario name {spec.name!r} does not "
+                          f"match filename stem {stem!r}")
+    return spec
+
+
+def load_corpus(scenarios_dir: str,
+                tier: Optional[str] = None,
+                names: Optional[List[str]] = None) -> List[ScenarioSpec]:
+    """Load every spec in ``scenarios_dir`` (sorted by name).
+
+    ``tier`` filters (``commit`` excludes nightly-only scenarios);
+    ``names`` selects an explicit subset and errors on unknown names.
+    """
+    if not os.path.isdir(scenarios_dir):
+        raise ConfigError(f"scenario directory {scenarios_dir!r} not found")
+    specs = []
+    for entry in sorted(os.listdir(scenarios_dir)):
+        if not entry.endswith((".yaml", ".yml", ".json")):
+            continue
+        specs.append(load_scenario(os.path.join(scenarios_dir, entry)))
+    by_name = {s.name: s for s in specs}
+    if len(by_name) != len(specs):
+        seen: Dict[str, int] = {}
+        for s in specs:
+            seen[s.name] = seen.get(s.name, 0) + 1
+        dupes = sorted(n for n, c in seen.items() if c > 1)
+        raise ConfigError(f"duplicate scenario names: {dupes}")
+    if names:
+        unknown = sorted(set(names) - set(by_name))
+        if unknown:
+            raise ConfigError(f"unknown scenarios {unknown}; have "
+                              f"{sorted(by_name)}")
+        return [by_name[n] for n in names]   # explicit names beat tier
+    if tier is not None:
+        if tier not in TIERS:
+            raise ConfigError(f"tier {tier!r} not in {TIERS}")
+        if tier == "commit":
+            specs = [s for s in specs if s.tier == "commit"]
+    return specs

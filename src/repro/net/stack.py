@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from typing import Callable, Optional
 
+from .. import obs
 from ..errors import ChecksumError
 from ..sim import Simulator
 from .addresses import Endpoint, IPAddress
@@ -80,6 +81,11 @@ class InetStack:
             return None
         if not seg.checksum_ok:
             self.checksum_errors += 1
+            rec = obs.RECORDER
+            if rec is not None:
+                rec.event("net", "net.checksum_drop", track=self.name,
+                          pkt=pkt.trace_id)
+                rec.metrics.counter("net.checksum_errors").add()
             return seg          # dropped: corrupted segments never reach TCP/UDP
         if self.on_segment is not None:
             self.on_segment(seg)

@@ -853,6 +853,9 @@ class TcpConnection:
                 self.cc.on_ecn_signal(self.flight_size)
                 self._cwr_pending = True
                 self._ecn_reacted_at = self.snd_nxt
+                rec = obs.RECORDER
+                if rec is not None:
+                    rec.metrics.counter("tcp.ecn_reductions").add()
 
         if seq_gt(ack, self.snd_una):
             acked = seq_sub(ack, self.snd_una)

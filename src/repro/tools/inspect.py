@@ -6,9 +6,75 @@ system — purely observational.
 
 from __future__ import annotations
 
+import hashlib
+import json
 from typing import Dict, Iterable, List
 
 from ..net.tcp import TcpConnection
+
+
+def _canon(value):
+    """JSON-able canonical form: bytes → hex strings, tuples → lists,
+    dict keys → strings.  Floats pass through — the simulator is
+    deterministic, so their reprs are bit-stable."""
+    if isinstance(value, bytes):
+        return "0x" + value.hex()
+    if isinstance(value, (list, tuple)):
+        return [_canon(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _canon(v) for k, v in value.items()}
+    return value
+
+
+def canonical_json(value) -> str:
+    """Canonical (sorted-key, no-whitespace) JSON rendering of ``value``."""
+    return json.dumps(_canon(value), sort_keys=True, separators=(",", ":"))
+
+
+def stable_digest(value) -> str:
+    """Short content hash of ``value``'s canonical JSON form.
+
+    Stable across processes and Python invocations (unlike ``hash``),
+    which is what golden-baseline comparison needs.
+    """
+    return hashlib.sha256(canonical_json(value).encode()).hexdigest()[:16]
+
+
+def cqe_stream_digest(flows: Dict[int, dict]) -> Dict[str, str]:
+    """Per-flow digest over the full flow record — CQE streams (wr_id,
+    qp_num, opcode, status, byte_len, timestamp), byte counters, verify
+    counters, RTT samples.  Keyed by flow id so a drift report can name
+    the diverging flow."""
+    return {str(fid): stable_digest(flows[fid]) for fid in sorted(flows)}
+
+
+def wire_trace_digest(wire: Dict[str, list]) -> Dict[str, str]:
+    """Per-host digest over the wiretap records (timestamp, direction,
+    on-the-wire bytes)."""
+    return {host: stable_digest(wire[host]) for host in sorted(wire)}
+
+
+def metrics_snapshot(dump: Dict[str, dict]) -> Dict[str, dict]:
+    """Scalar view of a :meth:`MetricsRegistry.dump` for golden
+    comparison: counters by value, gauges by extremes (a global
+    last-write does not survive sharding), histograms by count/sum plus
+    a digest of the sorted sample multiset.  The scalar fields are what
+    tolerance bands apply to."""
+    out: Dict[str, dict] = {}
+    for name in sorted(dump):
+        entry = dump[name]
+        kind = entry["type"]
+        if kind == "counter":
+            out[name] = {"type": "counter", "value": entry["value"]}
+        elif kind == "gauge":
+            out[name] = {"type": "gauge", "min": entry["min"],
+                         "max": entry["max"]}
+        else:
+            samples = sorted(entry["samples"])
+            out[name] = {"type": "histogram", "count": len(samples),
+                         "sum": sum(samples),
+                         "digest": stable_digest(samples)}
+    return out
 
 
 def merge_metrics_dumps(dumps: Iterable[Dict[str, dict]]):

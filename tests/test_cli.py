@@ -188,3 +188,175 @@ class TestParser:
     def test_metrics_has_no_out_dir(self):
         args = build_parser().parse_args(["metrics", "ttcp"])
         assert not hasattr(args, "out_dir")
+
+
+class _FakeChaosResult:
+    """Stands in for ChaosResult: violations + the summary surface."""
+
+    def __init__(self, violations):
+        self._violations = violations
+        self.messages_delivered = 4
+        self.bytes_delivered = 1024
+
+    def violations(self):
+        return list(self._violations)
+
+    def summary(self):
+        return "chaos[stub] seed=1 4/4 messages"
+
+
+class TestChaosJson:
+    """Satellite: worker crash / invariant violation must exit nonzero
+    with one structured JSON error object, consistent between --json and
+    plain modes."""
+
+    def _stub_chaos(self, monkeypatch, violations):
+        import repro.faults as faults
+        monkeypatch.setattr(
+            faults, "run_chaos",
+            lambda seed, **kw: _FakeChaosResult(violations))
+
+    def test_json_success_shape(self, capsys, monkeypatch):
+        self._stub_chaos(monkeypatch, [])
+        assert main(["chaos", "--seed", "1", "--json"]) == 0
+        obj = json.loads(capsys.readouterr().out)
+        assert obj["ok"] is True
+        assert obj["command"] == "chaos"
+        assert obj["messages_delivered"] == 4
+
+    def test_invariant_violation_is_structured_and_exit_one(
+            self, capsys, monkeypatch):
+        self._stub_chaos(monkeypatch, ["lost 2 messages"])
+        assert main(["chaos", "--seed", "1", "--json"]) == 1
+        obj = json.loads(capsys.readouterr().out)
+        assert obj["ok"] is False
+        assert obj["command"] == "chaos"
+        assert obj["error"]["kind"] == "invariant_violation"
+        assert obj["error"]["violations"] == ["lost 2 messages"]
+        assert obj["error"]["seed"] == 1
+
+    def test_invariant_violation_plain_mode_matches_exit_code(
+            self, capsys, monkeypatch):
+        self._stub_chaos(monkeypatch, ["lost 2 messages"])
+        assert main(["chaos", "--seed", "1"]) == 1
+        assert "invariant violation" in capsys.readouterr().err
+
+    def test_usage_error_json_object_and_exit_two(self, capsys):
+        rc = main(["chaos", "--workload", "kvstore", "--json",
+                   "--messages", "4", "--size", "256"])
+        assert rc == 2
+        obj = json.loads(capsys.readouterr().out)
+        assert obj["ok"] is False
+        assert obj["error"]["kind"].endswith("Error")
+        assert obj["error"]["message"]
+
+
+class TestClusterJson:
+    def _stub_boom(self, monkeypatch):
+        import repro.cluster as cluster
+        from repro.cluster import ClusterError
+
+        def boom(spec, workers, processes=False, **kw):
+            raise ClusterError("shard 1 went sideways")
+
+        monkeypatch.setattr(cluster, "run_cluster", boom)
+
+    def test_cluster_error_json_object_and_exit_one(self, capsys,
+                                                    monkeypatch):
+        self._stub_boom(monkeypatch)
+        assert main(["cluster", "--workers", "2", "--json"]) == 1
+        obj = json.loads(capsys.readouterr().out)
+        assert obj["ok"] is False
+        assert obj["command"] == "cluster"
+        assert obj["error"]["kind"] == "ClusterError"
+        assert "sideways" in obj["error"]["message"]
+        assert obj["error"]["workers"] == 2
+
+    def test_cluster_error_plain_mode_matches_exit_code(self, capsys,
+                                                        monkeypatch):
+        self._stub_boom(monkeypatch)
+        assert main(["cluster", "--workers", "2"]) == 1
+        assert "repro cluster: error:" in capsys.readouterr().err
+
+
+class TestGateCommand:
+    """Gate CLI: list/run/record/check exit codes and JSON shapes over a
+    tiny throwaway corpus."""
+
+    def _corpus(self, tmp_path, seed=5):
+        from repro.gate import Expectation, ScenarioSpec, WorkloadSpec
+        from repro.faults import FaultBinding, FaultEntry
+        spec = ScenarioSpec(
+            name="tiny", hosts=8, seed=seed, horizon=8_000_000.0,
+            workload=WorkloadSpec(pattern="incast", senders=2,
+                                  total_bytes=8192, chunk=4096),
+            faults=(FaultBinding("host:h0:rx",
+                                 (FaultEntry("drop", rate=0.3),)),),
+            workers=(1,), timeout_s=60.0, expect=Expectation())
+        (tmp_path / "tiny.json").write_text(json.dumps(spec.to_dict()))
+        return str(tmp_path)
+
+    def test_list_json_shape(self, capsys, tmp_path):
+        d = self._corpus(tmp_path)
+        assert main(["gate", "list", "--scenarios-dir", d, "--json"]) == 0
+        obj = json.loads(capsys.readouterr().out)
+        assert obj["ok"] is True
+        assert [s["name"] for s in obj["scenarios"]] == ["tiny"]
+
+    def test_unknown_name_is_structured_usage_error(self, capsys,
+                                                    tmp_path):
+        d = self._corpus(tmp_path)
+        rc = main(["gate", "run", "nope", "--scenarios-dir", d, "--json"])
+        assert rc == 2
+        obj = json.loads(capsys.readouterr().out)
+        assert obj["ok"] is False
+        assert obj["error"]["kind"] == "ConfigError"
+        assert "nope" in obj["error"]["message"]
+
+    def test_missing_dir_plain_mode_exit_two(self, capsys, tmp_path):
+        rc = main(["gate", "run",
+                   "--scenarios-dir", str(tmp_path / "absent")])
+        assert rc == 2
+        assert "repro gate: error:" in capsys.readouterr().err
+
+    def test_bad_action_is_a_usage_error(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["gate", "frobnicate"])
+        assert exc.value.code == 2
+
+    def test_check_without_golden_fails_then_record_check_green(
+            self, capsys, tmp_path):
+        d = self._corpus(tmp_path)
+        assert main(["gate", "check", "--scenarios-dir", d,
+                     "--workers", "1", "--json"]) == 1
+        obj = json.loads(capsys.readouterr().out)
+        assert obj["ok"] is False
+        assert obj["scenarios"][0]["status"] == "no_golden"
+
+        assert main(["gate", "record", "--scenarios-dir", d,
+                     "--workers", "1", "--json"]) == 0
+        obj = json.loads(capsys.readouterr().out)
+        assert obj["ok"] is True
+        assert len(obj["recorded"]) == 1
+
+        report = str(tmp_path / "report.json")
+        assert main(["gate", "check", "--scenarios-dir", d,
+                     "--workers", "1", "--report", report]) == 0
+        out = capsys.readouterr().out
+        assert "[PASS] tiny" in out
+        with open(report) as f:
+            assert json.load(f)["ok"] is True
+
+    def test_drift_names_divergence_and_exits_one(self, capsys, tmp_path):
+        d = self._corpus(tmp_path)
+        assert main(["gate", "record", "--scenarios-dir", d,
+                     "--workers", "1", "--json"]) == 0
+        capsys.readouterr()
+        self._corpus(tmp_path, seed=6)  # overwrite spec: fault RNG flips
+        assert main(["gate", "check", "--scenarios-dir", d,
+                     "--workers", "1", "--json"]) == 1
+        obj = json.loads(capsys.readouterr().out)
+        assert obj["ok"] is False
+        entry = obj["scenarios"][0]
+        assert entry["status"] == "drift"
+        assert "first divergence" in entry["detail"]

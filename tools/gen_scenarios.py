@@ -1,0 +1,213 @@
+#!/usr/bin/env python
+"""Regenerate the committed scenario corpus under scenarios/.
+
+The corpus is maintained as code (this file) and serialized to YAML so
+the gate's on-disk specs can never drift out of schema: every spec is
+validated by construction before it is written.  Run from the repo
+root::
+
+    PYTHONPATH=src python tools/gen_scenarios.py
+
+then re-pin the baselines with ``python -m repro gate record --tier
+nightly``.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+import yaml
+
+from repro.faults import FaultBinding, FaultEntry
+from repro.gate import Expectation, ScenarioSpec, WorkloadSpec
+
+E = FaultEntry
+B = FaultBinding
+
+
+def _bind(where: str, *entries: FaultEntry) -> FaultBinding:
+    return B(where, tuple(entries))
+
+
+SCENARIOS = [
+    # -- clean baselines -------------------------------------------------
+    ScenarioSpec(
+        name="clean_ttcp_fat_tree",
+        description="4 verified ttcp pairs on a clean 8-host fat-tree",
+        hosts=8, seed=11, horizon=8_000_000.0,
+        workload=WorkloadSpec(pattern="pairs", kind="ttcp", count=4,
+                              total_bytes=32768, chunk=8192),
+        expect=Expectation(completes_by_us=100_000.0)),
+    ScenarioSpec(
+        name="clean_pingpong_ring",
+        description="4 pingpong pairs on a clean 8-host ring",
+        topology="ring", hosts=8, ring_switches=4, seed=12,
+        horizon=8_000_000.0,
+        workload=WorkloadSpec(pattern="pairs", kind="pingpong", count=4,
+                              iterations=10, msg_size=64, verify=False),
+        expect=Expectation(completes_by_us=100_000.0)),
+
+    # -- PR 1/2-style chaos plans ---------------------------------------
+    ScenarioSpec(
+        name="drop_host_links",
+        description="random loss on the victim's rx and a sender's tx; "
+                    "TCP retransmission must deliver every byte",
+        hosts=8, seed=21, horizon=20_000_000.0,
+        workload=WorkloadSpec(pattern="incast", senders=4,
+                              total_bytes=16384, chunk=4096),
+        faults=(_bind("host:h0:rx", E("drop", rate=0.2)),
+                _bind("host:h4:tx", E("drop", rate=0.2))),
+        expect=Expectation(min_retransmits=1,
+                           min_fault={"host:h0:rx.drops": 1})),
+    ScenarioSpec(
+        name="drop_blackout_window",
+        description="total blackout of the victim's rx for 3ms "
+                    "mid-transfer; RTO recovery must complete the flows",
+        hosts=8, seed=22, horizon=40_000_000.0,
+        workload=WorkloadSpec(pattern="incast", senders=2,
+                              total_bytes=16384, chunk=4096),
+        faults=(_bind("host:h0:rx",
+                      E("drop", rate=1.0, start=1_250.0, stop=2_500.0)),),
+        expect=Expectation(min_retransmits=1,
+                           min_fault={"host:h0:rx.drops": 1})),
+
+    # -- hostile-network family -----------------------------------------
+    ScenarioSpec(
+        name="reorder_storm_trunk",
+        description="reordering storm on the spine-to-edge trunks; "
+                    "receivers must see in-order, exactly-once payloads",
+        hosts=8, seed=31, horizon=20_000_000.0,
+        workload=WorkloadSpec(pattern="incast", senders=4,
+                              total_bytes=16384, chunk=4096),
+        faults=(_bind("trunk:0:b2a",
+                      E("reorder", rate=0.3, delay=40.0, jitter=25.0)),
+                _bind("trunk:2:a2b",
+                      E("reorder", rate=0.3, delay=40.0, jitter=25.0))),
+        expect=Expectation(min_fault={"trunk:0:b2a.delays": 1})),
+    ScenarioSpec(
+        name="dup_flood_trunk",
+        description="duplication flood on a spine-to-edge trunk; TCP "
+                    "must dedup to exactly-once app delivery",
+        hosts=8, seed=32, horizon=20_000_000.0,
+        workload=WorkloadSpec(pattern="incast", senders=4,
+                              total_bytes=16384, chunk=4096),
+        faults=(_bind("trunk:0:b2a",
+                      E("duplicate", rate=0.4, copies=2)),),
+        expect=Expectation(min_fault={"trunk:0:b2a.duplicates": 1})),
+    ScenarioSpec(
+        name="corrupt_trunk",
+        description="payload bit-flips on a spine-to-edge trunk, caught "
+                    "by checksums and healed by retransmission with "
+                    "zero app-visible corruption",
+        hosts=8, seed=3, horizon=20_000_000.0,
+        workload=WorkloadSpec(pattern="incast", senders=4,
+                              total_bytes=16384, chunk=4096),
+        capture_hosts=("h0",),
+        faults=(_bind("trunk:0:b2a", E("corrupt", rate=0.3)),),
+        expect=Expectation(min_checksum_errors=1, min_retransmits=1,
+                           min_fault={"trunk:0:b2a.corruptions": 1})),
+    ScenarioSpec(
+        name="corrupt_burst_host",
+        description="correlated corruption bursts at a sender's NIC "
+                    "egress; checksum + retransmit must heal them",
+        hosts=8, seed=34, horizon=20_000_000.0,
+        workload=WorkloadSpec(pattern="incast", senders=4,
+                              total_bytes=16384, chunk=4096),
+        faults=(_bind("host:h4:tx",
+                      E("corrupt", rate=0.12, burst=2)),),
+        expect=Expectation(min_checksum_errors=1, min_retransmits=1,
+                           min_fault={"host:h4:tx.corruptions": 2})),
+    ScenarioSpec(
+        name="delay_jitter_storm",
+        description="heavy jitter on every trunk direction; completion "
+                    "may stretch but ordering and integrity must hold",
+        hosts=8, seed=35, horizon=20_000_000.0,
+        workload=WorkloadSpec(pattern="incast", senders=4,
+                              total_bytes=16384, chunk=4096),
+        faults=tuple(
+            _bind(f"trunk:{t}:{d}",
+                  E("delay", rate=0.3, delay=30.0, jitter=15.0))
+            for t in range(4) for d in ("a2b", "b2a")),
+        expect=Expectation()),
+
+    # -- incast ----------------------------------------------------------
+    ScenarioSpec(
+        name="incast_8to1",
+        description="8-to-1 incast on a 12-host fat-tree: bounded "
+                    "completion, no WR loss, verified payloads",
+        hosts=12, seed=41, horizon=20_000_000.0,
+        workload=WorkloadSpec(pattern="incast", senders=8,
+                              total_bytes=16384, chunk=4096),
+        expect=Expectation(completes_by_us=10_000.0)),
+    ScenarioSpec(
+        name="incast_8to1_lossy",
+        description="8-to-1 incast with loss at the victim's last hop; "
+                    "retransmission must finish every flow",
+        hosts=12, seed=42, horizon=40_000_000.0,
+        workload=WorkloadSpec(pattern="incast", senders=8,
+                              total_bytes=16384, chunk=4096),
+        faults=(_bind("host:h0:rx", E("drop", rate=0.1)),),
+        expect=Expectation(min_retransmits=1,
+                           min_fault={"host:h0:rx.drops": 1})),
+
+    # -- nightly tail ----------------------------------------------------
+    ScenarioSpec(
+        name="clean_fat_tree_wide",
+        description="12 verified ttcp pairs over a 32-host fat-tree, "
+                    "cross-checked at 1/2/4 shards",
+        tier="nightly", hosts=32, seed=51, horizon=20_000_000.0,
+        workers=(1, 2, 4), timeout_s=300.0,
+        workload=WorkloadSpec(pattern="pairs", kind="ttcp", count=12,
+                              total_bytes=32768, chunk=8192),
+        expect=Expectation()),
+    ScenarioSpec(
+        name="incast_16to1",
+        description="16-to-1 incast on a 20-host fat-tree",
+        tier="nightly", hosts=20, seed=52, horizon=40_000_000.0,
+        timeout_s=300.0,
+        workload=WorkloadSpec(pattern="incast", senders=16,
+                              total_bytes=32768, chunk=4096),
+        expect=Expectation()),
+    ScenarioSpec(
+        name="gauntlet_mixed",
+        description="drops, corruption, duplication and reordering all "
+                    "at once across trunks and host links",
+        tier="nightly", hosts=8, seed=53, horizon=60_000_000.0,
+        timeout_s=300.0,
+        workload=WorkloadSpec(pattern="incast", senders=6,
+                              total_bytes=16384, chunk=4096),
+        faults=(_bind("trunk:0:b2a",
+                      E("drop", rate=0.03), E("corrupt", rate=0.05)),
+                _bind("trunk:2:a2b",
+                      E("duplicate", rate=0.1),
+                      E("reorder", rate=0.15, delay=40.0, jitter=20.0)),
+                _bind("host:h0:rx", E("drop", rate=0.02))),
+        expect=Expectation(min_retransmits=1)),
+]
+
+
+def main() -> int:
+    out_dir = os.path.join(os.path.dirname(__file__), "..", "scenarios")
+    os.makedirs(out_dir, exist_ok=True)
+    names = set()
+    for spec in SCENARIOS:
+        names.add(spec.name)
+        path = os.path.join(out_dir, f"{spec.name}.yaml")
+        with open(path, "w", encoding="utf-8") as f:
+            yaml.safe_dump(spec.to_dict(), f, sort_keys=True,
+                           default_flow_style=False)
+        print(f"wrote {path}")
+    stale = [e for e in sorted(os.listdir(out_dir))
+             if e.endswith((".yaml", ".yml", ".json"))
+             and os.path.splitext(e)[0] not in names]
+    for entry in stale:
+        print(f"stale spec (not in generator): scenarios/{entry}",
+              file=sys.stderr)
+    return 1 if stale else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -17,6 +17,10 @@ Usage::
     python -m repro metrics pingpong [--json]
     python -m repro cluster --hosts 16 --workers 2 [--check-determinism]
     python -m repro gate check [--tier commit --workers 2 --json]
+    python -m repro gate check --only 'incast_*'
+    python -m repro serve run [--dir serve-data --port 8700 --pool 2]
+    python -m repro serve submit --spec scenarios/incast_8to1.yaml --wait
+    python -m repro serve bench [--duration 4 --json]
 """
 
 from __future__ import annotations
@@ -190,11 +194,67 @@ def build_parser() -> argparse.ArgumentParser:
                              "nightly = the full corpus")
     gate_p.add_argument("--workers", type=int, default=2,
                         help="concurrent scenario worker processes")
+    gate_p.add_argument("--only", default=None, metavar="GLOB",
+                        help="fnmatch glob over scenario names (e.g. "
+                             "'incast_*'): run one scenario or family "
+                             "without replaying the whole corpus")
     gate_p.add_argument("--json", action="store_true",
                         help="print the report as JSON")
     gate_p.add_argument("--report", default=None,
                         help="also write the JSON report to this path "
                              "(CI drift artifact)")
+    serve_p = sub.add_parser(
+        "serve", help="simulation-as-a-service: a supervised job server "
+                      "with admission control and crash-safe results")
+    serve_p.add_argument("action",
+                         choices=("run", "bench", "submit", "status"),
+                         help="run the server / open-loop Poisson bench / "
+                              "submit one scenario / show server status")
+    serve_p.add_argument("--dir", default="serve-data",
+                         help="data directory (journal, snapshot, "
+                              "serve.json endpoint file)")
+    serve_p.add_argument("--host", default="127.0.0.1")
+    serve_p.add_argument("--port", type=int, default=0,
+                         help="0 = ephemeral (written to serve.json)")
+    serve_p.add_argument("--pool", type=int, default=2,
+                         help="concurrent forked job workers")
+    serve_p.add_argument("--max-queue", type=int, default=64,
+                         help="admission: bounded queue depth")
+    serve_p.add_argument("--client-cap", type=int, default=8,
+                         help="admission: per-client in-flight cap")
+    serve_p.add_argument("--max-attempts", type=int, default=3,
+                         help="supervised retries per job")
+    serve_p.add_argument("--breaker-deaths", type=int, default=3,
+                         help="consecutive worker deaths before a "
+                              "scenario is quarantined")
+    serve_p.add_argument("--drain-timeout", type=float, default=30.0,
+                         help="SIGTERM: seconds to wait for running jobs")
+    serve_p.add_argument("--url", default=None,
+                         help="bench/submit/status: server endpoint "
+                              "(default: read <dir>/serve.json)")
+    serve_p.add_argument("--spec", default=None,
+                         help="submit/bench: scenario spec file "
+                              "(YAML/JSON)")
+    serve_p.add_argument("--key", default=None,
+                         help="submit: idempotency key")
+    serve_p.add_argument("--client-name", default="cli",
+                         help="submit: client id for in-flight caps")
+    serve_p.add_argument("--wait", action="store_true",
+                         help="submit: block until the job is terminal")
+    serve_p.add_argument("--timeout", type=float, default=120.0,
+                         help="submit --wait budget (seconds)")
+    serve_p.add_argument("--duration", type=float, default=4.0,
+                         help="bench: seconds per load phase")
+    serve_p.add_argument("--rate", type=float, default=None,
+                         help="bench: explicit arrival rate (default: "
+                              "sweep 0.5x and 2x measured capacity)")
+    serve_p.add_argument("--seed", type=int, default=1,
+                         help="bench: Poisson arrival RNG seed")
+    serve_p.add_argument("--out", default="BENCH_perf.json",
+                         help="bench: report merge path")
+    serve_p.add_argument("--json", action="store_true",
+                         help="print results (or a structured error "
+                              "object) as JSON")
     return parser
 
 
@@ -389,7 +449,7 @@ def run_gate_cmd(args) -> int:
                        render_outcomes, render_scenario_list, run_corpus)
     try:
         specs = load_corpus(args.scenarios_dir, tier=args.tier,
-                            names=args.names or None)
+                            names=args.names or None, only=args.only)
     except ReproError as exc:
         if args.json:
             return _json_error("gate", type(exc).__name__, str(exc), 2)
@@ -445,6 +505,154 @@ def run_gate_cmd(args) -> int:
     return 0 if report["ok"] else 1
 
 
+def _serve_url(args) -> str:
+    """Resolve the server endpoint: --url, else <dir>/serve.json."""
+    import json as _json
+    import os
+    from .errors import ReproError
+    if args.url:
+        return args.url
+    endpoint = os.path.join(args.dir, "serve.json")
+    if not os.path.exists(endpoint):
+        raise ReproError(
+            f"no --url given and {endpoint} not found; is the server "
+            f"running with --dir {args.dir}?")
+    with open(endpoint, encoding="utf-8") as f:
+        return _json.load(f)["url"]
+
+
+def _serve_spec(args) -> dict:
+    """Load the scenario spec for submit/bench (or the bench default)."""
+    from .errors import ReproError
+    from .gate.spec import ScenarioSpec, WorkloadSpec, load_scenario
+    if args.spec:
+        return load_scenario(args.spec).to_dict()
+    if args.action == "bench":
+        return ScenarioSpec(
+            name="serve_bench", hosts=8, seed=7,
+            workload=WorkloadSpec(count=2, total_bytes=131072,
+                                  chunk=8192),
+            workers=(1,), timeout_s=60.0).to_dict()
+    raise ReproError("serve submit needs --spec <scenario file>")
+
+
+def _serve_run_server(args) -> int:
+    import signal as _signal
+    import threading
+    from .serve import ReproServer, ServeConfig
+    config = ServeConfig(
+        data_dir=args.dir, host=args.host, port=args.port,
+        pool_size=args.pool, max_queue=args.max_queue,
+        client_cap=args.client_cap, max_attempts=args.max_attempts,
+        breaker_deaths=args.breaker_deaths,
+        drain_timeout_s=args.drain_timeout, seed=args.seed)
+    server = ReproServer(config).start()
+    stop = threading.Event()
+
+    def _on_signal(signum, frame):
+        stop.set()
+
+    _signal.signal(_signal.SIGTERM, _on_signal)
+    _signal.signal(_signal.SIGINT, _on_signal)
+    print(f"repro serve: listening on {server.url} "
+          f"(pool={config.pool_size}, queue<={config.max_queue}, "
+          f"data in {config.data_dir})", flush=True)
+    while not stop.is_set() and server._http_thread.is_alive():
+        stop.wait(0.2)      # POST /drain stops the http thread itself
+    stragglers = server.drain_and_stop(args.drain_timeout)
+    print(f"repro serve: drained and stopped "
+          f"({stragglers} job(s) interrupted)", flush=True)
+    return 0
+
+
+def run_serve_cmd(args) -> int:
+    import json as _json
+    from .errors import ReproError
+    from .serve import ServeClient, merge_into_bench_report, \
+        render_loadgen, run_loadgen
+    try:
+        if args.action == "run":
+            return _serve_run_server(args)
+        if args.action == "status":
+            client = ServeClient(_serve_url(args))
+            ready_status, ready = client.readyz()
+            summary = {"ok": ready_status == 200, "command": "serve",
+                       "readyz": ready, "metricz": client.metricz()}
+            if args.json:
+                print(_json.dumps(summary, indent=2, sort_keys=True))
+            else:
+                print(f"serve at {client.host}:{client.port}: "
+                      f"{'ready' if summary['ok'] else 'NOT READY'}")
+                for name, count in sorted(
+                        summary["metricz"].get("jobs", {}).items()):
+                    print(f"  {name:12s} {count}")
+                print(f"  queue depth  "
+                      f"{summary['metricz'].get('queue_depth', 0)}")
+            return 0 if summary["ok"] else 1
+        if args.action == "submit":
+            spec = _serve_spec(args)
+            client = ServeClient(_serve_url(args))
+            status, data, headers = client.submit(
+                spec, key=args.key, client=args.client_name)
+            if status not in (200, 202):
+                error = data.get("error", {"kind": f"http_{status}",
+                                           "message": repr(data)})
+                if args.json:
+                    return _json_error("serve", error.get("kind", "error"),
+                                       error.get("message", ""), 1,
+                                       http_status=status)
+                print(f"repro serve: submit rejected ({status}): "
+                      f"{error.get('message')}", file=sys.stderr)
+                return 1
+            job = data["job"]
+            if args.wait:
+                job = client.wait(job["id"], timeout_s=args.timeout)
+            ok = (not args.wait) or job["state"] == "done"
+            if args.json:
+                print(_json.dumps({"ok": ok, "command": "serve",
+                                   "http_status": status, "job": job},
+                                  indent=2, sort_keys=True))
+            else:
+                print(f"job {job['id']} ({job['key']}): {job['state']} "
+                      f"after {job['attempts']} attempt(s)")
+                if job.get("error"):
+                    print(f"  error: {job['error']['kind']}: "
+                          f"{job['error']['message']}")
+            return 0 if ok else 1
+        # bench: drive an existing server (--url) or a private one
+        spec = _serve_spec(args)
+        own_server = None
+        if args.url:
+            url = args.url
+        else:
+            import tempfile
+            from .serve import ReproServer, ServeConfig
+            own_server = ReproServer(ServeConfig(
+                data_dir=tempfile.mkdtemp(prefix="repro-serve-bench-"),
+                pool_size=args.pool, max_queue=args.max_queue,
+                client_cap=max(args.client_cap, args.max_queue),
+                seed=args.seed)).start()
+            url = own_server.url
+        try:
+            report = run_loadgen(url, spec, duration_s=args.duration,
+                                 seed=args.seed, rate_per_s=args.rate)
+        finally:
+            if own_server is not None:
+                own_server.drain_and_stop(10.0)
+        path = merge_into_bench_report(report, args.out)
+        if args.json:
+            print(_json.dumps(report, indent=2, sort_keys=True))
+        else:
+            print(render_loadgen(report))
+        print(f"[merged into {path}]")
+        return 0
+    except ReproError as exc:
+        if args.json:
+            return _json_error("serve", type(exc).__name__, str(exc), 2)
+        print(f"repro serve: error: {exc}", file=sys.stderr)
+        return 2
+
+
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
     if args.command in (None, "list"):
@@ -460,6 +668,8 @@ def main(argv=None) -> int:
               "(bit-for-bit deterministic)")
         print("  gate       scenario-corpus regression gate "
               "(record/check golden digests)")
+        print("  serve      supervised simulation service "
+              "(run/submit/status/bench)")
         return 0
     if args.command == "chaos":
         return run_chaos_cmd(args)
@@ -471,6 +681,8 @@ def main(argv=None) -> int:
         return run_cluster_cmd(args)
     if args.command == "gate":
         return run_gate_cmd(args)
+    if args.command == "serve":
+        return run_serve_cmd(args)
     names = list(EXPERIMENTS) if args.command == "all" else [args.command]
     for name in names:
         desc, fn = EXPERIMENTS[name]

@@ -15,7 +15,7 @@ tie-break interpolation that makes it hold.
 """
 
 from .partition import Partition, lookahead, partition_blueprint
-from .runner import (ClusterResult, ClusterRunner, WorkerHung,
+from .runner import (ClusterResult, ClusterRunner, WorkerDied, WorkerHung,
                      assert_equivalent, run_cluster, run_single)
 from .shard import ClusterError, PortalDirection, PortalLink, ShardWorker, \
     TrunkMsg
@@ -25,6 +25,7 @@ __all__ = [
     "ClusterSpec", "FlowSpec", "make_flows", "incast_flows",
     "Partition", "partition_blueprint", "lookahead",
     "ShardWorker", "TrunkMsg", "PortalLink", "PortalDirection",
-    "ClusterRunner", "ClusterResult", "ClusterError", "WorkerHung",
+    "ClusterRunner", "ClusterResult", "ClusterError", "WorkerDied",
+    "WorkerHung",
     "run_cluster", "run_single", "assert_equivalent",
 ]

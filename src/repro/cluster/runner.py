@@ -40,6 +40,31 @@ from .spec import ClusterSpec
 SHUTDOWN_GRACE_S = 5.0
 
 
+class WorkerDied(ClusterError):
+    """A forked shard worker exited without reporting a result.
+
+    Distinguishes the *process-death* failure (crash, OOM kill, operator
+    SIGTERM/SIGKILL) from an in-worker exception (plain
+    :class:`ClusterError` carrying the shipped traceback).  ``signal``
+    is the POSIX signal name when the worker died to one, else ``None``.
+    """
+
+    def __init__(self, shard_id: int, exitcode):
+        sig = None
+        if isinstance(exitcode, int) and exitcode < 0:
+            import signal as _signal
+            try:
+                sig = _signal.Signals(-exitcode).name
+            except ValueError:  # pragma: no cover - unknown signal
+                sig = f"signal {-exitcode}"
+        detail = f"killed by {sig}" if sig else f"exitcode={exitcode}"
+        super().__init__(
+            f"shard {shard_id}: worker died without reporting ({detail})")
+        self.shard_id = shard_id
+        self.exitcode = exitcode
+        self.signal = sig
+
+
 class WorkerHung(ClusterError):
     """A forked shard worker stopped responding.
 
@@ -160,10 +185,11 @@ class _ProcessHandle:
                 f"awaiting {want!r} after {self.step_timeout:g}s")
         try:
             msg = self._conn.recv()
-        except EOFError:
-            raise ClusterError(
-                f"shard {self.shard_id}: worker died "
-                f"(exitcode={self._proc.exitcode})") from None
+        except (EOFError, ConnectionResetError):
+            # EOF when the pipe drained first; ECONNRESET when the kill
+            # landed while we were mid-read.  Same fact either way.
+            self._proc.join(timeout=SHUTDOWN_GRACE_S)
+            raise WorkerDied(self.shard_id, self._proc.exitcode) from None
         if msg[0] == "error":
             raise ClusterError(
                 f"shard {self.shard_id} crashed:\n{msg[1]}")
@@ -220,6 +246,9 @@ class ClusterRunner:
         self.num_workers = num_workers
         self.processes = processes
         self.step_timeout = step_timeout
+        #: Live worker handles while :meth:`run` executes (the serve
+        #: supervisor's signal tests and operators introspect pids here).
+        self.handles: List = []
         bp = spec.blueprint()
         self.partition = partition_blueprint(bp, num_workers)
         self.lookahead = lookahead(bp, self.partition)
@@ -234,6 +263,7 @@ class ClusterRunner:
         else:
             handles = [_InProcessHandle(spec, i, self.num_workers)
                        for i in range(self.num_workers)]
+        self.handles = handles
         failed = True
         try:
             result = self._drive(handles)

@@ -11,6 +11,25 @@ class ConfigError(ReproError):
     """Invalid configuration (bad MTU, missing route, etc.)."""
 
 
+class MissingDependency(ConfigError):
+    """An *optional* third-party library is needed for this input.
+
+    The core simulator is stdlib-only; a few conveniences (YAML scenario
+    specs) lean on optional packages.  When one is absent the failure
+    must be actionable — which package, why it was needed, and what to
+    do instead — not an ``ImportError`` traceback.  ``dependency`` and
+    ``hint`` are carried as fields so CLIs can emit them as a structured
+    JSON error object.
+    """
+
+    def __init__(self, dependency: str, need: str, hint: str):
+        self.dependency = dependency
+        self.hint = hint
+        super().__init__(
+            f"optional dependency {dependency!r} is not installed "
+            f"(needed {need}); {hint}")
+
+
 class NetworkError(ReproError):
     """Base class for protocol-level errors."""
 

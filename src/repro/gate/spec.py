@@ -11,13 +11,14 @@ transport must survive, pinned to golden digests.
 
 from __future__ import annotations
 
+import fnmatch
 import json
 import os
 from dataclasses import dataclass, field, fields as dataclass_fields
 from typing import Dict, List, Optional, Tuple
 
 from ..cluster.spec import ClusterSpec, FlowSpec, incast_flows, make_flows
-from ..errors import ConfigError
+from ..errors import ConfigError, MissingDependency
 from ..faults.plan import FaultBinding
 
 #: Tiers: ``commit`` runs on every push; ``nightly`` is the heavy tail.
@@ -235,17 +236,19 @@ def _parse_spec_text(text: str, path: str) -> Dict:
     """Parse a scenario file: YAML when available, JSON always.
 
     PyYAML is optional (every committed spec is also valid to re-save as
-    JSON); a ``.yaml`` file without the library is a clear ConfigError,
-    not an ImportError traceback.
+    JSON); a ``.yaml`` file without the library is a structured
+    :class:`~repro.errors.MissingDependency` — actionable, and rendered
+    by the CLIs as a JSON error object — not an ImportError traceback.
     """
     if path.endswith(".json"):
         return json.loads(text)
     try:
         import yaml
-    except ImportError:  # pragma: no cover - container ships pyyaml
-        raise ConfigError(
-            f"{path}: PyYAML not installed; convert the spec to .json "
-            f"or install pyyaml") from None
+    except ImportError:
+        raise MissingDependency(
+            "pyyaml", f"to load the YAML scenario spec {path!r}",
+            "convert the spec to .json (every spec field is plain "
+            "JSON data) or `pip install pyyaml`") from None
     data = yaml.safe_load(text)
     if not isinstance(data, dict):
         raise ConfigError(f"{path}: expected a mapping at top level")
@@ -266,11 +269,16 @@ def load_scenario(path: str) -> ScenarioSpec:
 
 def load_corpus(scenarios_dir: str,
                 tier: Optional[str] = None,
-                names: Optional[List[str]] = None) -> List[ScenarioSpec]:
+                names: Optional[List[str]] = None,
+                only: Optional[str] = None) -> List[ScenarioSpec]:
     """Load every spec in ``scenarios_dir`` (sorted by name).
 
     ``tier`` filters (``commit`` excludes nightly-only scenarios);
-    ``names`` selects an explicit subset and errors on unknown names.
+    ``names`` selects an explicit subset and errors on unknown names;
+    ``only`` is an ``fnmatch`` glob over scenario names (applied after
+    ``tier``/``names``) so one scenario — or one family, e.g.
+    ``'incast_*'`` — can run without replaying the whole corpus.  A
+    glob that matches nothing is a ConfigError, not an empty run.
     """
     if not os.path.isdir(scenarios_dir):
         raise ConfigError(f"scenario directory {scenarios_dir!r} not found")
@@ -291,10 +299,17 @@ def load_corpus(scenarios_dir: str,
         if unknown:
             raise ConfigError(f"unknown scenarios {unknown}; have "
                               f"{sorted(by_name)}")
-        return [by_name[n] for n in names]   # explicit names beat tier
-    if tier is not None:
+        specs = [by_name[n] for n in names]  # explicit names beat tier
+    elif tier is not None:
         if tier not in TIERS:
             raise ConfigError(f"tier {tier!r} not in {TIERS}")
         if tier == "commit":
             specs = [s for s in specs if s.tier == "commit"]
+    if only is not None:
+        matched = [s for s in specs if fnmatch.fnmatchcase(s.name, only)]
+        if not matched:
+            raise ConfigError(
+                f"--only {only!r} matches no scenario; candidates: "
+                f"{[s.name for s in specs]}")
+        specs = matched
     return specs

@@ -8,8 +8,10 @@ the nearest-rank definition::
     percentile(p) = sorted_samples[ceil(p/100 * n) - 1]    (p > 0)
     percentile(0) = min(samples)
 
-All values are simulated time or simulated counts; nothing here reads
-the wall clock.
+The registry itself never reads any clock; what a sample means is the
+caller's choice.  Simulation call sites record simulated time or
+simulated counts; :mod:`repro.serve` reuses the same registry for
+wall-clock service latencies.
 """
 
 from __future__ import annotations

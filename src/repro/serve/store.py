@@ -1,0 +1,224 @@
+"""Crash-safe job store: append-only JSONL journal + atomic snapshot.
+
+Durability model (the server may be SIGKILLed at any instant):
+
+* every state change is one JSON line appended to ``journal.jsonl`` and
+  fsync'd before the change is acknowledged anywhere — the journal is
+  the source of truth;
+* ``snapshot.json`` is a periodic compaction written atomically
+  (tmp file + fsync + rename) recording the journal sequence number it
+  incorporates; recovery loads the snapshot, then replays only journal
+  records with a higher sequence number;
+* a torn final journal line (the crash landed mid-append) is detected
+  by the JSON parse and replay stops there — everything acknowledged
+  before the crash is intact.
+
+Exactly-once results ride on the same mechanism: a job in a terminal
+state refuses further transitions, so a duplicate "done" from a racing
+or retried worker is dropped, and the journal holds at most one ``done``
+record per job id.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from typing import Dict, List, Optional
+
+from ..errors import ConfigError
+from .job import TERMINAL_STATES, Job
+
+JOURNAL = "journal.jsonl"
+SNAPSHOT = "snapshot.json"
+
+#: Job fields a "state" journal record may carry besides the state.
+_STATE_FIELDS = ("attempts", "started_at", "finished_at", "result",
+                 "error", "worker_pid")
+
+
+class JobStore:
+    """All known jobs, indexed by id and idempotency key, persisted."""
+
+    def __init__(self, root: str, fsync: bool = True):
+        self.root = root
+        self.fsync = fsync
+        self.jobs: Dict[str, Job] = {}
+        self.by_key: Dict[str, str] = {}
+        self._lock = threading.RLock()
+        self._seq = 0
+        self._next_job = 1
+        self.recovered_torn_tail = False
+        os.makedirs(root, exist_ok=True)
+        self._recover()
+        self._journal = open(self.journal_path, "a", encoding="utf-8")
+
+    @property
+    def journal_path(self) -> str:
+        return os.path.join(self.root, JOURNAL)
+
+    @property
+    def snapshot_path(self) -> str:
+        return os.path.join(self.root, SNAPSHOT)
+
+    # -- persistence -----------------------------------------------------
+
+    def _append(self, record: Dict) -> None:
+        self._seq += 1
+        record["seq"] = self._seq
+        self._journal.write(json.dumps(record, sort_keys=True) + "\n")
+        self._journal.flush()
+        if self.fsync:
+            os.fsync(self._journal.fileno())
+
+    def snapshot(self) -> str:
+        """Atomically persist the full in-memory state (compaction)."""
+        with self._lock:
+            payload = {
+                "version": 1,
+                "seq": self._seq,
+                "next_job": self._next_job,
+                "jobs": [self.jobs[j].to_dict()
+                         for j in sorted(self.jobs)],
+            }
+            tmp = self.snapshot_path + ".tmp"
+            with open(tmp, "w", encoding="utf-8") as f:
+                json.dump(payload, f, sort_keys=True)
+                f.write("\n")
+                f.flush()
+                os.fsync(f.fileno())
+            os.replace(tmp, self.snapshot_path)
+            return self.snapshot_path
+
+    def _recover(self) -> None:
+        snap_seq = 0
+        if os.path.exists(self.snapshot_path):
+            with open(self.snapshot_path, encoding="utf-8") as f:
+                snap = json.load(f)
+            snap_seq = self._seq = snap["seq"]
+            self._next_job = snap["next_job"]
+            for data in snap["jobs"]:
+                job = Job.from_dict(data)
+                self.jobs[job.id] = job
+                self.by_key[job.key] = job.id
+        for record in read_journal(self.journal_path,
+                                   tolerate_torn_tail=True):
+            if record is None:          # torn final line: crash mid-append
+                self.recovered_torn_tail = True
+                break
+            if record["seq"] <= snap_seq:
+                continue                # already in the snapshot
+            self._seq = max(self._seq, record["seq"])
+            self._apply(record)
+
+    def _apply(self, record: Dict) -> None:
+        if record["ev"] == "submit":
+            job = Job.from_dict(record["job"])
+            if job.id not in self.jobs:
+                self.jobs[job.id] = job
+                self.by_key[job.key] = job.id
+            num = _job_number(job.id)
+            if num is not None:
+                self._next_job = max(self._next_job, num + 1)
+        elif record["ev"] == "state":
+            job = self.jobs.get(record["id"])
+            if job is None or job.state in TERMINAL_STATES:
+                return
+            job.state = record["state"]
+            for fld in _STATE_FIELDS:
+                if fld in record:
+                    setattr(job, fld, record[fld])
+
+    # -- mutation (live path) --------------------------------------------
+
+    def new_job_id(self) -> str:
+        with self._lock:
+            jid = f"j{self._next_job}"
+            self._next_job += 1
+            return jid
+
+    def submit(self, job: Job) -> Job:
+        """Register a new job (caller holds the idempotency decision)."""
+        with self._lock:
+            if job.id in self.jobs:
+                raise ConfigError(f"duplicate job id {job.id!r}")
+            if job.key in self.by_key:
+                raise ConfigError(f"duplicate job key {job.key!r}")
+            self.jobs[job.id] = job
+            self.by_key[job.key] = job.id
+            self._append({"ev": "submit", "job": job.to_dict()})
+            return job
+
+    def transition(self, job_id: str, state: str, **fields) -> bool:
+        """Move a job to ``state``; False when it is already terminal
+        (the exactly-once guard) or unknown."""
+        with self._lock:
+            job = self.jobs.get(job_id)
+            if job is None or job.state in TERMINAL_STATES:
+                return False
+            record = {"ev": "state", "id": job_id, "state": state}
+            job.state = state
+            for fld, value in fields.items():
+                if fld not in _STATE_FIELDS:
+                    raise ConfigError(f"transition: unknown field {fld!r}")
+                setattr(job, fld, value)
+                record[fld] = value
+            self._append(record)
+            return True
+
+    # -- queries ---------------------------------------------------------
+
+    def get(self, job_id: str) -> Optional[Job]:
+        with self._lock:
+            return self.jobs.get(job_id)
+
+    def lookup_key(self, key: str) -> Optional[Job]:
+        with self._lock:
+            jid = self.by_key.get(key)
+            return self.jobs.get(jid) if jid is not None else None
+
+    def all_jobs(self) -> List[Job]:
+        with self._lock:
+            return [self.jobs[j] for j in sorted(self.jobs, key=_sort_key)]
+
+    def counts(self) -> Dict[str, int]:
+        with self._lock:
+            out: Dict[str, int] = {}
+            for job in self.jobs.values():
+                out[job.state] = out.get(job.state, 0) + 1
+            return out
+
+    def close(self) -> None:
+        with self._lock:
+            self._journal.close()
+
+
+def _job_number(job_id: str) -> Optional[int]:
+    if job_id.startswith("j") and job_id[1:].isdigit():
+        return int(job_id[1:])
+    return None
+
+
+def _sort_key(job_id: str):
+    num = _job_number(job_id)
+    return (0, num, job_id) if num is not None else (1, 0, job_id)
+
+
+def read_journal(path: str, tolerate_torn_tail: bool = False):
+    """Yield journal records in order; with ``tolerate_torn_tail`` a
+    non-final corrupt line raises but a torn *final* line yields one
+    ``None`` sentinel (the crash signature) and stops."""
+    if not os.path.exists(path):
+        return
+    with open(path, encoding="utf-8") as f:
+        lines = f.readlines()
+    for i, line in enumerate(lines):
+        if not line.strip():
+            continue
+        try:
+            yield json.loads(line)
+        except json.JSONDecodeError:
+            if tolerate_torn_tail and i == len(lines) - 1:
+                yield None
+                return
+            raise ConfigError(f"{path}:{i + 1}: corrupt journal record")

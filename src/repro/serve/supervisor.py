@@ -1,0 +1,364 @@
+"""The supervisor: forked job attempts, restarts, backoff, quarantine.
+
+Each job attempt runs in its own forked worker process (the same
+crash-isolation machinery as :mod:`repro.gate`'s corpus runner and
+:class:`repro.cluster.ClusterRunner`'s shard workers) so a crashing or
+wedging scenario can never take the service down.  The supervisor
+watches every attempt's pipe and deadline and applies, in order:
+
+* **worker death** (SIGKILL, segfault, OOM) → the scenario's circuit
+  breaker (:class:`repro.recovery.CircuitBreaker` on a wall-clock shim)
+  records a failure; while it stays closed the job is re-queued with
+  exponential backoff + jitter (:class:`repro.recovery.RetryPolicy`
+  semantics, interpreted in seconds);
+* **wedge** (per-job deadline exceeded) → terminate, escalate to
+  SIGKILL, then treated exactly like a death;
+* **poison job** — ``breaker_deaths`` consecutive deaths of one
+  scenario trip the breaker: the job is *quarantined* (terminal,
+  structured error) instead of crash-looping the pool, and further
+  jobs of that scenario are quarantined at dispatch until the cooldown
+  admits a half-open probe;
+* **in-worker exception / invariant violation** — deterministic
+  failures are terminal immediately (a retry would reproduce them) and
+  do not count against the breaker: the worker process was healthy.
+
+Everything terminal is recorded exactly once via the store's
+terminal-state guard, no matter how attempts raced.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+import threading
+import time
+import traceback
+from typing import Dict, List, Optional, Tuple
+
+from ..gate.runner import KILL_GRACE_S, run_scenario
+from ..gate.spec import ScenarioSpec
+from ..recovery.breaker import BreakerState, CircuitBreaker
+from ..recovery.policy import RetryPolicy
+from .admission import AdmissionQueue
+from .job import (DONE, FAILED, INTERRUPTED, QUARANTINED, QUEUED, RUNNING,
+                  Job, ServeConfig, job_error)
+from .store import JobStore
+
+
+def exec_scenario(spec_dict: Dict) -> Dict:
+    """The default executor: validate and run one scenario in-process
+    (the gate's single-scenario entry point), returning its bundle."""
+    return run_scenario(ScenarioSpec.from_dict(spec_dict))
+
+
+def _attempt_child(conn, spec_dict: Dict, executor) -> None:
+    """Forked attempt body: run, report, exit."""
+    try:
+        conn.send(("done", executor(spec_dict)))
+    except BaseException as exc:
+        try:
+            conn.send(("error", type(exc).__name__,
+                       f"{exc}\n{traceback.format_exc(limit=8)}"))
+        except (BrokenPipeError, OSError):  # pragma: no cover - defensive
+            pass
+    finally:
+        conn.close()
+
+
+class WorkerAttempt:
+    """One forked execution attempt of one job."""
+
+    def __init__(self, job: Job, executor):
+        import multiprocessing as mp
+        ctx = mp.get_context("fork")
+        self.job = job
+        self.t0 = time.monotonic()
+        self.deadline = self.t0 + job.timeout_s
+        self.conn, child = ctx.Pipe()
+        self.proc = ctx.Process(target=_attempt_child,
+                                args=(child, job.spec, executor),
+                                daemon=True)
+        self.proc.start()
+        child.close()
+
+    @property
+    def pid(self) -> int:
+        return self.proc.pid
+
+    def wall(self) -> float:
+        return time.monotonic() - self.t0
+
+    def kill(self) -> None:
+        """Terminate → grace → SIGKILL → join: the attempt WILL die."""
+        self.proc.terminate()
+        self.proc.join(timeout=KILL_GRACE_S)
+        if self.proc.is_alive():
+            self.proc.kill()
+            self.proc.join()
+
+    def close(self) -> None:
+        self.conn.close()
+        self.proc.join(timeout=KILL_GRACE_S)
+        if self.proc.is_alive():  # pragma: no cover - defensive
+            self.kill()
+
+
+class _WallClockUs:
+    """Adapts the wall clock to the sim-clock interface (µs ``now``)
+    that :class:`~repro.recovery.CircuitBreaker` expects."""
+
+    @property
+    def now(self) -> float:
+        return time.monotonic() * 1e6
+
+
+class Supervisor:
+    """Owns the worker pool; the only writer of job state transitions."""
+
+    def __init__(self, store: JobStore, queue: AdmissionQueue,
+                 metrics, config: ServeConfig, executor=None):
+        self.store = store
+        self.queue = queue
+        self.metrics = metrics
+        self.config = config
+        self.executor = executor or exec_scenario
+        self.policy = RetryPolicy(
+            base_delay=config.retry_base_s,
+            max_delay=config.retry_max_s,
+            multiplier=2.0, jitter="full",
+            max_attempts=max(2, config.max_attempts),
+            first_delay=config.retry_base_s / 2.0)
+        self._rng = random.Random(config.seed)
+        self._clock = _WallClockUs()
+        self._breakers: Dict[str, CircuitBreaker] = {}
+        self._delays: Dict[str, object] = {}      # job id -> delay iter
+        self._running: Dict[object, WorkerAttempt] = {}  # conn -> attempt
+        self._retries: List[Tuple[float, int, Job]] = []  # (due, n, job)
+        self._retry_n = 0
+        self._stop = threading.Event()
+        self._frozen = False
+        self._draining = False
+        self._last_snapshot = time.monotonic()
+        self._thread: Optional[threading.Thread] = None
+
+    # -- lifecycle -------------------------------------------------------
+
+    def start(self) -> None:
+        self._thread = threading.Thread(target=self._loop,
+                                        name="serve-supervisor",
+                                        daemon=True)
+        self._thread.start()
+
+    def running_jobs(self) -> List[Job]:
+        return [a.job for a in list(self._running.values())]
+
+    def worker_pids(self) -> List[int]:
+        return [a.pid for a in list(self._running.values())]
+
+    def breaker(self, scenario: str) -> CircuitBreaker:
+        b = self._breakers.get(scenario)
+        if b is None:
+            b = CircuitBreaker(
+                self._clock,
+                failure_threshold=self.config.breaker_deaths,
+                reset_timeout=self.config.breaker_reset_s * 1e6,
+                name=f"serve.{scenario}")
+            self._breakers[scenario] = b
+        return b
+
+    def drain(self, timeout_s: Optional[float] = None) -> int:
+        """Graceful shutdown: no new dispatches, wait for running jobs,
+        then kill stragglers as ``interrupted``.  Returns the straggler
+        count (0 = fully clean)."""
+        timeout_s = (self.config.drain_timeout_s
+                     if timeout_s is None else timeout_s)
+        self._draining = True
+        self.queue.close()
+        deadline = time.monotonic() + timeout_s
+        while self._running and time.monotonic() < deadline:
+            time.sleep(0.02)
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=timeout_s + KILL_GRACE_S * 2)
+        stragglers = list(self._running.values())
+        for attempt in stragglers:
+            attempt.kill()
+            self._finish(
+                attempt.job, INTERRUPTED,
+                error=job_error("drain_timeout",
+                                f"still running after the "
+                                f"{timeout_s:g}s drain window"))
+            attempt.close()
+        self._running.clear()
+        self.store.snapshot()
+        return len(stragglers)
+
+    def freeze_and_kill(self) -> None:
+        """The in-process stand-in for SIGKILLing the whole server
+        (tests): stop supervising *without* any further journal writes,
+        then kill the orphan-to-be workers."""
+        self._frozen = True
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=KILL_GRACE_S * 4)
+        for attempt in self._running.values():
+            attempt.proc.kill()
+            attempt.proc.join()
+            attempt.conn.close()
+        self._running.clear()
+
+    # -- the supervision loop --------------------------------------------
+
+    def _loop(self) -> None:
+        from multiprocessing.connection import wait as conn_wait
+        while not self._stop.is_set():
+            if self._frozen:
+                return
+            self._dispatch()
+            timeout = self._tick_timeout()
+            conns = list(self._running)
+            if conns:
+                ready = set(conn_wait(conns, timeout=timeout))
+            else:
+                time.sleep(timeout)
+                ready = set()
+            if self._frozen:
+                return
+            now = time.monotonic()
+            for conn, attempt in list(self._running.items()):
+                if conn in ready:
+                    self._reap(attempt)
+                elif now >= attempt.deadline:
+                    self._wedged(attempt)
+            self._gauges()
+            if (time.monotonic() - self._last_snapshot
+                    >= self.config.snapshot_interval_s):
+                self.store.snapshot()
+                self._last_snapshot = time.monotonic()
+
+    def _tick_timeout(self) -> float:
+        timeout = 0.05
+        now = time.monotonic()
+        for attempt in self._running.values():
+            timeout = min(timeout, attempt.deadline - now)
+        if self._retries:
+            timeout = min(timeout, self._retries[0][0] - now)
+        return max(0.005, timeout)
+
+    def _due_retry(self) -> Optional[Job]:
+        if self._retries and self._retries[0][0] <= time.monotonic():
+            return heapq.heappop(self._retries)[2]
+        return None
+
+    def _dispatch(self) -> None:
+        while len(self._running) < self.config.pool_size:
+            job = self._due_retry()
+            if job is None and not self._draining:
+                job = self.queue.take()
+            if job is None:
+                return
+            if not self.breaker(job.scenario).allow():
+                b = self.breaker(job.scenario)
+                self._finish(job, QUARANTINED, error=job_error(
+                    "quarantined",
+                    f"scenario {job.scenario!r} is quarantined after "
+                    f"{b.consecutive_failures} consecutive worker "
+                    f"deaths; cooldown "
+                    f"{b.cooldown_remaining / 1e6:.1f}s remains"))
+                continue
+            job.attempts += 1
+            attempt = WorkerAttempt(job, self.executor)
+            self.store.transition(
+                job.id, RUNNING, attempts=job.attempts,
+                started_at=time.time(), worker_pid=attempt.pid)
+            self._running[attempt.conn] = attempt
+            if job.attempts == 1:
+                self.metrics.histogram("serve.wait_s").add(
+                    max(0.0, time.time() - job.submitted_at))
+
+    def _reap(self, attempt: WorkerAttempt) -> None:
+        job = attempt.job
+        try:
+            msg = attempt.conn.recv()
+        except (EOFError, ConnectionResetError):
+            self._attempt_died(
+                attempt, f"worker died without reporting "
+                         f"(exitcode={attempt.proc.exitcode})",
+                wedged=False)
+            return
+        del self._running[attempt.conn]
+        attempt.close()
+        self.breaker(job.scenario).record_success()
+        self.queue.note_service_time(attempt.wall())
+        if msg[0] == "done":
+            result = msg[1]
+            violations = (result or {}).get("violations")
+            if violations:
+                self._finish(job, FAILED, result=result,
+                             error=job_error("invariant_failed",
+                                             "; ".join(violations)))
+            else:
+                self._finish(job, DONE, result=result)
+        else:   # ("error", kind, message): deterministic, no retry
+            self._finish(job, FAILED,
+                         error=job_error(msg[1], msg[2]))
+
+    def _wedged(self, attempt: WorkerAttempt) -> None:
+        attempt.kill()
+        self.metrics.counter("serve.worker_wedged").add()
+        self._attempt_died(
+            attempt,
+            f"wedged: exceeded the {attempt.job.timeout_s:g}s attempt "
+            f"deadline; terminated", wedged=True)
+
+    def _attempt_died(self, attempt: WorkerAttempt, detail: str,
+                      wedged: bool) -> None:
+        job = attempt.job
+        del self._running[attempt.conn]
+        attempt.close()
+        self.metrics.counter("serve.worker_deaths").add()
+        breaker = self.breaker(job.scenario)
+        breaker.record_failure()
+        if breaker.state is BreakerState.OPEN:
+            self._finish(job, QUARANTINED, error=job_error(
+                "quarantined",
+                f"scenario {job.scenario!r} quarantined: "
+                f"{breaker.consecutive_failures} consecutive worker "
+                f"deaths (last: {detail})"))
+            return
+        if job.attempts >= job.max_attempts:
+            self._finish(job, FAILED, error=job_error(
+                "retry_exhausted",
+                f"attempt {job.attempts}/{job.max_attempts} died: "
+                f"{detail}"))
+            return
+        delays = self._delays.get(job.id)
+        if delays is None:
+            delays = self._delays[job.id] = self.policy.delays(self._rng)
+        try:
+            delay = next(delays)
+        except StopIteration:  # pragma: no cover - attempts cap first
+            delay = self.policy.max_delay
+        self.store.transition(job.id, QUEUED, worker_pid=None,
+                              error=job_error("retrying", detail))
+        self._retry_n += 1
+        heapq.heappush(self._retries,
+                       (time.monotonic() + delay, self._retry_n, job))
+        self.metrics.counter("serve.retries").add()
+
+    def _finish(self, job: Job, state: str, result=None,
+                error=None) -> None:
+        changed = self.store.transition(
+            job.id, state, finished_at=time.time(), worker_pid=None,
+            result=result, error=error)
+        self._delays.pop(job.id, None)
+        if not changed:     # already terminal: the exactly-once guard
+            return
+        self.queue.release_client(job.client)
+        self.metrics.counter(f"serve.{state}").add()
+        self.metrics.histogram("serve.total_s").add(
+            max(0.0, time.time() - job.submitted_at))
+
+    def _gauges(self) -> None:
+        self.metrics.gauge("serve.queue_depth").set(self.queue.depth())
+        self.metrics.gauge("serve.running").set(len(self._running))

@@ -360,3 +360,100 @@ class TestGateCommand:
         entry = obj["scenarios"][0]
         assert entry["status"] == "drift"
         assert "first divergence" in entry["detail"]
+
+
+class TestGateOnlyFlag:
+    """`gate --only <glob>`: family-scoped gate runs from the CLI."""
+
+    def _corpus(self, tmp_path):
+        from repro.gate import ScenarioSpec, WorkloadSpec
+        for name in ("incast_a", "incast_b", "pingpong_c"):
+            spec = ScenarioSpec(
+                name=name, hosts=8, seed=5, horizon=8_000_000.0,
+                workload=WorkloadSpec(pattern="incast", senders=2,
+                                      total_bytes=8192, chunk=4096),
+                workers=(1,), timeout_s=60.0)
+            (tmp_path / f"{name}.json").write_text(
+                json.dumps(spec.to_dict()))
+        return str(tmp_path)
+
+    def test_only_filters_list(self, capsys, tmp_path):
+        d = self._corpus(tmp_path)
+        assert main(["gate", "list", "--scenarios-dir", d,
+                     "--only", "incast_*", "--json"]) == 0
+        obj = json.loads(capsys.readouterr().out)
+        assert [s["name"] for s in obj["scenarios"]] == \
+            ["incast_a", "incast_b"]
+
+    def test_only_scopes_record_and_check(self, capsys, tmp_path):
+        d = self._corpus(tmp_path)
+        assert main(["gate", "record", "--scenarios-dir", d,
+                     "--only", "pingpong_*", "--workers", "1",
+                     "--json"]) == 0
+        obj = json.loads(capsys.readouterr().out)
+        import os
+        assert [os.path.basename(p) for p in obj["recorded"]] == \
+            ["pingpong_c.json"]
+        assert main(["gate", "check", "--scenarios-dir", d,
+                     "--only", "pingpong_*", "--workers", "1",
+                     "--json"]) == 0
+        obj = json.loads(capsys.readouterr().out)
+        assert [s["name"] for s in obj["scenarios"]] == ["pingpong_c"]
+
+    def test_unmatched_only_is_structured_error(self, capsys, tmp_path):
+        d = self._corpus(tmp_path)
+        rc = main(["gate", "check", "--scenarios-dir", d,
+                   "--only", "nope_*", "--json"])
+        assert rc == 2
+        obj = json.loads(capsys.readouterr().out)
+        assert obj["error"]["kind"] == "ConfigError"
+        assert "matches no scenario" in obj["error"]["message"]
+
+
+class TestServeCommand:
+    """Serve CLI: structured errors without a server, and the in-process
+    bench path end to end."""
+
+    def test_submit_without_spec_is_structured(self, capsys, tmp_path):
+        rc = main(["serve", "submit", "--dir", str(tmp_path), "--json"])
+        assert rc == 2
+        obj = json.loads(capsys.readouterr().out)
+        assert obj["ok"] is False and obj["command"] == "serve"
+        assert "needs --spec" in obj["error"]["message"]
+
+    def test_status_without_server_is_structured(self, capsys, tmp_path):
+        rc = main(["serve", "status", "--dir", str(tmp_path / "nope"),
+                   "--json"])
+        assert rc == 2
+        obj = json.loads(capsys.readouterr().out)
+        assert obj["error"]["kind"] == "ReproError"
+        assert "serve.json" in obj["error"]["message"]
+
+    def test_yaml_spec_without_pyyaml_is_structured(self, capsys,
+                                                    tmp_path,
+                                                    monkeypatch):
+        import sys as _sys
+        spec_path = tmp_path / "thing.yaml"
+        spec_path.write_text("name: thing\nhosts: 4\n")
+        monkeypatch.setitem(_sys.modules, "yaml", None)
+        rc = main(["serve", "submit", "--dir", str(tmp_path),
+                   "--spec", str(spec_path), "--json"])
+        assert rc == 2
+        obj = json.loads(capsys.readouterr().out)
+        assert obj["error"]["kind"] == "MissingDependency"
+        assert "pyyaml" in obj["error"]["message"]
+
+    def test_bench_self_hosted_writes_report(self, capsys, tmp_path):
+        out = tmp_path / "BENCH_perf.json"
+        rc = main(["serve", "bench", "--duration", "0.5",
+                   "--rate", "6", "--pool", "1", "--out", str(out),
+                   "--json"])
+        assert rc == 0
+        captured = capsys.readouterr().out
+        obj = json.loads(captured[:captured.rindex("}") + 1])
+        assert obj["scenario"] == "serve_bench"
+        assert obj["phases"][0]["phase"] == "fixed"
+        report = json.loads(out.read_text())
+        load = report["serve_load"]
+        assert load["calibration"]["capacity_jobs_per_s"] > 0
+        assert load["phases"][0]["offered"] >= 1

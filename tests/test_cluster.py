@@ -220,3 +220,97 @@ class TestClusterCli:
                    "--horizon", "500"])
         assert rc == 1
         assert "error" in capsys.readouterr().err
+
+
+class TestSignalShutdown:
+    """Operator signals against forked shard workers: a SIGTERM/SIGKILL
+    of a worker becomes a typed :class:`WorkerDied` naming the signal,
+    and shutdown always reaps every child — no orphans."""
+
+    def _handle(self, shard=0, shards=2):
+        from repro.cluster.runner import _ProcessHandle
+        return _ProcessHandle(ttcp_spec(), shard, shards)
+
+    @pytest.mark.parametrize("signame", ["SIGTERM", "SIGKILL"])
+    def test_signalled_worker_is_a_typed_worker_died(self, signame):
+        import os
+        import signal as _signal
+        from repro.cluster import WorkerDied
+        handle = self._handle()
+        try:
+            handle.start()                     # worker is up and idle
+            os.kill(handle._proc.pid, getattr(_signal, signame))
+            with pytest.raises(WorkerDied) as err:
+                handle.recv_state()
+            assert err.value.shard_id == 0
+            assert err.value.signal == signame
+            assert signame in str(err.value)
+            assert err.value.exitcode == -getattr(_signal, signame)
+        finally:
+            handle.close()
+        assert not handle._proc.is_alive()     # reaped, not orphaned
+        assert not handle.escalated            # it was already dead
+
+    def test_killed_worker_mid_run_fails_whole_run_and_reaps_all(self):
+        import os
+        import signal as _signal
+        import threading
+        import time
+        from repro.cluster import WorkerDied
+        from repro.cluster.runner import ClusterRunner
+        spec = ClusterSpec(
+            topology="fat-tree", hosts=4, hosts_per_edge=2,
+            horizon=500_000_000.0,
+            flows=make_flows("ttcp", 4, 2, seed=3,
+                             total_bytes=1 << 20, chunk=4096))
+        runner = ClusterRunner(spec, 2, processes=True)
+        failures = []
+
+        def drive():
+            try:
+                runner.run()
+            except ClusterError as exc:
+                failures.append(exc)
+
+        thread = threading.Thread(target=drive, daemon=True)
+        thread.start()
+        deadline = time.monotonic() + 20
+        while time.monotonic() < deadline and not runner.handles:
+            time.sleep(0.005)
+        assert runner.handles, "run() never spawned workers"
+        victim = runner.handles[0]._proc.pid
+        os.kill(victim, _signal.SIGKILL)
+        thread.join(timeout=30)
+        assert not thread.is_alive()
+        assert failures, "the killed worker was silently tolerated"
+        assert isinstance(failures[0], WorkerDied)
+        assert failures[0].signal == "SIGKILL"
+        # every worker (victim and survivors) was reaped on the way out
+        for handle in runner.handles:
+            assert not handle._proc.is_alive()
+            with pytest.raises(ProcessLookupError):
+                os.kill(handle._proc.pid, 0)
+
+    def test_sigint_of_in_process_run_leaves_no_children(self):
+        """KeyboardInterrupt (the SIGINT path) during a forked run still
+        walks the close() ladder for every handle."""
+        import multiprocessing
+        from repro.cluster.runner import ClusterRunner
+        before = multiprocessing.active_children()
+        runner = ClusterRunner(ttcp_spec(), 2, processes=True)
+
+        class Boom(KeyboardInterrupt):
+            pass
+
+        original = ClusterRunner._drive
+
+        def interrupted(self, handles):
+            raise Boom()
+
+        ClusterRunner._drive = interrupted
+        try:
+            with pytest.raises(Boom):
+                runner.run()
+        finally:
+            ClusterRunner._drive = original
+        assert multiprocessing.active_children() == before

@@ -415,3 +415,84 @@ class TestWorkerHung:
         from repro.cluster import assert_equivalent
         sharded = run_cluster(spec, 2, processes=True, step_timeout=30.0)
         assert_equivalent(oracle, sharded)
+
+
+class TestCorpusOnlyGlob:
+    """`--only <glob>`: run one scenario or one family, never silently
+    run nothing."""
+
+    def _write(self, tmp_path, *names):
+        for name in names:
+            spec = _tiny_scenario(name=name)
+            (tmp_path / f"{name}.json").write_text(
+                json.dumps(spec.to_dict()))
+
+    def test_only_selects_exact_and_family(self, tmp_path):
+        self._write(tmp_path, "incast_clean", "incast_lossy",
+                    "pingpong_ring")
+        assert [s.name for s in
+                load_corpus(str(tmp_path), only="incast_clean")] == \
+            ["incast_clean"]
+        assert [s.name for s in
+                load_corpus(str(tmp_path), only="incast_*")] == \
+            ["incast_clean", "incast_lossy"]
+
+    def test_only_composes_with_tier_and_names(self, tmp_path):
+        for name, tier in (("a_fast", "commit"), ("a_slow", "nightly")):
+            spec = _tiny_scenario(name=name, tier=tier)
+            (tmp_path / f"{name}.json").write_text(
+                json.dumps(spec.to_dict()))
+        assert [s.name for s in load_corpus(str(tmp_path), tier="commit",
+                                            only="a_*")] == ["a_fast"]
+        # names narrows first; the glob must then match inside it
+        with pytest.raises(ConfigError, match="matches no scenario"):
+            load_corpus(str(tmp_path), names=["a_slow"], only="a_fast")
+
+    def test_unmatched_glob_is_an_error_naming_candidates(self, tmp_path):
+        self._write(tmp_path, "incast_clean")
+        with pytest.raises(ConfigError, match="incast_clean"):
+            load_corpus(str(tmp_path), only="nope_*")
+
+
+class TestOptionalYamlDependency:
+    """A YAML spec without pyyaml is a structured, actionable
+    MissingDependency — never a bare ImportError traceback."""
+
+    def _hide_yaml(self, monkeypatch):
+        import sys
+        # None in sys.modules makes `import yaml` raise ImportError
+        monkeypatch.setitem(sys.modules, "yaml", None)
+
+    def test_yaml_without_pyyaml_is_structured(self, tmp_path,
+                                               monkeypatch):
+        from repro.errors import MissingDependency, ReproError
+        spec = _tiny_scenario(name="needsyaml")
+        path = tmp_path / "needsyaml.yaml"
+        path.write_text(json.dumps(spec.to_dict()))  # JSON is valid YAML
+        self._hide_yaml(monkeypatch)
+        with pytest.raises(MissingDependency) as err:
+            load_scenario(str(path))
+        assert err.value.dependency == "pyyaml"
+        assert "pip install pyyaml" in err.value.hint
+        assert "convert the spec to .json" in str(err.value)
+        # MissingDependency stays inside the repo's error taxonomy, so
+        # every CLI's existing ReproError rendering applies unchanged
+        assert isinstance(err.value, ConfigError)
+        assert isinstance(err.value, ReproError)
+
+    def test_json_specs_never_need_pyyaml(self, tmp_path, monkeypatch):
+        spec = _tiny_scenario(name="plainjson")
+        path = tmp_path / "plainjson.json"
+        path.write_text(json.dumps(spec.to_dict()))
+        self._hide_yaml(monkeypatch)
+        assert load_scenario(str(path)) == spec
+
+    def test_corpus_load_reports_the_yaml_file(self, tmp_path,
+                                               monkeypatch):
+        from repro.errors import MissingDependency
+        (tmp_path / "a.json").write_text(
+            json.dumps(_tiny_scenario(name="a").to_dict()))
+        (tmp_path / "b.yaml").write_text("name: b\nhosts: 4\n")
+        self._hide_yaml(monkeypatch)
+        with pytest.raises(MissingDependency, match="b.yaml"):
+            load_corpus(str(tmp_path))

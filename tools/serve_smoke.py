@@ -1,0 +1,156 @@
+#!/usr/bin/env python
+"""CI smoke test for ``repro serve``: the real-signal chaos pass.
+
+The in-repo pytest suite covers the same properties with in-process
+servers and injected executors; this script is the *black-box* version
+CI runs against the real thing:
+
+1. boot ``repro serve run`` as a subprocess (its own session/process
+   group, like an operator would);
+2. submit a real scenario big enough to be mid-run for a while;
+3. SIGKILL the forked worker executing it (pid straight from the job
+   record) and assert the job still completes — exactly once, via the
+   supervisor's restart, with the duplicate-submit returning the same
+   job;
+4. SIGTERM the server and assert a clean drain: exit code 0, journal
+   replayable, no process left in the server's process group.
+
+On failure the journal directory is left in place (CI uploads it as an
+artifact) and the tail of the journal is printed for the log.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO, "src"))
+
+from repro.gate.spec import ScenarioSpec, WorkloadSpec  # noqa: E402
+from repro.serve import JobStore, ServeClient  # noqa: E402
+
+DATA_DIR = os.environ.get("SERVE_SMOKE_DIR", "serve-smoke-data")
+
+#: ~1.5s of simulated work per attempt: wide enough to SIGKILL mid-run,
+#: short enough that the supervised retry keeps the smoke fast.
+SCENARIO = ScenarioSpec(
+    name="smoke_kill", hosts=8, seed=7, horizon=2_000_000_000.0,
+    workload=WorkloadSpec(count=2, total_bytes=1 << 23, chunk=8192),
+    workers=(1,), timeout_s=120.0).to_dict()
+
+
+def fail(step, detail, proc=None):
+    print(f"serve-smoke FAILED at {step}: {detail}", file=sys.stderr)
+    journal = os.path.join(DATA_DIR, "journal.jsonl")
+    if os.path.exists(journal):
+        with open(journal) as f:
+            tail = f.readlines()[-20:]
+        print("--- journal tail ---", file=sys.stderr)
+        sys.stderr.writelines(tail)
+    if proc is not None and proc.poll() is None:
+        os.killpg(os.getpgid(proc.pid), signal.SIGKILL)
+    sys.exit(1)
+
+
+def wait_for(predicate, timeout_s, step):
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        value = predicate()
+        if value:
+            return value
+        time.sleep(0.01)
+    fail(step, f"timed out after {timeout_s}s")
+
+
+def main():
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "run",
+         "--dir", DATA_DIR, "--pool", "1", "--port", "0"],
+        env=dict(os.environ, PYTHONPATH=os.path.join(REPO, "src")),
+        start_new_session=True)
+    try:
+        endpoint = os.path.join(DATA_DIR, "serve.json")
+        wait_for(lambda: os.path.exists(endpoint), 30, "boot")
+        with open(endpoint) as f:
+            url = json.load(f)["url"]
+        client = ServeClient(url)
+        client.wait_ready(30)
+        print(f"serve-smoke: server up at {url} (pid {proc.pid})")
+
+        status, data, _ = client.submit(SCENARIO, key="smoke-1",
+                                        client="smoke")
+        if status != 202:
+            fail("submit", f"expected 202, got {status}: {data}", proc)
+        job_id = data["job"]["id"]
+
+        def running_pid():
+            _, record = client.job(job_id)
+            job = record.get("job", {})
+            return job.get("worker_pid") \
+                if job.get("state") == "running" else None
+
+        victim = wait_for(running_pid, 30, "await-worker")
+        os.kill(victim, signal.SIGKILL)
+        print(f"serve-smoke: SIGKILLed worker {victim} mid-run")
+
+        job = client.wait(job_id, timeout_s=60)
+        if job["state"] != "done":
+            fail("completion", f"job ended {job['state']}: "
+                               f"{job.get('error')}", proc)
+        if job["attempts"] < 2:
+            fail("completion", "job finished in one attempt — the kill "
+                               "missed; nothing was proven", proc)
+        print(f"serve-smoke: job {job_id} done after "
+              f"{job['attempts']} attempts (supervised restart)")
+
+        # exactly-once: the idempotency key returns the same completed
+        # job, and the journal holds a single done record for it
+        status, data, _ = client.submit(SCENARIO, key="smoke-1")
+        if status != 200 or not data.get("duplicate"):
+            fail("idempotency", f"resubmit got {status}: {data}", proc)
+        done_records = 0
+        with open(os.path.join(DATA_DIR, "journal.jsonl")) as f:
+            for line in f:
+                record = json.loads(line)
+                if record.get("ev") == "state" \
+                        and record.get("id") == job_id \
+                        and record.get("state") == "done":
+                    done_records += 1
+        if done_records != 1:
+            fail("exactly-once", f"{done_records} done records "
+                                 f"journaled for {job_id}", proc)
+        print("serve-smoke: exactly one done record journaled")
+
+        pgid = os.getpgid(proc.pid)
+        proc.send_signal(signal.SIGTERM)
+        rc = proc.wait(timeout=60)
+        if rc != 0:
+            fail("drain", f"server exited {rc} on SIGTERM", proc)
+        try:
+            os.killpg(pgid, 0)
+            fail("drain", f"process group {pgid} still has members "
+                          f"after drain (orphaned workers)")
+        except ProcessLookupError:
+            pass
+        print("serve-smoke: SIGTERM drained cleanly, no orphans")
+
+        store = JobStore(DATA_DIR, fsync=False)
+        if store.recovered_torn_tail:
+            fail("journal", "journal has a torn tail after a clean drain")
+        if store.get(job_id).state != "done":
+            fail("journal", "replayed journal lost the completed job")
+        store.close()
+        print("serve-smoke: journal replays; completed result durable")
+        print("serve-smoke PASSED")
+        return 0
+    finally:
+        if proc.poll() is None:
+            os.killpg(os.getpgid(proc.pid), signal.SIGKILL)
+            proc.wait()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

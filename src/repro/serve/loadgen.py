@@ -31,16 +31,23 @@ MAX_RATE_PER_S = 200.0
 
 
 def calibrate(client: ServeClient, spec: Dict, runs: int = 2,
-              timeout_s: float = 60.0) -> Dict:
+              timeout_s: float = 60.0, nonce: str = "") -> Dict:
     """Measure per-job service time on an idle server (closed loop)."""
     ready = client.readyz()[1]
     pool = int(ready.get("pool_size", 1))
     wall = []
     for i in range(runs):
         t0 = time.monotonic()
-        status, data, _ = client.submit(spec, key=f"calibrate-{i}",
+        status, data, _ = client.submit(spec, key=f"{nonce}calibrate-{i}",
                                         client="loadgen-calibrate")
-        if status not in (200, 202):
+        if status == 200:
+            # An idempotency-key replay completes near-instantly — its
+            # timing would report a wildly inflated capacity.
+            raise ServeUnavailable(
+                f"calibration key {nonce}calibrate-{i!r} already known "
+                f"to the server; pass a fresh nonce to re-calibrate "
+                f"against a long-lived server")
+        if status != 202:
             raise ServeUnavailable(
                 f"calibration submit got {status}: {data}")
         client.wait(data["job"]["id"], timeout_s=timeout_s)
@@ -56,14 +63,14 @@ def calibrate(client: ServeClient, spec: Dict, runs: int = 2,
 
 def run_phase(client: ServeClient, spec: Dict, rate_per_s: float,
               duration_s: float, seed: int, phase: str,
-              wait_timeout_s: float = 60.0) -> Dict:
+              wait_timeout_s: float = 60.0, nonce: str = "") -> Dict:
     """One open-loop burst at ``rate_per_s`` for ``duration_s``."""
     rng = random.Random(seed)
     lock = threading.Lock()
     submit_ms = ExactHistogram("submit_ms")
     accepted: List[str] = []
     counts = {"offered": 0, "accepted": 0, "shed": 0, "errors": 0,
-              "shed_with_retry_after": 0}
+              "duplicates": 0, "shed_with_retry_after": 0}
     max_depth = [0]
     stop_sampling = threading.Event()
 
@@ -80,7 +87,7 @@ def run_phase(client: ServeClient, spec: Dict, rate_per_s: float,
         t0 = time.monotonic()
         try:
             status, data, headers = client.submit(
-                spec, key=f"{phase}-{seed}-{i}",
+                spec, key=f"{nonce}{phase}-{seed}-{i}",
                 client=f"loadgen-{phase}")
         except ServeUnavailable:
             with lock:
@@ -89,9 +96,14 @@ def run_phase(client: ServeClient, spec: Dict, rate_per_s: float,
         ms = (time.monotonic() - t0) * 1e3
         with lock:
             submit_ms.add(ms)
-            if status in (200, 202):
+            if status == 202:
                 counts["accepted"] += 1
                 accepted.append(data["job"]["id"])
+            elif status == 200:
+                # Already-done work replayed from the store: counting it
+                # as accepted (near-instant 200s) would inflate the
+                # measured capacity and corrupt the load curves.
+                counts["duplicates"] += 1
             elif status == 429:
                 counts["shed"] += 1
                 if "Retry-After" in headers:
@@ -155,15 +167,23 @@ def run_phase(client: ServeClient, spec: Dict, rate_per_s: float,
 def run_loadgen(url: str, spec: Dict, duration_s: float = 4.0,
                 multipliers: Iterable[float] = (0.5, 2.0),
                 seed: int = 1,
-                rate_per_s: Optional[float] = None) -> Dict:
+                rate_per_s: Optional[float] = None,
+                nonce: Optional[str] = None) -> Dict:
     """Calibrate, then sweep arrival rates around measured capacity.
 
     ``rate_per_s`` overrides the sweep with one explicit rate.
+    ``nonce`` distinguishes this run's idempotency keys; without one a
+    fresh value is generated so re-running bench against a long-lived
+    server measures real work, not replayed 200s.
     """
+    if nonce is None:
+        nonce = f"{os.getpid():x}.{time.time_ns():x}"
+    prefix = f"{nonce}-"
     client = ServeClient(url)
-    cal = calibrate(client, spec)
+    cal = calibrate(client, spec, nonce=prefix)
     report: Dict = {"url": url, "scenario": spec.get("name"),
-                    "seed": seed, "calibration": cal, "phases": []}
+                    "seed": seed, "nonce": nonce,
+                    "calibration": cal, "phases": []}
     if rate_per_s is not None:
         plan = [("fixed", float(rate_per_s))]
     else:
@@ -172,7 +192,8 @@ def run_loadgen(url: str, spec: Dict, duration_s: float = 4.0,
     for phase, rate in plan:
         capped = rate > MAX_RATE_PER_S
         rate = min(rate, MAX_RATE_PER_S)
-        entry = run_phase(client, spec, rate, duration_s, seed, phase)
+        entry = run_phase(client, spec, rate, duration_s, seed, phase,
+                          nonce=prefix)
         if capped:
             entry["rate_capped"] = True
         report["phases"].append(entry)

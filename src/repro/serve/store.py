@@ -11,7 +11,11 @@ Durability model (the server may be SIGKILLed at any instant):
   records with a higher sequence number;
 * a torn final journal line (the crash landed mid-append) is detected
   by the JSON parse and replay stops there — everything acknowledged
-  before the crash is intact.
+  before the crash is intact; recovery then truncates the journal back
+  to the last intact record, because a fragment left in place would
+  have the next append concatenated onto it, producing a merged line
+  that a later boot would misread as a fresh torn tail (silently
+  dropping an acknowledged record) or reject as interior corruption.
 
 Exactly-once results ride on the same mechanism: a job in a terminal
 state refuses further transitions, so a duplicate "done" from a racing
@@ -101,15 +105,24 @@ class JobStore:
                 job = Job.from_dict(data)
                 self.jobs[job.id] = job
                 self.by_key[job.key] = job.id
-        for record in read_journal(self.journal_path,
-                                   tolerate_torn_tail=True):
+        valid_bytes = 0
+        for record, end in _scan_journal(self.journal_path,
+                                         tolerate_torn_tail=True):
             if record is None:          # torn final line: crash mid-append
                 self.recovered_torn_tail = True
                 break
+            valid_bytes = end
             if record["seq"] <= snap_seq:
                 continue                # already in the snapshot
             self._seq = max(self._seq, record["seq"])
             self._apply(record)
+        if self.recovered_torn_tail:
+            # The fragment was written but never fsync-acknowledged, so
+            # dropping it loses nothing — and it MUST go before the
+            # journal reopens for append (see the module docstring).
+            with open(self.journal_path, "r+b") as f:
+                f.truncate(valid_bytes)
+                os.fsync(f.fileno())
 
     def _apply(self, record: Dict) -> None:
         if record["ev"] == "submit":
@@ -208,17 +221,29 @@ def read_journal(path: str, tolerate_torn_tail: bool = False):
     """Yield journal records in order; with ``tolerate_torn_tail`` a
     non-final corrupt line raises but a torn *final* line yields one
     ``None`` sentinel (the crash signature) and stops."""
+    for record, _ in _scan_journal(path, tolerate_torn_tail):
+        yield record
+
+
+def _scan_journal(path: str, tolerate_torn_tail: bool = False):
+    """Yield ``(record, end_offset)`` per journal line, ``end_offset``
+    being the byte offset just past the line — what recovery truncates
+    back to when the *next* line turns out to be torn.  A torn final
+    line yields ``(None, <offset of its start>)`` and stops."""
     if not os.path.exists(path):
         return
-    with open(path, encoding="utf-8") as f:
+    with open(path, "rb") as f:
         lines = f.readlines()
+    offset = 0
     for i, line in enumerate(lines):
+        start, offset = offset, offset + len(line)
         if not line.strip():
             continue
         try:
-            yield json.loads(line)
-        except json.JSONDecodeError:
+            record = json.loads(line.decode("utf-8"))
+        except (json.JSONDecodeError, UnicodeDecodeError):
             if tolerate_torn_tail and i == len(lines) - 1:
-                yield None
+                yield None, start
                 return
             raise ConfigError(f"{path}:{i + 1}: corrupt journal record")
+        yield record, offset

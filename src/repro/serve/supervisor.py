@@ -45,6 +45,18 @@ from .job import (DONE, FAILED, INTERRUPTED, QUARANTINED, QUEUED, RUNNING,
 from .store import JobStore
 
 
+def _death_detail(exitcode) -> str:
+    """Render an exit status the way :class:`~repro.cluster.WorkerDied`
+    does: name the killing signal when there was one."""
+    if isinstance(exitcode, int) and exitcode < 0:
+        import signal as _signal
+        try:
+            return f"killed by {_signal.Signals(-exitcode).name}"
+        except ValueError:  # pragma: no cover - unknown signal
+            return f"killed by signal {-exitcode}"
+    return f"exitcode={exitcode}"
+
+
 def exec_scenario(spec_dict: Dict) -> Dict:
     """The default executor: validate and run one scenario in-process
     (the gate's single-scenario entry point), returning its bundle."""
@@ -281,9 +293,12 @@ class Supervisor:
         try:
             msg = attempt.conn.recv()
         except (EOFError, ConnectionResetError):
+            # Join first: before it, exitcode can still read None even
+            # though the process is dead (the pipe EOF races the wait).
+            attempt.proc.join(timeout=KILL_GRACE_S)
             self._attempt_died(
                 attempt, f"worker died without reporting "
-                         f"(exitcode={attempt.proc.exitcode})",
+                         f"({_death_detail(attempt.proc.exitcode)})",
                 wedged=False)
             return
         del self._running[attempt.conn]

@@ -183,6 +183,37 @@ class TestJobStore:
         assert again.recovered_torn_tail
         assert again.get("j1").state == DONE
 
+    def test_torn_tail_is_truncated_before_reappend(self, tmp_path):
+        """Regression: recovery must drop the torn fragment from disk.
+        Left in place, the next append concatenates onto it: with one
+        record appended the merged line is misread as a fresh torn tail
+        on the next boot (silently dropping an acknowledged record);
+        with more it becomes interior corruption and the store cannot
+        boot at all."""
+        root = str(tmp_path / "store")
+        store = JobStore(root, fsync=False)
+        store.submit(self._job(1))
+        store.close()
+        with open(store.journal_path, "a") as f:
+            f.write('{"ev": "state", "id": "j1", "sta')   # crash mid-append
+
+        recovered = JobStore(root, fsync=False)
+        assert recovered.recovered_torn_tail
+        # exactly one record after recovery: the silent-drop shape
+        assert recovered.transition("j1", DONE, result=_ok_result())
+        recovered.close()
+
+        again = JobStore(root, fsync=False)
+        assert not again.recovered_torn_tail
+        assert again.get("j1").state == DONE     # the ack'd record survived
+        again.submit(self._job(2))      # several records: the no-boot shape
+        again.close()
+
+        third = JobStore(root, fsync=False)
+        assert not third.recovered_torn_tail
+        assert third.get("j1").state == DONE
+        assert third.get("j2") is not None
+
     def test_corrupt_interior_line_raises(self, tmp_path):
         root = str(tmp_path / "store")
         store = JobStore(root, fsync=False)

@@ -14,6 +14,7 @@ workloads and reads wall-clock + event counters.
 from __future__ import annotations
 
 import cProfile
+import fnmatch
 import json
 import time
 from pathlib import Path
@@ -25,9 +26,11 @@ from ..sim import Simulator
 #: Committed reference numbers for the CI regression gate.
 DEFAULT_BASELINE = Path(__file__).with_name("baseline_perf.json")
 
-#: Modules whose self-time gets its own profile bucket.
-_PROFILE_BUCKETS = ("repro/sim", "repro/net", "repro/core", "repro/hw",
-                    "repro/fabric", "repro/apps")
+#: Modules whose self-time gets its own profile bucket.  First substring
+#: match wins, so the TCP engine's bucket must precede its parent
+#: ``repro/net`` bucket.
+_PROFILE_BUCKETS = ("repro/sim", "repro/net/tcp", "repro/net", "repro/core",
+                    "repro/hw", "repro/fabric", "repro/apps")
 
 
 # -- workloads --------------------------------------------------------------
@@ -191,9 +194,23 @@ def _profile_buckets(fn: Callable[[], Tuple[Optional[Simulator], int]]) -> Dict[
 
 
 def run_perf(quick: bool = False, profile: bool = True,
-             compare_naive: bool = True) -> Dict:
-    """Run the perf workloads; returns the ``BENCH_perf.json`` payload."""
+             compare_naive: bool = True,
+             workload: Optional[str] = None) -> Dict:
+    """Run the perf workloads; returns the ``BENCH_perf.json`` payload.
+
+    ``workload`` is an optional glob filter (``fnmatch``) selecting a
+    subset of workloads — ``repro perf --workload 'ttcp*'``.  The
+    profile breakdown and the naive comparison only run when their
+    subject (``ttcp_bulk``) survives the filter.
+    """
     workloads = _workloads(quick)
+    if workload:
+        workloads = {name: fn for name, fn in workloads.items()
+                     if fnmatch.fnmatch(name, workload)}
+        if not workloads:
+            raise ValueError(
+                f"no perf workload matches {workload!r} "
+                f"(have: {', '.join(_workloads(quick))})")
     report: Dict = {
         "harness": "repro-perf",
         "quick": quick,
@@ -203,10 +220,10 @@ def run_perf(quick: bool = False, profile: bool = True,
     repeats = 2 if quick else 3
     for name, fn in workloads.items():
         report["workloads"][name] = _measure(fn, repeats=repeats)
-    if profile:
+    if profile and "ttcp_bulk" in workloads:
         report["profile"] = {"ttcp_bulk": _profile_buckets(
             workloads["ttcp_bulk"])}
-    if compare_naive and fastpath.ENABLED:
+    if compare_naive and fastpath.ENABLED and "ttcp_bulk" in workloads:
         # The headline number: same ttcp workload with every fast path
         # switched off.  Simulated results are identical by construction
         # (that's the determinism test's job); only wall clock moves.
@@ -235,6 +252,11 @@ def compare_to_baseline(report: Dict, baseline: Dict,
     or unmeasurable workloads are reported but never fail the gate (the
     chaos workload has no event counter, and baselines from other
     machines may lack a workload).
+
+    When both sides recorded a fast-vs-naive speedup ratio, that ratio is
+    gated too: it is machine-independent (both measurements ran on the
+    same host), so a drop below the baseline ratio means the fast paths
+    themselves lost ground, not that CI got a slower machine.
     """
     messages = []
     ok = True
@@ -255,6 +277,16 @@ def compare_to_baseline(report: Dict, baseline: Dict,
             messages.append(line + "  REGRESSION")
         else:
             messages.append(line)
+    base_speedup = baseline.get("speedup_vs_naive")
+    cur_speedup = report.get("speedup_vs_naive")
+    if base_speedup and cur_speedup:
+        line = (f"ttcp_bulk speedup vs naive: {cur_speedup:.2f}x vs "
+                f"baseline {base_speedup:.2f}x")
+        if cur_speedup < base_speedup * (1.0 - max_regression):
+            ok = False
+            messages.append(line + "  REGRESSION")
+        else:
+            messages.append(line)
     return ok, messages
 
 
@@ -267,8 +299,32 @@ def load_baseline(path: Optional[str] = None) -> Optional[Dict]:
 
 
 def write_report(report: Dict, path: str = "BENCH_perf.json") -> str:
+    """Write ``report`` to ``path``, merging with an existing file.
+
+    Top-level keys this run did not produce are preserved — other
+    subcommands park their sections in the same file (``repro cluster
+    --bench`` writes ``cluster_scaling``, ``repro serve --bench`` writes
+    ``serve_load``).  ``workloads`` merges one level deep so a filtered
+    run (``--workload``) refreshes only what it measured.
+    """
+    merged = report
+    p = Path(path)
+    if p.exists():
+        try:
+            with open(p) as fh:
+                merged = json.load(fh)
+            if not isinstance(merged, dict):
+                merged = {}
+        except (OSError, ValueError):
+            merged = {}
+        old_workloads = merged.get("workloads")
+        merged.update(report)
+        if isinstance(old_workloads, dict):
+            combined = dict(old_workloads)
+            combined.update(report.get("workloads", {}))
+            merged["workloads"] = combined
     with open(path, "w") as fh:
-        json.dump(report, fh, indent=2, sort_keys=True)
+        json.dump(merged, fh, indent=2, sort_keys=True)
         fh.write("\n")
     return path
 

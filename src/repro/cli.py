@@ -126,6 +126,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="also overwrite the committed baseline")
     perf_p.add_argument("--no-profile", action="store_true",
                         help="skip the cProfile subsystem breakdown")
+    perf_p.add_argument("--workload", default=None, metavar="GLOB",
+                        help="only run workloads matching this glob "
+                             "(e.g. 'ttcp*'); the written report merges "
+                             "into an existing BENCH_perf.json")
     for cmd, help_text in (
             ("trace", "run a workload with full observability on and "
                       "write trace.jsonl / trace.chrome.json (Perfetto) / "
@@ -303,7 +307,12 @@ def _render_metrics_snapshot(snapshot: dict) -> str:
 def run_perf_cmd(args) -> int:
     from .bench.perf import (DEFAULT_BASELINE, compare_to_baseline,
                              load_baseline, render, run_perf, write_report)
-    report = run_perf(quick=args.quick, profile=not args.no_profile)
+    try:
+        report = run_perf(quick=args.quick, profile=not args.no_profile,
+                          workload=args.workload)
+    except ValueError as exc:
+        print(f"perf: {exc}", file=sys.stderr)
+        return 2
     path = write_report(report, args.out)
     print(render(report))
     print(f"[wrote {path}]")

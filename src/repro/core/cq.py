@@ -77,16 +77,28 @@ class CompletionQueue:
             rec.metrics.counter(f"cq.cqe.{cqe.status.name}").add()
             if elapsed is not None and cqe.ok:
                 rec.metrics.histogram(f"wr.{which}.latency_us").add(elapsed)
-        for observer in list(self.observers):
-            observer(cqe)
-        while self._waiters:
-            waiter = self._waiters.popleft()
+        if self.observers:
+            # Copy: a tap may deregister (or add) observers mid-delivery.
+            for observer in list(self.observers):
+                observer(cqe)
+        waiters = self._waiters
+        while waiters:
+            waiter = waiters.popleft()
             if not waiter.triggered:
                 if self.interrupt_hook is not None:
                     self.interrupt_hook(waiter)
                 else:
                     waiter.succeed()
                 break
+
+    def push_many(self, cqes: List[Completion]) -> None:
+        """Post a burst of completions arriving at the same instant.
+
+        Each CQE goes through :meth:`push` in order — capacity checks,
+        obs records, observer taps, and waiter wakes all happen per CQE,
+        so a burst is indistinguishable from back-to-back pushes."""
+        for cqe in cqes:
+            self.push(cqe)
 
     # -- host side -----------------------------------------------------------
 

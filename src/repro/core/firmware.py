@@ -16,6 +16,7 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Deque, Dict, List, Optional, Tuple
 
+from .. import fastpath as _fastpath
 from .. import obs
 from ..errors import (ConnectionReset, DmaError, QPStateError,
                       ResourceExhausted, VerbsError)
@@ -218,6 +219,11 @@ class QpipFirmware:
         t = self.nic.timing
         while True:
             if self.nic.doorbell_fifo:
+                if _fastpath.ENABLED and len(self.nic.doorbell_fifo) > 1:
+                    walk = self._doorbell_burst()
+                    if walk is not None:
+                        yield walk
+                        continue
                 token = self.nic.doorbell_fifo.popleft()
                 yield self.nic.stage("doorbell", t.doorbell_process)
                 self._doorbell(token)
@@ -248,6 +254,48 @@ class QpipFirmware:
                 yield self._idle
 
     # -- doorbell FSM -----------------------------------------------------------
+
+    def _doorbell_burst(self):
+        """Drain the whole doorbell FIFO as one burst walker.
+
+        Each doorbell's core span is charged up front — legal because
+        the firmware process is the core's only submitter, so the busy
+        horizon advances exactly as the one-per-wake loop would advance
+        it — and each token is processed at the precise boundary time
+        its own span would have completed, with per-span cycle/obs
+        records made at the span's start time.  Doorbells that arrive
+        while the burst is in flight queue behind it in FIFO order and
+        are serviced when the loop resumes, exactly like the unbatched
+        path.  Returns a walker for the loop to yield, or ``None`` when
+        the fast path does not apply (nothing charged or recorded).
+        """
+        nic = self.nic
+        if nic.processor._busy:
+            return None
+        cost = nic.timing.doorbell_process
+        fifo = nic.doorbell_fifo
+        steps = []
+        first = True
+        while fifo:
+            token = fifo.popleft()
+            if first:
+                nic.record_stage("doorbell", cost)
+                first = False
+            delay = nic.processor.try_charge(cost, category="doorbell")
+            if delay is None:  # pragma: no cover - guarded by _busy above
+                fifo.appendleft(token)
+                break
+            if fifo:
+                def fire(tok=token, c=cost, n=nic):
+                    self._doorbell(tok)
+                    n.record_stage("doorbell", c)
+            else:
+                def fire(tok=token):
+                    self._doorbell(tok)
+            steps.append((delay, fire))
+        if not steps:
+            return None
+        return self.sim.burst(steps)
 
     def _doorbell(self, token: Tuple[int, str]) -> None:
         qp_num, which = token
@@ -687,17 +735,27 @@ class QpipFirmware:
         hdr = UDPHeader(ep.qp.local_port or 0, wr.dest.port,
                         length=8 + payload.length)
         pkt = self.stack.ip.build(self.addr, wr.dest.addr, hdr, payload)
-        yield self.nic.stages([("build_udp_hdr", t.build_udp_hdr),
-                               ("build_ip_hdr", t.build_ip_hdr),
-                               ("media_send", t.media_send)])
-        self.nic.wire_transmit(pkt)
+        pre = [("build_udp_hdr", t.build_udp_hdr),
+               ("build_ip_hdr", t.build_ip_hdr),
+               ("media_send", t.media_send)]
         if not t.overlap_dma:
             # The prototype's firmware babysits the send engine until the
             # packet has left SRAM; IB-class hardware overlaps.
-            yield self.nic.stages([("media_send_drain", self.nic.wire_time(pkt)),
-                                   ("tx_update", t.tx_update)])
+            post = [("media_send_drain", self.nic.wire_time(pkt)),
+                    ("tx_update", t.tx_update)]
         else:
-            yield self.nic.stage("tx_update", t.tx_update)
+            post = [("tx_update", t.tx_update)]
+        walk = self.nic.stages_burst(
+            pre, lambda: self.nic.wire_transmit(pkt), post)
+        if walk is not None:
+            yield walk
+        else:
+            yield self.nic.stages(pre)
+            self.nic.wire_transmit(pkt)
+            if len(post) > 1:
+                yield self.nic.stages(post)
+            else:
+                yield self.nic.stage("tx_update", t.tx_update)
         # UDP send WRs complete as soon as the datagram is on the wire (§3).
         ep.qp.sends_completed += 1
         self._post_cqe(ep.qp.send_cq, Completion(
@@ -727,15 +785,27 @@ class QpipFirmware:
         hdr, payload = built
         # Header building and send-engine setup are pure back-to-back
         # stages: one merged core occupancy, the packet hits the wire at
-        # the same simulated time.
+        # the same simulated time.  On the fast path the whole emit —
+        # build stages, wire handoff at the boundary, drain/update — is
+        # one burst walker and a single suspension of this process.
         pkt = self.stack.build_segment_packet(conn, hdr, payload)
-        yield self.nic.stages([("build_tcp_hdr", t.build_tcp_hdr),
-                               ("build_ip_hdr", t.build_ip_hdr),
-                               ("media_send", t.media_send)])
-        self.nic.wire_transmit(pkt)
+        pre = [("build_tcp_hdr", t.build_tcp_hdr),
+               ("build_ip_hdr", t.build_ip_hdr),
+               ("media_send", t.media_send)]
         if not t.overlap_dma and payload.length:
-            yield self.nic.stages([("media_send_drain", self.nic.wire_time(pkt)),
-                                   ("tx_update", t.tx_update)])
+            post = [("media_send_drain", self.nic.wire_time(pkt)),
+                    ("tx_update", t.tx_update)]
+        else:
+            post = [("tx_update", t.tx_update)]
+        walk = self.nic.stages_burst(
+            pre, lambda: self.nic.wire_transmit(pkt), post)
+        if walk is not None:
+            yield walk
+            return
+        yield self.nic.stages(pre)
+        self.nic.wire_transmit(pkt)
+        if len(post) > 1:
+            yield self.nic.stages(post)
         else:
             yield self.nic.stage("tx_update", t.tx_update)
 
@@ -1071,14 +1141,19 @@ class QpipFirmware:
         Completion writes use the "cqe" DMA class: fault injectors leave
         them alone, so applications never lose a completion — the flush
         guarantee depends on it.
+
+        Delivery is a deferred call: on the fast path each CQE costs one
+        burst-walker heap item instead of a timer handle plus an Event,
+        so flush storms posting dozens of back-to-back completions stay
+        cheap while serializing on the DMA engine exactly as before.
         """
-        dma = self.nic.dma_to_host(CQE_BYTES, kind="cqe")
-        dma.callbacks.append(lambda _ev: cq.push(cqe))
+        self.nic.dma_to_host_call(CQE_BYTES, lambda: cq.push(cqe), kind="cqe")
 
     def _notify_host(self, event: Event, value) -> None:
-        dma = self.nic.dma_to_host(CQE_BYTES, kind="cqe")
-        dma.callbacks.append(lambda _ev: event.succeed(value)
-                             if not event.triggered else None)
+        def fire() -> None:
+            if not event.triggered:
+                event.succeed(value)
+        self.nic.dma_to_host_call(CQE_BYTES, fire, kind="cqe")
 
 
 class _FwIface:

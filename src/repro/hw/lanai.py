@@ -120,11 +120,10 @@ class ProgrammableNic:
 
     # -- firmware-facing mechanisms -----------------------------------------
 
-    def stage(self, name: str, duration: float):
-        """Run one timed FSM stage on the NIC core.
-
-        Returns a yieldable wait: a plain delay on the fast path, a
-        completion event otherwise."""
+    def record_stage(self, name: str, duration: float) -> None:
+        """Cycle-counter and obs bookkeeping for one stage, without
+        charging the core — burst paths charge separately and call this
+        at each span's start time."""
         cyc = self.cycles
         if cyc.enabled:
             cyc.record(name, duration)
@@ -133,6 +132,13 @@ class ProgrammableNic:
             rec.complete("fw.stage", name, duration,
                          track=f"{self.host.name}.{self.name}.core")
             rec.metrics.histogram(f"fw.stage_us.{name}").add(duration)
+
+    def stage(self, name: str, duration: float):
+        """Run one timed FSM stage on the NIC core.
+
+        Returns a yieldable wait: a plain delay on the fast path, a
+        completion event otherwise."""
+        self.record_stage(name, duration)
         return self.processor.submit_wait(duration, category=name)
 
     def stages(self, pairs):
@@ -166,10 +172,65 @@ class ProgrammableNic:
             done = self.processor.submit(duration, category=name)
         return done
 
+    def stages_burst(self, pairs, boundary_fn, post_pairs):
+        """One core walk for two merged stage spans with a callback at
+        the boundary — the batched form of::
+
+            yield self.stages(pairs)
+            boundary_fn()
+            yield self.stages(post_pairs)
+
+        The whole walk costs one heap push and a single suspension of
+        the calling process.  Both spans are charged on the serial core
+        up front, which is legal because the firmware process is the
+        core's only submitter: the horizon advances exactly as if the
+        second span were charged at the boundary.  ``boundary_fn`` runs
+        at the exact boundary time, and the second span's cycle/obs
+        records are made there too, so wire timestamps, trace records,
+        and per-stage attribution are identical to the unbatched path.
+
+        Returns a walker the caller must ``yield``, or ``None`` when the
+        fast path does not apply (caller falls back to the plain form;
+        nothing has been charged or recorded).
+        """
+        if not _fastpath.ENABLED or self.processor._busy:
+            return None
+        d_pre = self.stages(pairs)          # records pre-span cycles/obs now
+        total = 0.0
+        for _name, duration in post_pairs:
+            total += duration
+        d_post = self.processor.try_charge(total, category=post_pairs[0][0])
+        if d_post is None:  # pragma: no cover - eager queue, guarded above
+            return None
+
+        def boundary():
+            boundary_fn()
+            cyc = self.cycles
+            if cyc.enabled:
+                for name, duration in post_pairs:
+                    cyc.record(name, duration)
+            rec = obs.RECORDER
+            if rec is not None:
+                track = f"{self.host.name}.{self.name}.core"
+                for name, duration in post_pairs:
+                    rec.complete("fw.stage", name, duration, track=track)
+                    rec.metrics.histogram(f"fw.stage_us.{name}").add(duration)
+
+        return self.sim.burst(((d_pre, boundary), (d_post, None)))
+
     def dma_to_host(self, nbytes: int, kind: str = "data") -> Event:
         self._dma_check(kind, nbytes)
         return self.host.pci.dma(nbytes, category=f"{self.name}.dma-rx",
                                  setup=self.timing.dma_setup)
+
+    def dma_to_host_call(self, nbytes: int, fn: Callable,
+                         kind: str = "data") -> None:
+        """Posted host-write whose completion calls ``fn`` — the CQE/
+        notification path.  One deferred-call heap item on the fast path
+        instead of a timer handle plus an Event with one callback."""
+        self._dma_check(kind, nbytes)
+        self.host.pci.dma_call(nbytes, fn, category=f"{self.name}.dma-rx",
+                               setup=self.timing.dma_setup)
 
     def dma_from_host(self, nbytes: int, kind: str = "data") -> Event:
         self._dma_check(kind, nbytes)

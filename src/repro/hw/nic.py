@@ -81,9 +81,9 @@ class DumbNic(_RxInterruptMixin):
     def transmit(self, pkt: Packet) -> None:
         """Driver handoff: DMA the frame from host memory, then onto the wire."""
         self.tx_packets += 1
-        done = self.host.pci.dma(pkt.wire_size, category=f"{self.name}.tx",
-                                 setup=self.timing.dma_setup)
-        done.callbacks.append(lambda _ev: self._tx_fifo(pkt))
+        self.host.pci.dma_call(pkt.wire_size, lambda: self._tx_fifo(pkt),
+                               category=f"{self.name}.tx",
+                               setup=self.timing.dma_setup)
 
     def _tx_fifo(self, pkt: Packet) -> None:
         extra = self.timing.per_packet + self.timing.tx_fifo_latency
@@ -91,9 +91,9 @@ class DumbNic(_RxInterruptMixin):
 
     def _on_wire_receive(self, pkt: Packet, _at: Attachment) -> None:
         self.rx_packets += 1
-        done = self.host.pci.dma(pkt.wire_size, category=f"{self.name}.rx",
-                                 setup=self.timing.dma_setup)
-        done.callbacks.append(lambda _ev: self._rx_ready(pkt))
+        self.host.pci.dma_call(pkt.wire_size, lambda: self._rx_ready(pkt),
+                               category=f"{self.name}.rx",
+                               setup=self.timing.dma_setup)
 
 
 class GmNic(_RxInterruptMixin):
@@ -126,20 +126,21 @@ class GmNic(_RxInterruptMixin):
 
     def transmit(self, pkt: Packet) -> None:
         self.tx_packets += 1
-        done = self.firmware.submit(self.timing.fw_per_packet_tx, category="gm-tx")
-        done.callbacks.append(lambda _ev: self._tx_dma(pkt))
+        self.firmware.submit_call(self.timing.fw_per_packet_tx,
+                                  lambda: self._tx_dma(pkt), category="gm-tx")
 
     def _tx_dma(self, pkt: Packet) -> None:
-        done = self.host.pci.dma(pkt.wire_size, category=f"{self.name}.tx",
-                                 setup=self.timing.dma_setup)
-        done.callbacks.append(lambda _ev: self.attachment.transmit(pkt))
+        self.host.pci.dma_call(pkt.wire_size,
+                               lambda: self.attachment.transmit(pkt),
+                               category=f"{self.name}.tx",
+                               setup=self.timing.dma_setup)
 
     def _on_wire_receive(self, pkt: Packet, _at: Attachment) -> None:
         self.rx_packets += 1
-        done = self.firmware.submit(self.timing.fw_per_packet_rx, category="gm-rx")
-        done.callbacks.append(lambda _ev: self._rx_dma(pkt))
+        self.firmware.submit_call(self.timing.fw_per_packet_rx,
+                                  lambda: self._rx_dma(pkt), category="gm-rx")
 
     def _rx_dma(self, pkt: Packet) -> None:
-        done = self.host.pci.dma(pkt.wire_size, category=f"{self.name}.rx",
-                                 setup=self.timing.dma_setup)
-        done.callbacks.append(lambda _ev: self._rx_ready(pkt))
+        self.host.pci.dma_call(pkt.wire_size, lambda: self._rx_ready(pkt),
+                               category=f"{self.name}.rx",
+                               setup=self.timing.dma_setup)

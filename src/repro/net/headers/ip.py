@@ -10,12 +10,20 @@ import struct
 from dataclasses import dataclass, field
 from typing import Optional, Tuple
 
+from ... import fastpath as _fastpath
 from ..addresses import IPv4Address, IPv6Address
 from ..checksum import checksum, incremental_update
 from .base import DecodeError, Header, need
 
 PROTO_TCP = 6
 PROTO_UDP = 17
+
+# Precompiled wire codecs (see headers.transport): fast encode is gated
+# with the original struct.pack bodies as oracle; decode always uses the
+# precompiled objects (bit-identical).
+_IPV4_STRUCT = struct.Struct("!BBHHHBBH")
+_IPV6_STRUCT = struct.Struct("!IHBB")
+_U16_STRUCT = struct.Struct("!H")
 
 # ECN codepoints (RFC 3168) — the low two bits of the TOS/traffic class.
 ECN_NOT_ECT = 0b00
@@ -97,6 +105,17 @@ class IPv4Header(Header):
         flags_frag = ((0x4000 if self.flags_df else 0)
                       | (0x2000 if self.flags_mf else 0)
                       | (self.frag_offset & 0x1FFF))
+        if _fastpath.ENABLED:
+            # Build in place, checksum over the zero-field buffer, then
+            # patch the checksum word — one allocation end to end.
+            buf = bytearray(20)
+            _IPV4_STRUCT.pack_into(
+                buf, 0, 0x45, self.dscp, self.total_length,
+                self.identification, flags_frag, self.ttl, self.protocol, 0)
+            buf[12:16] = self.src.packed
+            buf[16:20] = self.dst.packed
+            _U16_STRUCT.pack_into(buf, 10, checksum(buf))
+            return bytes(buf)
         head = struct.pack(
             "!BBHHHBBH", 0x45, self.dscp, self.total_length,
             self.identification, flags_frag, self.ttl, self.protocol, 0)
@@ -108,7 +127,7 @@ class IPv4Header(Header):
     def decode(cls, data: bytes) -> Tuple["IPv4Header", int]:
         need(data, cls.LEN, "IPv4 header")
         (vihl, dscp, total_length, ident, flags_frag, ttl, protocol,
-         _csum) = struct.unpack_from("!BBHHHBBH", data, 0)
+         _csum) = _IPV4_STRUCT.unpack_from(data, 0)
         if vihl >> 4 != 4:
             raise DecodeError(f"not IPv4: version {vihl >> 4}")
         if (vihl & 0xF) != 5:
@@ -177,6 +196,10 @@ class IPv6Header(Header):
 
     def _encode_wire(self) -> bytes:
         word0 = (6 << 28) | ((self.traffic_class & 0xFF) << 20) | (self.flow_label & 0xFFFFF)
+        if _fastpath.ENABLED:
+            return (_IPV6_STRUCT.pack(word0, self.payload_length,
+                                      self.next_header, self.hop_limit)
+                    + self.src.packed + self.dst.packed)
         return (struct.pack("!IHBB", word0, self.payload_length,
                             self.next_header, self.hop_limit)
                 + self.src.packed + self.dst.packed)
@@ -184,7 +207,7 @@ class IPv6Header(Header):
     @classmethod
     def decode(cls, data: bytes) -> Tuple["IPv6Header", int]:
         need(data, cls.LEN, "IPv6 header")
-        word0, payload_length, next_header, hop_limit = struct.unpack_from("!IHBB", data, 0)
+        word0, payload_length, next_header, hop_limit = _IPV6_STRUCT.unpack_from(data, 0)
         if word0 >> 28 != 6:
             raise DecodeError(f"not IPv6: version {word0 >> 28}")
         hdr = cls(src=IPv6Address(data[8:24]), dst=IPv6Address(data[24:40]),

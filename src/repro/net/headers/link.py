@@ -12,12 +12,16 @@ import struct
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
+from ... import fastpath as _fastpath
 from ..addresses import MacAddress
 from .base import DecodeError, Header, need
 
 # EtherType values (also used as the Myrinet payload-type field).
 ETHERTYPE_IPV4 = 0x0800
 ETHERTYPE_IPV6 = 0x86DD
+
+# Precompiled wire codec (see headers.transport).
+_U16_STRUCT = struct.Struct("!H")
 
 
 @dataclass(eq=False, slots=True, init=False)
@@ -43,6 +47,8 @@ class EthernetHeader(Header):
         return self.LEN
 
     def _encode_wire(self) -> bytes:
+        if _fastpath.ENABLED:
+            return self.dst.packed + self.src.packed + _U16_STRUCT.pack(self.ethertype)
         return self.dst.packed + self.src.packed + struct.pack("!H", self.ethertype)
 
     @classmethod
@@ -50,7 +56,7 @@ class EthernetHeader(Header):
         need(data, cls.LEN, "ethernet header")
         dst = MacAddress(data[0:6])
         src = MacAddress(data[6:12])
-        (ethertype,) = struct.unpack_from("!H", data, 12)
+        (ethertype,) = _U16_STRUCT.unpack_from(data, 12)
         return cls(dst, src, ethertype), cls.LEN
 
 
@@ -84,6 +90,8 @@ class MyrinetHeader(Header):
         return 1 + len(self.route) + 2
 
     def _encode_wire(self) -> bytes:
+        if _fastpath.ENABLED:
+            return bytes([len(self.route)]) + bytes(self.route) + _U16_STRUCT.pack(self.ptype)
         return bytes([len(self.route)]) + bytes(self.route) + struct.pack("!H", self.ptype)
 
     @classmethod
@@ -94,5 +102,5 @@ class MyrinetHeader(Header):
             raise DecodeError(f"route too long: {n} hops")
         need(data, 1 + n + 2, "myrinet header")
         route = list(data[1:1 + n])
-        (ptype,) = struct.unpack_from("!H", data, 1 + n)
+        (ptype,) = _U16_STRUCT.unpack_from(data, 1 + n)
         return cls(route, ptype), 1 + n + 2

@@ -17,6 +17,15 @@ from ..checksum import combine, finish, ones_complement_sum
 from ..packet import Payload, ZeroPayload
 from .base import DecodeError, Header, need
 
+# Precompiled wire codecs: module-level Struct objects skip the format
+# parse / cache lookup inside struct.pack on every header build.  Fast
+# encode paths are gated on the global switch with the original
+# struct.pack bodies kept as the byte-for-byte oracle; decode uses the
+# precompiled objects unconditionally (bit-identical by construction).
+_UDP_STRUCT = struct.Struct("!HHHH")
+_TCP_BASE_STRUCT = struct.Struct("!HHIIBBHHH")
+_U16_STRUCT = struct.Struct("!H")
+
 # -- UDP --------------------------------------------------------------------
 
 
@@ -44,13 +53,16 @@ class UDPHeader(Header):
         return self.LEN
 
     def _encode_wire(self) -> bytes:
+        if _fastpath.ENABLED:
+            return _UDP_STRUCT.pack(self.src_port, self.dst_port,
+                                    self.length, self.checksum)
         return struct.pack("!HHHH", self.src_port, self.dst_port,
                            self.length, self.checksum)
 
     @classmethod
     def decode(cls, data: bytes) -> Tuple["UDPHeader", int]:
         need(data, cls.LEN, "UDP header")
-        src, dst, length, csum = struct.unpack_from("!HHHH", data, 0)
+        src, dst, length, csum = _UDP_STRUCT.unpack_from(data, 0)
         if length < cls.LEN:
             raise DecodeError(f"bad UDP length {length}")
         return cls(src, dst, length, csum), cls.LEN
@@ -110,6 +122,14 @@ OPT_SACK_PERMITTED = 4
 OPT_SACK = 5
 OPT_TIMESTAMP = 8
 MAX_SACK_BLOCKS = 3
+
+# Option codecs: one pack per option, NOP padding folded into the format.
+_OPT_MSS_STRUCT = struct.Struct("!BBH")          # kind len mss
+_OPT_WSCALE_STRUCT = struct.Struct("!BBBB")      # kind len shift NOP
+_OPT_TS_STRUCT = struct.Struct("!BBBBII")        # NOP NOP kind len val ecr
+_OPT_SACK_HEAD_STRUCT = struct.Struct("!BBBB")   # NOP NOP kind len
+_SACK_BLOCK_STRUCT = struct.Struct("!II")
+_OPT_SACKOK_BYTES = bytes((OPT_SACK_PERMITTED, 2, OPT_NOP, OPT_NOP))
 
 
 @dataclass(eq=False, slots=True, init=False)
@@ -184,6 +204,8 @@ class TCPHeader(Header):
         return opts
 
     def _build_options(self) -> bytes:
+        if _fastpath.ENABLED:
+            return self._build_options_fast()
         out = bytearray()
         if self.mss is not None:
             out += struct.pack("!BBH", OPT_MSS, 4, self.mss)
@@ -210,11 +232,54 @@ class TCPHeader(Header):
             out += bytes([OPT_EOL])
         return bytes(out)
 
+    def _build_options_fast(self) -> bytes:
+        """Precompiled twin of the naive body above: same option order,
+        same NOP padding, same EOL tail — one Struct.pack per option
+        instead of per-field struct calls."""
+        ts_val = self.ts_val
+        if (ts_val is not None and self.mss is None and self.wscale is None
+                and not self.sack_permitted and not self.sack_blocks):
+            # Steady-state shape — every data/ACK segment after the
+            # handshake: NOP NOP TS, 12 bytes, already word-aligned.
+            return _OPT_TS_STRUCT.pack(
+                OPT_NOP, OPT_NOP, OPT_TIMESTAMP, 10,
+                ts_val & 0xFFFFFFFF, (self.ts_ecr or 0) & 0xFFFFFFFF)
+        parts = []
+        if self.mss is not None:
+            parts.append(_OPT_MSS_STRUCT.pack(OPT_MSS, 4, self.mss))
+        if self.wscale is not None:
+            parts.append(_OPT_WSCALE_STRUCT.pack(OPT_WSCALE, 3,
+                                                 self.wscale, OPT_NOP))
+        if self.sack_permitted:
+            parts.append(_OPT_SACKOK_BYTES)
+        if ts_val is not None:
+            parts.append(_OPT_TS_STRUCT.pack(
+                OPT_NOP, OPT_NOP, OPT_TIMESTAMP, 10,
+                ts_val & 0xFFFFFFFF, (self.ts_ecr or 0) & 0xFFFFFFFF))
+        if self.sack_blocks:
+            blocks = self.sack_blocks[:MAX_SACK_BLOCKS]
+            parts.append(_OPT_SACK_HEAD_STRUCT.pack(
+                OPT_NOP, OPT_NOP, OPT_SACK, 2 + 8 * len(blocks)))
+            for left, right in blocks:
+                parts.append(_SACK_BLOCK_STRUCT.pack(left & 0xFFFFFFFF,
+                                                     right & 0xFFFFFFFF))
+        out = b"".join(parts)
+        pad = -len(out) % 4
+        if pad:
+            out += b"\x00" * pad      # OPT_EOL bytes
+        return out
+
     def header_len(self) -> int:
         return self.BASE_LEN + len(self._options_bytes())
 
     def _encode_wire(self) -> bytes:
         opts = self._options_bytes()
+        if _fastpath.ENABLED:
+            return _TCP_BASE_STRUCT.pack(
+                self.src_port, self.dst_port,
+                self.seq & 0xFFFFFFFF, self.ack & 0xFFFFFFFF,
+                ((self.BASE_LEN + len(opts)) // 4) << 4, self.flags & 0xFF,
+                self.window & 0xFFFF, self.checksum, self.urgent) + opts
         data_offset = (self.BASE_LEN + len(opts)) // 4
         return struct.pack(
             "!HHIIBBHHH", self.src_port, self.dst_port,
@@ -226,7 +291,7 @@ class TCPHeader(Header):
     def decode(cls, data: bytes) -> Tuple["TCPHeader", int]:
         need(data, cls.BASE_LEN, "TCP header")
         (src, dst, seq, ack, off_byte, flags, window, csum,
-         urgent) = struct.unpack_from("!HHIIBBHHH", data, 0)
+         urgent) = _TCP_BASE_STRUCT.unpack_from(data, 0)
         header_len = (off_byte >> 4) * 4
         if header_len < cls.BASE_LEN:
             raise DecodeError(f"bad TCP data offset {header_len}")
@@ -252,16 +317,16 @@ class TCPHeader(Header):
                 raise DecodeError(f"bad TCP option length {length}")
             body = opts[i + 2:i + length]
             if kind == OPT_MSS and length == 4:
-                hdr.mss = struct.unpack("!H", body)[0]
+                hdr.mss = _U16_STRUCT.unpack(body)[0]
             elif kind == OPT_WSCALE and length == 3:
                 hdr.wscale = body[0]
             elif kind == OPT_SACK_PERMITTED and length == 2:
                 hdr.sack_permitted = True
             elif kind == OPT_TIMESTAMP and length == 10:
-                hdr.ts_val, hdr.ts_ecr = struct.unpack("!II", body)
+                hdr.ts_val, hdr.ts_ecr = _SACK_BLOCK_STRUCT.unpack(body)
             elif kind == OPT_SACK and (length - 2) % 8 == 0:
                 hdr.sack_blocks = [
-                    struct.unpack_from("!II", body, off)
+                    _SACK_BLOCK_STRUCT.unpack_from(body, off)
                     for off in range(0, length - 2, 8)]
                 hdr.sack_blocks = [tuple(b) for b in hdr.sack_blocks]
             # Unknown options are skipped (per RFC 1122).

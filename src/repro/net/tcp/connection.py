@@ -32,6 +32,7 @@ from dataclasses import dataclass
 from typing import Deque, List, Optional, Tuple
 from collections import deque
 
+from ... import fastpath as _fastpath
 from ... import obs
 from ...errors import ConnectionReset
 from ...sim import Simulator, Timer
@@ -359,6 +360,20 @@ class TcpConnection:
             # Data waits for ESTABLISHED; SYN/FIN chunks are queued directly.
             self._maybe_queue_fin()
             return
+        if _fastpath.ENABLED:
+            progressed = self._fill_output_burst()
+        else:
+            progressed = self._fill_output()
+        self._maybe_queue_fin()
+        if (not progressed and self._unsent and self.flight_size == 0
+                and self.state in DATA_DRAIN_STATES):
+            # Nothing in flight and nothing sendable: only a window opening
+            # can unblock us, so probe in case the update gets lost.
+            self._arm_persist()
+
+    def _fill_output(self) -> bool:
+        """Reference sender fill: one window check, one chunk, one drain
+        notification per loop pass."""
         progressed = False
         while self._unsent:
             usable = self._usable_window()
@@ -384,12 +399,71 @@ class TcpConnection:
                 chunk_payload = self._take_unsent(seg_len)
                 self._queue_chunk(SendChunk(seq=self.snd_nxt, payload=chunk_payload))
                 progressed = True
-        self._maybe_queue_fin()
-        if (not progressed and self._unsent and self.flight_size == 0
-                and self.state in DATA_DRAIN_STATES):
-            # Nothing in flight and nothing sendable: only a window opening
-            # can unblock us, so probe in case the update gets lost.
-            self._arm_persist()
+        return progressed
+
+    def _fill_output_burst(self) -> bool:
+        """Batched twin of :meth:`_fill_output`: queue every sendable
+        segment in one traversal, with the window arithmetic hoisted
+        into locals and updated incrementally, then arm the RTO timer
+        and notify the drain path once for the whole burst.
+
+        Identical chunk boundaries and queue contents: nothing inside
+        the loop can move ``snd_wnd``, ``cc.window()`` or ``snd_una``
+        (the naive loop's recomputed ``_usable_window()`` only ever
+        changes by the just-queued chunk's ``seq_len``), and the drain
+        contexts either queue work asynchronously or synchronously pop
+        only the front descriptor — the same front segment, built from
+        the same state, in both modes.
+        """
+        unsent = self._unsent
+        if not unsent:
+            return False
+        usable = self._usable_window()
+        flight = self.flight_size
+        retx = self._retx
+        out = self.output_queue
+        queued = 0
+        if self.config.message_mode:
+            snd_wnd = self.snd_wnd
+            while unsent:
+                msg_id, payload = unsent[0]
+                need = payload.length
+                if need > usable and (flight > 0 or need > snd_wnd):
+                    break
+                unsent.popleft()
+                self._unsent_bytes -= need
+                chunk = SendChunk(seq=self.snd_nxt, payload=payload,
+                                  msg_id=msg_id)
+                retx.append(chunk)
+                seq_len = chunk.seq_len
+                self.snd_nxt = seq_add(self.snd_nxt, seq_len)
+                out.append(SegDescriptor("data", chunk=chunk))
+                usable -= seq_len
+                flight += seq_len
+                queued += 1
+        else:
+            mss = self.effective_mss
+            nodelay = self.config.nodelay
+            while unsent:
+                seg_len = min(mss, usable, self._unsent_bytes)
+                if seg_len <= 0:
+                    break
+                if not nodelay and seg_len < mss and flight > 0:
+                    break  # Nagle: wait for a full segment or an ACK
+                chunk = SendChunk(seq=self.snd_nxt,
+                                  payload=self._take_unsent(seg_len))
+                retx.append(chunk)
+                seq_len = chunk.seq_len
+                self.snd_nxt = seq_add(self.snd_nxt, seq_len)
+                out.append(SegDescriptor("data", chunk=chunk))
+                usable -= seq_len
+                flight += seq_len
+                queued += 1
+        if not queued:
+            return False
+        self._rto_timer.start_if_idle(self.rtt.current_rto())
+        self.ctx.output_ready(self)
+        return True
 
     def _take_unsent(self, nbytes: int) -> Payload:
         parts: List[Payload] = []
@@ -460,49 +534,57 @@ class TcpConnection:
         if self.state is TcpState.CLOSED and desc.kind != "rst":
             return None
         now = self.sim.now
-        hdr = TCPHeader(self.tuple.local.port, self.tuple.remote.port)
         payload: Payload = EMPTY
 
         if desc.kind == "rst":
-            hdr.seq = self.snd_nxt
-            hdr.ack = self.rcv_nxt
-            hdr.flags = RST | ACK
-            return hdr, payload
+            return TCPHeader(self.tuple.local.port, self.tuple.remote.port,
+                             seq=self.snd_nxt, ack=self.rcv_nxt,
+                             flags=RST | ACK), payload
+
+        # Accumulate every field in locals and construct the header once
+        # at the end: assignments after construction each run the cache-
+        # invalidating __setattr__.
+        mss: Optional[int] = None
+        wscale: Optional[int] = None
+        sack_permitted = False
+        ts_val: Optional[int] = None
+        ts_ecr: Optional[int] = None
+        sack_blocks: Optional[List[Tuple[int, int]]] = None
 
         if desc.kind == "probe":
             # Classic persist probe: one garbage byte the receiver already
             # acked; it gets trimmed and answered with a window-bearing ACK.
-            hdr.seq = seq_add(self.snd_una, -1 & 0xFFFFFFFF)
+            seq = seq_add(self.snd_una, -1 & 0xFFFFFFFF)
             payload = ZeroPayload(1)
-            hdr.flags = ACK
+            flags = ACK
         elif desc.kind == "data":
             chunk = desc.chunk
             assert chunk is not None
-            hdr.seq = chunk.seq
+            seq = chunk.seq
             payload = chunk.payload
-            hdr.flags = 0
+            flags = 0
             if chunk.syn:
-                hdr.flags |= SYN
+                flags |= SYN
                 if self.config.use_sack and self.config.reassembly:
-                    hdr.sack_permitted = True
+                    sack_permitted = True
                 if self.config.ecn:
                     if self.state is TcpState.SYN_SENT:
-                        hdr.flags |= ECE | CWR      # RFC 3168 ECN-setup SYN
+                        flags |= ECE | CWR          # RFC 3168 ECN-setup SYN
                     elif self.ecn_ok:
-                        hdr.flags |= ECE            # ECN-setup SYN|ACK
-                hdr.mss = self.config.mss
+                        flags |= ECE                # ECN-setup SYN|ACK
+                mss = self.config.mss
                 if self.config.use_window_scaling and (
                         self.state is TcpState.SYN_SENT or self.ws_ok):
-                    hdr.wscale = self.config.wscale_offer()
+                    wscale = self.config.wscale_offer()
                 if self.config.use_timestamps and (
                         self.state is TcpState.SYN_SENT or self.ts_ok):
                     pass  # timestamps added below
             if chunk.fin:
-                hdr.flags |= FIN
+                flags |= FIN
             if payload.length:
-                hdr.flags |= PSH
+                flags |= PSH
                 if self._cwr_pending and self.ecn_ok:
-                    hdr.flags |= CWR
+                    flags |= CWR
                     self._cwr_pending = False
             if desc.retransmit:
                 chunk.retransmits += 1
@@ -518,29 +600,30 @@ class TcpConnection:
                 if self._rtt_probe is None and chunk.seq_len > 0:
                     self._rtt_probe = (chunk.end, now)
         else:  # pure ack
-            hdr.seq = self.snd_nxt
-            hdr.flags = ACK
+            seq = self.snd_nxt
+            flags = ACK
             self.stats.acks_out += 1
 
+        ack = 0
         if self.irs is not None:
-            hdr.flags |= ACK
-            hdr.ack = self.rcv_nxt
-        if self._ecn_echo and self.ecn_ok and not (hdr.flags & SYN):
-            hdr.flags |= ECE
+            flags |= ACK
+            ack = self.rcv_nxt
+        if self._ecn_echo and self.ecn_ok and not (flags & SYN):
+            flags |= ECE
 
         window = self._advertisable_window()
-        hdr.window = min(0xFFFF, window >> self.rcv_wscale)
-        edge = seq_add(self.rcv_nxt, hdr.window << self.rcv_wscale)
+        wnd_field = min(0xFFFF, window >> self.rcv_wscale)
+        edge = seq_add(self.rcv_nxt, wnd_field << self.rcv_wscale)
         if seq_gt(edge, self.rcv_adv):
             self.rcv_adv = edge
 
         if self.ts_ok or (desc.kind == "data" and desc.chunk is not None
                           and desc.chunk.syn and self.config.use_timestamps):
-            hdr.ts_val = self._ts_now()
-            hdr.ts_ecr = self.ts_recent if self.irs is not None else 0
+            ts_val = self._ts_now()
+            ts_ecr = self.ts_recent if self.irs is not None else 0
 
-        if self.sack_ok and self._reasm and not (hdr.flags & SYN):
-            hdr.sack_blocks = self._sack_blocks()
+        if self.sack_ok and self._reasm and not (flags & SYN):
+            sack_blocks = self._sack_blocks()
             self.stats.sack_blocks_out += 1
 
         # Any segment we emit acknowledges everything received so far, but
@@ -555,6 +638,10 @@ class TcpConnection:
         self.stats.bytes_out += payload.length
         if desc.kind == "data" and not self._rto_timer.armed and self._retx:
             self._rto_timer.start(self.rtt.current_rto())
+        hdr = TCPHeader(self.tuple.local.port, self.tuple.remote.port,
+                        seq=seq, ack=ack, flags=flags, window=wnd_field,
+                        mss=mss, wscale=wscale, sack_permitted=sack_permitted,
+                        ts_val=ts_val, ts_ecr=ts_ecr, sack_blocks=sack_blocks)
         return hdr, payload
 
     def _ts_now(self) -> int:

@@ -149,6 +149,38 @@ class _ProcWake:
         self.fired = False
 
 
+class _BurstWalk:
+    """One heap item that walks a pre-planned burst of timed steps.
+
+    A burst is a sequence of ``(time, fn)`` steps at non-decreasing
+    times.  Scheduling the burst costs one heap push; each step then
+    fires with the same same-time tie ordering as the two-hop
+    :class:`_ProcWake` rule (first pop re-pushes with a fresh seq *only
+    when another item shares the fire time*; the second pop runs the
+    step).  After a step fires, the walker re-pushes itself for the next
+    step with a fresh sequence number — exactly when a process-driven
+    chain would push its next wake after resuming and doing the step's
+    work — so entries created between steps order identically to the
+    unbatched path.
+
+    ``proc`` parks a process on the burst: a generator may ``yield`` the
+    walker and is resumed when the final step has fired.  A single-step
+    walker with no process is the :meth:`Simulator.defer` primitive, the
+    allocation-light replacement for ``call_later(d, ev.succeed)`` plus
+    an Event with one callback.
+    """
+
+    __slots__ = ("times", "fns", "idx", "fired", "cancelled", "proc")
+
+    def __init__(self, times, fns):
+        self.times = times
+        self.fns = fns
+        self.idx = 0
+        self.fired = False
+        self.cancelled = False
+        self.proc: Optional["Process"] = None
+
+
 # Sentinel passed to Process._resume when a plain-delay wake fires: looks
 # like a processed, successful Event carrying None.
 _WAKE_VALUE = Event.__new__(Event)
@@ -203,9 +235,12 @@ class Process(Event):
         if not self.is_alive:
             return  # the process finished before the interrupt was delivered
         waited = self._waiting_on
-        if type(waited) is _ProcWake:
+        if type(waited) is _ProcWake or type(waited) is _BurstWalk:
             # The stale heap entry is skipped when popped; the process
-            # gets a fresh wake cell for its next plain-delay wait.
+            # gets a fresh wake cell for its next plain-delay wait.  An
+            # interrupted burst abandons its remaining steps, matching
+            # the unbatched path where the process would no longer be
+            # around to run them.
             waited.cancelled = True
         elif waited is not None and waited.callbacks is not None \
                 and self._resume in waited.callbacks:
@@ -247,6 +282,12 @@ class Process(Event):
                         heapq.heappush(sim._heap,
                                        (sim.now + target, sim._seq, wake))
                         self._waiting_on = wake
+                        return
+                    if type(target) is _BurstWalk:
+                        # Park on an in-flight burst; the walker resumes
+                        # this process after its final step fires.
+                        target.proc = self
+                        self._waiting_on = target
                         return
                     event = Event(sim)
                     event.fail(
@@ -431,23 +472,89 @@ class Simulator:
     def call_soon(self, fn: Callable, *args) -> _CallbackHandle:
         return self.call_later(0.0, fn, *args)
 
+    def defer(self, delay: float, fn: Callable) -> _BurstWalk:
+        """Run ``fn()`` after ``delay`` via a single-step burst walker.
+
+        Tie-order-equivalent to ``call_later(delay, done.succeed)`` plus
+        an Event whose one callback is ``fn`` — the pattern every eager
+        completion used to allocate — but costs one heap item and no
+        Event/callback list.  The walker fires with the two-hop rule, so
+        ``fn`` runs in the same position among same-time events as the
+        event pop it replaces.
+        """
+        if delay < 0:
+            raise SimulationError(f"negative delay: {delay}")
+        walk = _BurstWalk((self.now + delay,), (fn,))
+        self._seq += 1
+        heapq.heappush(self._heap, (self.now + delay, self._seq, walk))
+        return walk
+
+    def burst(self, steps) -> _BurstWalk:
+        """Schedule a burst: ``steps`` is a sequence of ``(delay, fn)``
+        pairs with non-decreasing delays from now (``fn`` may be None
+        for a pure wait step).  One heap push schedules the whole burst;
+        each step fires at its exact time with naive-identical tie
+        ordering (see :class:`_BurstWalk`).  Returns the walker; a
+        process may ``yield`` it to park until the final step fires.
+        """
+        times = []
+        fns = []
+        prev = 0.0
+        now = self.now
+        for delay, fn in steps:
+            if delay < prev:
+                raise SimulationError(
+                    f"burst delays must be non-decreasing: {delay} < {prev}")
+            prev = delay
+            times.append(now + delay)
+            fns.append(fn)
+        if not times:
+            raise SimulationError("burst requires at least one step")
+        walk = _BurstWalk(times, fns)
+        self._seq += 1
+        heapq.heappush(self._heap, (times[0], self._seq, walk))
+        return walk
+
     # -- execution -------------------------------------------------------
 
     def _step(self) -> None:
-        _time, _seq, item = heapq.heappop(self._heap)
+        heap = self._heap
+        _time, _seq, item = heapq.heappop(heap)
         self.now = _time
         kind = type(item)
         if kind is _ProcWake:
             if item.cancelled:
                 return
-            if not item.fired:
+            if not item.fired and heap and heap[0][0] == _time:
                 item.fired = True
                 self._seq += 1
-                heapq.heappush(self._heap, (_time, self._seq, item))
+                heapq.heappush(heap, (_time, self._seq, item))
                 return
             item.fired = False
             self._events_processed += 1
             item.proc._resume(_WAKE_VALUE)
+            return
+        if kind is _BurstWalk:
+            if item.cancelled:
+                return
+            if not item.fired and heap and heap[0][0] == _time:
+                item.fired = True
+                self._seq += 1
+                heapq.heappush(heap, (_time, self._seq, item))
+                return
+            item.fired = False
+            self._events_processed += 1
+            idx = item.idx
+            item.idx = idx + 1
+            fn = item.fns[idx]
+            if fn is not None:
+                fn()
+            if item.idx < len(item.fns):
+                self._seq += 1
+                heapq.heappush(heap, (item.times[item.idx], self._seq, item))
+            elif item.proc is not None:
+                proc, item.proc = item.proc, None
+                proc._resume(_WAKE_VALUE)
             return
         if kind is _CallbackHandle:
             if not item.cancelled:
@@ -491,9 +598,12 @@ class Simulator:
             if kind is _ProcWake:
                 if item.cancelled:
                     continue
-                if not item.fired:
+                if not item.fired and heap and heap[0][0] == _time:
                     # Two-hop fire: see _ProcWake.  Keeps same-time tie
                     # ordering identical to the general work-queue path.
+                    # The hop is needed only when another item shares
+                    # this fire time; with a strictly-later heap top the
+                    # re-push would pop straight back, so resume now.
                     item.fired = True
                     self._seq += 1
                     push(heap, (_time, self._seq, item))
@@ -501,6 +611,31 @@ class Simulator:
                 item.fired = False
                 self._events_processed += 1
                 item.proc._resume(_WAKE_VALUE)
+                continue
+            if kind is _BurstWalk:
+                if item.cancelled:
+                    continue
+                if not item.fired and heap and heap[0][0] == _time:
+                    item.fired = True
+                    self._seq += 1
+                    push(heap, (_time, self._seq, item))
+                    continue
+                item.fired = False
+                self._events_processed += 1
+                idx = item.idx
+                item.idx = idx + 1
+                fn = item.fns[idx]
+                if fn is not None:
+                    fn()
+                if item.idx < len(item.fns):
+                    # Next step is pushed only now — after this step's
+                    # work ran — so entries created between steps order
+                    # exactly as in the unbatched process-driven chain.
+                    self._seq += 1
+                    push(heap, (item.times[item.idx], self._seq, item))
+                elif item.proc is not None:
+                    proc, item.proc = item.proc, None
+                    proc._resume(_WAKE_VALUE)
                 continue
             if kind is _CallbackHandle:
                 if not item.cancelled:
@@ -592,7 +727,7 @@ class Simulator:
                 if self._dead_handles > 0:
                     self._dead_handles -= 1
                 continue
-            if kind is _ProcWake and item.cancelled:
+            if (kind is _ProcWake or kind is _BurstWalk) and item.cancelled:
                 heapq.heappop(heap)
                 continue
             return heap[0][0]
@@ -626,7 +761,7 @@ class Simulator:
             if kind is _ProcWake:
                 if item.cancelled:
                     continue
-                if not item.fired:
+                if not item.fired and heap and heap[0][0] == _time:
                     item.fired = True
                     self._seq += 1
                     push(heap, (_time, self._seq, item))
@@ -634,6 +769,28 @@ class Simulator:
                 item.fired = False
                 self._events_processed += 1
                 item.proc._resume(_WAKE_VALUE)
+                continue
+            if kind is _BurstWalk:
+                if item.cancelled:
+                    continue
+                if not item.fired and heap and heap[0][0] == _time:
+                    item.fired = True
+                    self._seq += 1
+                    push(heap, (_time, self._seq, item))
+                    continue
+                item.fired = False
+                self._events_processed += 1
+                idx = item.idx
+                item.idx = idx + 1
+                fn = item.fns[idx]
+                if fn is not None:
+                    fn()
+                if item.idx < len(item.fns):
+                    self._seq += 1
+                    push(heap, (item.times[item.idx], self._seq, item))
+                elif item.proc is not None:
+                    proc, item.proc = item.proc, None
+                    proc._resume(_WAKE_VALUE)
                 continue
             if kind is _CallbackHandle:
                 if not item.cancelled:

@@ -247,6 +247,47 @@ class WorkQueue:
                 return finish - now
         return self.submit(duration, category=category)
 
+    def try_charge(self, duration: float, category: str = "work"):
+        """Charge ``duration`` on the eager fast path and return the
+        completion delay (float), or ``None`` when the fast path does
+        not apply (the caller must fall back to :meth:`submit`).  No
+        state changes on a ``None`` return.
+        """
+        if duration < 0:
+            raise SimulationError(f"negative work duration: {duration}")
+        if not self._busy and _fastpath.ENABLED:
+            sim = self.sim
+            now = sim.now
+            start = self._busy_until
+            if start < now:
+                start = now
+            if self.eager or (start == now and not self._heap):
+                finish = start + duration
+                self._busy_until = finish
+                self.busy_time += duration
+                if self.detailed:
+                    by_cat = self.busy_by_category
+                    by_cat[category] = by_cat.get(category, 0.0) + duration
+                self.items_completed += 1
+                return finish - now
+        return None
+
+    def submit_call(self, duration: float, fn: Callable,
+                    category: str = "work") -> None:
+        """Enqueue work whose completion is delivered by *calling* ``fn``
+        instead of firing an Event.  On the fast path this is one burst
+        walker in the kernel heap (no Event, no callback list, no timer
+        handle); otherwise it degrades to :meth:`submit` plus a
+        completion callback.  Identical completion time and same-time
+        tie ordering in both modes.
+        """
+        delay = self.try_charge(duration, category)
+        if delay is not None:
+            self.sim.defer(delay, fn)
+        else:
+            done = self.submit(duration, category=category)
+            done.callbacks.append(lambda _ev: fn())
+
     def _dispatch(self) -> None:
         if not self._heap:
             self._busy = False

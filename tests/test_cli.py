@@ -85,7 +85,8 @@ class TestPerfCommand:
         calls = {}
 
         monkeypatch.setattr(perf, "run_perf",
-                            lambda quick, profile: calls.setdefault(
+                            lambda quick, profile, workload=None:
+                            calls.setdefault(
                                 "run", (quick, profile)) or report)
         monkeypatch.setattr(perf, "write_report",
                             lambda rep, path: calls.setdefault(

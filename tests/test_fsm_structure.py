@@ -27,6 +27,7 @@ class StageRecorder:
         self.log = []
         orig = nic.stage
         orig_multi = nic.stages
+        orig_burst = nic.stages_burst
 
         def stage(name, duration):
             self.log.append(name)
@@ -36,8 +37,19 @@ class StageRecorder:
             self.log.extend(name for name, _d in pairs)
             return orig_multi(pairs)
 
+        def stages_burst(pairs, boundary_fn, post_pairs):
+            # Pre-span names are logged by the wrapped stages() inside
+            # the original; the post span charges the core directly, so
+            # log its names here.  The burst pass runs contiguously on
+            # the serial core, so call-time logging preserves order.
+            walk = orig_burst(pairs, boundary_fn, post_pairs)
+            if walk is not None:
+                self.log.extend(name for name, _d in post_pairs)
+            return walk
+
         nic.stage = stage
         nic.stages = stages
+        nic.stages_burst = stages_burst
 
     def first_window(self, start_stage, stages):
         """The slice of the log beginning at the first ``start_stage``."""

@@ -221,6 +221,29 @@ class TestIncastRegression:
         assert scenario_digests(oracle) == scenario_digests(sharded)
 
 
+class TestBatchedPathAdversityDeterminism:
+    """Satellite: the burst fast paths (sender segment batching,
+    doorbell/CQE coalescing, kernel burst walkers, precompiled codecs)
+    must be invisible under adversity, not just on clean runs.  The
+    committed gate scenarios below drive retransmission, SACK, dup-ACK
+    and reassembly through the batched paths; the digests (CQE streams,
+    wire traces, metrics, final clock) must match the naive oracle."""
+
+    NAMES = ("reorder_storm_trunk", "drop_host_links", "corrupt_trunk")
+
+    @pytest.mark.parametrize("name", NAMES)
+    def test_fast_digests_match_naive(self, name):
+        path = os.path.join(REPO_SCENARIOS, f"{name}.yaml")
+        if not os.path.exists(path):
+            pytest.skip(f"committed scenario {name} not present")
+        spec = load_scenario(path).cluster_spec()
+        with fastpath.forced(True):
+            fast = run_single(spec)
+        with fastpath.disabled():
+            naive = run_single(spec)
+        assert scenario_digests(fast) == scenario_digests(naive)
+
+
 class TestInvariantsAndDigests:
     def test_clean_scenario_passes(self):
         spec = _tiny_scenario()

@@ -18,7 +18,8 @@ from repro.net.addresses import IPv6Address, MacAddress
 from repro.net.packet import (BytesPayload, ChainPayload, Packet,
                               ZeroPayload)
 from repro.sim import Simulator
-from repro.sim.engine import Event, Process, Timeout, _CallbackHandle
+from repro.sim.engine import (Event, Process, Timeout, _BurstWalk,
+                              _CallbackHandle, _ProcWake)
 
 
 def _assert_no_dict(obj):
@@ -95,6 +96,19 @@ class TestSimSlots:
         handle = sim.call_later(5.0, lambda: None)
         assert type(handle) is _CallbackHandle
         _assert_no_dict(handle)
+
+    def test_burst_walk(self):
+        # One _BurstWalk per submitted batch on the hot path; a __dict__
+        # here would undo most of the burst-submit allocation win.
+        sim = Simulator()
+        walk = sim.defer(1.0, lambda: None)
+        assert type(walk) is _BurstWalk
+        _assert_no_dict(walk)
+        _assert_no_dict(sim.burst([(0.5, lambda: None), (1.5, lambda: None)]))
+
+    def test_proc_wake(self):
+        sim = Simulator()
+        _assert_no_dict(_ProcWake(None))
 
     def test_cq_stays_functional(self):
         # CompletionQueue itself is not slotted (one per QP, cold); this

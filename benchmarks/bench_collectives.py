@@ -1,0 +1,37 @@
+"""Collective offload: NIC-resident vs host-driven latency curves.
+
+The architectural claim under test: moving the collective schedule into
+NIC firmware (one doorbell, combine in firmware, one CQE) beats running
+the identical schedule in the application (a full verbs round trip per
+step) — and the gap must not cost exactness, so every point also checks
+all ranks against the pure oracle and the two engines against each
+other bit-for-bit.  Results merge into ``BENCH_perf.json`` under
+``"collectives"``.
+"""
+
+from conftest import save_report
+
+from repro.collectives.bench import (measure_collectives,
+                                     merge_into_bench_report, render_curves)
+
+
+def _run():
+    return measure_collectives(worlds=(16, 32, 64), algo="allreduce",
+                               vector_len=256)
+
+
+def test_collective_curves(benchmark):
+    curves = benchmark.pedantic(_run, rounds=1, iterations=1)
+    save_report("collectives", render_curves(curves))
+    merge_into_bench_report(curves, "BENCH_perf.json")
+
+    assert curves["all_ok"], curves
+    assert curves["engines_agree"], curves
+    # Same schedule, same framing: the engines move identical bytes.
+    for world in map(str, curves["worlds"]):
+        host = curves["curves"]["host"][world]
+        nic = curves["curves"]["nic"][world]
+        assert host["total_bytes_sent"] == nic["total_bytes_sent"], world
+    # The acceptance bar: offload wins outright from 64 hosts up.
+    assert curves["nic_speedup"]["64"] >= 1.0, curves["nic_speedup"]
+    assert curves["nic_wins_at_largest"], curves

@@ -16,6 +16,8 @@ Usage::
     python -m repro trace ttcp [--out-dir traces/]
     python -m repro metrics pingpong [--json]
     python -m repro cluster --hosts 16 --workers 2 [--check-determinism]
+    python -m repro collective --engine nic --algo allreduce --hosts 64
+    python -m repro collective --bench [--quick --out BENCH_perf.json]
     python -m repro gate check [--tier commit --workers 2 --json]
     python -m repro gate check --only 'incast_*'
     python -m repro serve run [--dir serve-data --port 8700 --pool 2]
@@ -181,6 +183,56 @@ def build_parser() -> argparse.ArgumentParser:
                            help="--bench report path")
     cluster_p.add_argument("--json", action="store_true",
                            help="print the result as JSON")
+    coll_p = sub.add_parser(
+        "collective", help="one collective op (barrier/broadcast/allreduce) "
+                           "across every host: host engine vs NIC offload")
+    coll_p.add_argument("--algo",
+                        choices=("barrier", "broadcast", "allreduce"),
+                        default="allreduce")
+    coll_p.add_argument("--engine", choices=("host", "nic"), default="nic",
+                        help="host = schedule in the application (a verbs "
+                             "round trip per step); nic = schedule in "
+                             "firmware (one doorbell, one CQE)")
+    coll_p.add_argument("--variant", choices=("ring", "rd"), default="ring",
+                        help="rd = recursive doubling (host allreduce only, "
+                             "power-of-two world)")
+    coll_p.add_argument("--hosts", type=int, default=16,
+                        help="world size: rank i runs on host i")
+    coll_p.add_argument("--vector-len", type=int, default=1024,
+                        help="float64 elements per rank")
+    coll_p.add_argument("--root", type=int, default=0,
+                        help="broadcast root rank")
+    coll_p.add_argument("--eager-threshold", type=int, default=4096,
+                        help="NIC engine: chunk bytes above this go "
+                             "rendezvous (RTS/CTS) instead of eager")
+    coll_p.add_argument("--topology", choices=("fat-tree", "ring"),
+                        default="fat-tree")
+    coll_p.add_argument("--hosts-per-edge", type=int, default=4,
+                        help="fat-tree: hosts per edge switch (raise for "
+                             "large worlds, e.g. 8 at 1024 hosts)")
+    coll_p.add_argument("--spines", type=int, default=2)
+    coll_p.add_argument("--ring-switches", type=int, default=4)
+    coll_p.add_argument("--workers", type=int, default=1,
+                        help="shard count (1 = single process)")
+    coll_p.add_argument("--in-process", action="store_true",
+                        help="drive shards in one OS process (debug)")
+    coll_p.add_argument("--check-determinism", action="store_true",
+                        help="also run the 1-process oracle and require "
+                             "bit-for-bit identical observables")
+    coll_p.add_argument("--seed", type=int, default=1)
+    coll_p.add_argument("--horizon", type=float, default=20_000_000.0,
+                        help="simulated horizon in microseconds (raise "
+                             "for 512+ hosts)")
+    coll_p.add_argument("--bench", action="store_true",
+                        help="NIC-vs-host latency curves over several "
+                             "world sizes, merged into BENCH_perf.json")
+    coll_p.add_argument("--quick", action="store_true",
+                        help="--bench: small worlds (CI smoke)")
+    coll_p.add_argument("--out", default="BENCH_perf.json",
+                        help="--bench report path")
+    coll_p.add_argument("--json", action="store_true",
+                        help="print the result (or a structured error "
+                             "object) as JSON")
     gate_p = sub.add_parser(
         "gate", help="scenario-corpus regression gate: run the committed "
                      "scenarios/ specs and compare against golden digests")
@@ -450,6 +502,67 @@ def run_cluster_cmd(args) -> int:
     return 0
 
 
+def run_collective_cmd(args) -> int:
+    import json as _json
+    from .collectives import CollectiveJob, CollectiveWorkSpec
+    from .collectives.bench import (QUICK_WORLDS, measure_collectives,
+                                    merge_into_bench_report, render_curves)
+    from .errors import ReproError
+    try:
+        if args.bench:
+            curves = measure_collectives(
+                worlds=QUICK_WORLDS if args.quick else (16, 32, 64),
+                algo=args.algo, vector_len=min(args.vector_len, 256),
+                seed=args.seed, horizon=args.horizon)
+            path = merge_into_bench_report(curves, args.out)
+            if args.json:
+                print(_json.dumps(curves, indent=2, sort_keys=True))
+            else:
+                print(render_curves(curves))
+            print(f"[merged into {path}]")
+            return 0 if curves["all_ok"] and curves["engines_agree"] else 1
+        work = CollectiveWorkSpec(
+            algo=args.algo, engine=args.engine, variant=args.variant,
+            vector_len=args.vector_len, root=args.root, seed=args.seed,
+            eager_threshold=args.eager_threshold)
+        summary = CollectiveJob(
+            work, hosts=args.hosts, topology=args.topology,
+            hosts_per_edge=args.hosts_per_edge, spines=args.spines,
+            ring_switches=args.ring_switches, workers=args.workers,
+            processes=not args.in_process and args.workers > 1,
+            check_determinism=args.check_determinism,
+            horizon=args.horizon, seed=args.seed).run()
+    except ReproError as exc:
+        if args.json:
+            return _json_error("collective", type(exc).__name__,
+                               str(exc), 1, engine=args.engine,
+                               algo=args.algo, hosts=args.hosts)
+        print(f"repro collective: error: {exc}", file=sys.stderr)
+        return 1
+    ok = bool(summary["status_ok"] and summary["ranks_agree"]
+              and summary["oracle_match"])
+    if args.json:
+        print(_json.dumps(dict(summary, ok=ok), indent=2, sort_keys=True))
+        return 0 if ok else 1
+    print(f"collective: {summary['algo']} ({summary['variant']}) on "
+          f"{summary['world']} hosts, engine={summary['engine']}, "
+          f"{summary['vector_len']} float64/rank")
+    print(f"  latency (max rank)   {summary['max_wall_time_us']:>14,.1f} us")
+    print(f"  latency (mean rank)  {summary['mean_wall_time_us']:>14,.1f} us")
+    print(f"  bytes on the wire    {summary['total_bytes_sent']:>14,}")
+    print(f"  steps per rank       "
+          f"{'/'.join(str(s) for s in summary['steps_per_rank']):>14}")
+    print(f"  sim events           {summary['sim_events']:>14,}")
+    print(f"  statuses: {', '.join(summary['statuses'])}; "
+          f"ranks agree: {summary['ranks_agree']}; "
+          f"oracle match: {summary['oracle_match']}")
+    if summary["determinism_checked"]:
+        print("  determinism: sharded run bit-identical to 1-process oracle")
+    if not ok:
+        print("repro collective: exactness check failed", file=sys.stderr)
+    return 0 if ok else 1
+
+
 def run_gate_cmd(args) -> int:
     import json as _json
     from .errors import ReproError
@@ -675,6 +788,8 @@ def main(argv=None) -> int:
         print("  metrics    traced run: print the metrics report")
         print("  cluster    sharded parallel run of a large fabric "
               "(bit-for-bit deterministic)")
+        print("  collective barrier/broadcast/allreduce across every host: "
+              "host engine vs NIC offload")
         print("  gate       scenario-corpus regression gate "
               "(record/check golden digests)")
         print("  serve      supervised simulation service "
@@ -688,6 +803,8 @@ def main(argv=None) -> int:
         return run_trace_cmd(args)
     if args.command == "cluster":
         return run_cluster_cmd(args)
+    if args.command == "collective":
+        return run_collective_cmd(args)
     if args.command == "gate":
         return run_gate_cmd(args)
     if args.command == "serve":

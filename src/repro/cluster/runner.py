@@ -201,9 +201,18 @@ class _ProcessHandle:
     def start(self) -> float:
         return self._recv("ready")[0]
 
+    def _send(self, msg) -> None:
+        try:
+            self._conn.send(msg)
+        except (BrokenPipeError, ConnectionResetError, OSError):
+            # A kill lands mid-write just as easily as mid-read; same
+            # fact as the _recv EOF, same typed error.
+            self._proc.join(timeout=SHUTDOWN_GRACE_S)
+            raise WorkerDied(self.shard_id, self._proc.exitcode) from None
+
     def send_step(self, until: float, msgs: List[TrunkMsg]) -> None:
         self._sent_window = until
-        self._conn.send(("step", until, msgs))
+        self._send(("step", until, msgs))
 
     def recv_state(self):
         state = self._recv("state")
@@ -211,7 +220,7 @@ class _ProcessHandle:
         return state
 
     def send_finish(self) -> None:
-        self._conn.send(("finish",))
+        self._send(("finish",))
 
     def recv_result(self) -> dict:
         return self._recv("result")[0]

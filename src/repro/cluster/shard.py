@@ -25,6 +25,8 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from .. import obs
+from ..collectives.group import COLLECTIVE_FLOW_BASE, peer_pairs
+from ..collectives.runner import collective_rank_driver
 from ..core import QpipFirmware, QpipInterface
 from ..errors import ConfigError, ReproError
 from ..fabric.link import Link, _Direction
@@ -208,6 +210,20 @@ class ShardWorker:
             self.nodes[i] = ShardNode(i, host, nic, firmware, iface,
                                       addr, hname)
         # Routes (pure table writes, no events).
+        if self.spec.collective is not None:
+            coll = self.spec.collective
+            for r_a, r_b in peer_pairs(self.spec.hosts, coll.algo,
+                                       coll.variant):
+                a_name = self.bp.hosts[r_a][0]
+                b_name = self.bp.hosts[r_b][0]
+                if r_a in self.nodes:
+                    self.nodes[r_a].firmware.add_route(
+                        IPv6Address.from_index(r_b + 1),
+                        source_route=bp.route(a_name, b_name))
+                if r_b in self.nodes:
+                    self.nodes[r_b].firmware.add_route(
+                        IPv6Address.from_index(r_a + 1),
+                        source_route=bp.route(b_name, a_name))
         for fs in self.spec.flows:
             src_name, _s, _p = self.bp.hosts[fs.src]
             dst_name, _d, _q = self.bp.hosts[fs.dst]
@@ -243,6 +259,18 @@ class ShardWorker:
                     sim, self.nodes[fs.src],
                     IPv6Address.from_index(fs.dst + 1), fs, record)
                 self._flow_procs.append((fs.flow_id, "client",
+                                         sim.process(gen)))
+        # Collective ranks after the flows, in rank order.
+        if self.spec.collective is not None:
+            coll = self.spec.collective
+            for rank in range(self.spec.hosts):
+                if rank not in self.nodes:
+                    continue
+                fid = COLLECTIVE_FLOW_BASE + rank
+                record = self.results.setdefault(fid, {})
+                gen = collective_rank_driver(sim, self.nodes[rank], rank,
+                                             self.spec.hosts, coll, record)
+                self._flow_procs.append((fid, "collective",
                                          sim.process(gen)))
 
     def _install_faults(self) -> None:

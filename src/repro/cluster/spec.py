@@ -11,8 +11,9 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Tuple
+from typing import Optional, Tuple
 
+from ..collectives.group import CollectiveWorkSpec
 from ..errors import ConfigError
 from ..fabric.topology import (FabricBlueprint, fat_tree_blueprint,
                                ring_blueprint)
@@ -62,6 +63,9 @@ class ClusterSpec:
     capture_hosts: Tuple[str, ...] = () # host names to wiretap
     metrics: bool = False
     faults: Tuple[FaultBinding, ...] = ()  # wire faults, per injection point
+    # One collective op across every host (rank i on host i); records
+    # land under COLLECTIVE_FLOW_BASE + rank in the flow results.
+    collective: Optional[CollectiveWorkSpec] = None
 
     def blueprint(self) -> FabricBlueprint:
         if self.topology == "fat-tree":

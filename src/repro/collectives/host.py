@@ -1,0 +1,445 @@
+"""Host-level collective engine: the schedule runs in the application.
+
+Every schedule step costs the full verbs round trip — build WR, post,
+doorbell, firmware send, remote CQE, host wakeup — times the number of
+steps.  That per-step host overhead is exactly what the NIC-offloaded
+engine (:mod:`repro.collectives.nicoffload`) eliminates, so comparing
+the two engines on the same fabric isolates the offload benefit.
+
+Both engines speak the same wire framing (:mod:`repro.collectives.frames`)
+and share the one accumulation rule (:func:`repro.collectives.group.
+combine_into`), so for the same seed and vector their numerical results
+are bit-identical.
+
+Two allreduce variants: the bandwidth-optimal chunked **ring**
+(reduce-scatter + allgather, the NIC engine's schedule) and
+**recursive doubling** (log₂ N full-vector exchanges, power-of-two
+worlds) — the latency-optimal layout small SAN clusters actually ran.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Generator, List, Optional, Sequence, Tuple
+
+from .. import obs
+from ..core import QPTransport, WROpcode
+from ..errors import ReproError
+from ..net.addresses import Endpoint
+from . import frames
+from .group import (COLLECTIVE_FLOW_BASE, ELEM, CollectiveStats,
+                    CollectiveWorkSpec, ag_recv_chunk, ag_send_chunk,
+                    chunk_bounds, combine_into, pack_vector, rank_vector,
+                    rs_recv_chunk, rs_send_chunk, unpack_vector)
+
+# Host-side elementwise combine: a scalar float loop, slower than the
+# block memcpy rate (HostTiming.copy_per_byte, ~1/360 µs/B).
+HOST_COMBINE_PER_BYTE = 1 / 180.0
+
+BUF_SIZE = 16 * 1024        # registered buffer size (>= one frame at mtu 16K)
+RECV_BUFS = 8               # posted receive ring per inbound QP
+MAX_SENDS = 2               # app-level sends in flight per QP
+
+
+class _CollPump:
+    """CQ dispatcher for one member: routes completions by QP number.
+
+    Unlike the NBD pump, received frames are copied out and the buffer
+    re-posted *immediately* — inside :meth:`pump_once` — so the peer's
+    receive credit is never starved by a rank that is deep in its own
+    send loop.  That property is what makes the send-all-then-receive
+    step structure deadlock-free for chunks spanning many frames.
+    """
+
+    def __init__(self, iface, cq):
+        self.iface = iface
+        self.cq = cq
+        self._qps: Dict[int, object] = {}
+        self._posted: Dict[int, deque] = {}
+        self._inbox: Dict[int, deque] = {}
+        self._sends: Dict[int, int] = {}
+        self.dead = False
+
+    def add_qp(self, qp, recv_bufs) -> None:
+        self._qps[qp.qp_num] = qp
+        self._posted[qp.qp_num] = deque(recv_bufs)
+        self._inbox[qp.qp_num] = deque()
+        self._sends[qp.qp_num] = 0
+
+    def pump_once(self) -> Generator:
+        cqes = yield from self.iface.wait(self.cq)
+        for cqe in cqes:
+            if cqe.opcode is WROpcode.RECV:
+                if not cqe.ok:
+                    self.dead = True
+                    continue
+                buf = self._posted[cqe.qp_num].popleft()
+                self._inbox[cqe.qp_num].append(buf.read(cqe.byte_len))
+                yield from self.iface.post_recv(self._qps[cqe.qp_num],
+                                                [buf.sge()])
+                self._posted[cqe.qp_num].append(buf)
+            else:
+                self._sends[cqe.qp_num] -= 1
+                if not cqe.ok:
+                    self.dead = True
+
+    def recv(self, qp) -> Generator:
+        """Next received frame (raw bytes) on ``qp``, or None if broken."""
+        inbox = self._inbox[qp.qp_num]
+        while not inbox:
+            if self.dead:
+                return None
+            yield from self.pump_once()
+        return inbox.popleft()
+
+    def wait_send_slot(self, qp) -> Generator:
+        while self._sends[qp.qp_num] >= MAX_SENDS and not self.dead:
+            yield from self.pump_once()
+
+    def note_send(self, qp) -> None:
+        self._sends[qp.qp_num] += 1
+
+
+class HostCollectiveMember:
+    """One rank of a host-engine collective group.
+
+    ``addrs`` lists every rank's NIC address (rank ``i`` at index ``i``)
+    so the member works identically in single-process runs and on
+    cluster shards where remote ranks have no local node record.
+    """
+
+    def __init__(self, node, rank: int, addrs: Sequence,
+                 spec: CollectiveWorkSpec, group: int = 0):
+        self.node = node
+        self.iface = node.iface
+        self.host = node.host
+        self.sim = node.host.sim
+        self.rank = rank
+        self.addrs = list(addrs)
+        self.world = len(self.addrs)
+        self.spec = spec
+        self.group = group
+        self.stats = CollectiveStats()
+        spec.validate_world(self.world)
+        mtu = self.iface.fw.nic.mtu
+        self._frame_elems = min(frames.max_frame_elems(mtu),
+                                (BUF_SIZE - frames.HEADER_SIZE) // ELEM)
+        self._send_bufs: Dict[int, List] = {}
+        self._send_idx: Dict[int, int] = {}
+        self.pump: Optional[_CollPump] = None
+        self.in_qp = None
+        self.out_qp = None
+        self._rd_qps: List = []
+
+    # -- wiring --------------------------------------------------------------
+
+    def setup(self) -> Generator:
+        """Establish the group links (run as a process on every rank)."""
+        self.cq = yield from self.iface.create_cq()
+        self.pump = _CollPump(self.iface, self.cq)
+        if self.world == 1:
+            return
+        if self.spec.variant == "rd":
+            yield from self._setup_rd()
+        else:
+            yield from self._setup_ring()
+
+    def _alloc_send_bufs(self, qp) -> Generator:
+        bufs = []
+        for _ in range(MAX_SENDS):
+            buf = yield from self.iface.register_memory(BUF_SIZE)
+            bufs.append(buf)
+        self._send_bufs[qp.qp_num] = bufs
+        self._send_idx[qp.qp_num] = 0
+
+    def _recv_ring(self, qp) -> Generator:
+        bufs = []
+        for _ in range(RECV_BUFS):
+            buf = yield from self.iface.register_memory(BUF_SIZE)
+            yield from self.iface.post_recv(qp, [buf.sge()])
+            bufs.append(buf)
+        return bufs
+
+    def _setup_ring(self) -> Generator:
+        iface = self.iface
+        right = (self.rank + 1) % self.world
+        self.in_qp = yield from iface.create_qp(QPTransport.TCP, self.cq,
+                                                max_recv_wr=64)
+        recv_bufs = yield from self._recv_ring(self.in_qp)
+        listener = yield from iface.listen(self.spec.port)
+        self.out_qp = yield from iface.create_qp(QPTransport.TCP, self.cq)
+        yield from self._alloc_send_bufs(self.out_qp)
+        accept_done = {}
+
+        def acceptor():
+            yield from iface.accept(listener, self.in_qp)
+            accept_done["ok"] = True
+
+        acc = self.sim.process(acceptor())
+        yield self.sim.timeout(1000.0 + 100.0 * self.rank)
+        yield from iface.connect(self.out_qp,
+                                 Endpoint(self.addrs[right], self.spec.port))
+        yield acc
+        if not accept_done.get("ok"):
+            raise ReproError(f"rank {self.rank}: collective ring accept failed")
+        self.pump.add_qp(self.in_qp, recv_bufs)
+        self.pump.add_qp(self.out_qp, [])
+
+    def _setup_rd(self) -> Generator:
+        """One QP per recursive-doubling round; the lower rank of each
+        pair listens on ``port + 1 + round``, the higher connects."""
+        iface = self.iface
+        rounds = self.world.bit_length() - 1
+        listeners = {}
+        for k in range(rounds):
+            if self.rank < self.rank ^ (1 << k):
+                listeners[k] = yield from iface.listen(self.spec.port + 1 + k)
+        self._rd_qps = []
+        recv_rings = []
+        for k in range(rounds):
+            qp = yield from iface.create_qp(QPTransport.TCP, self.cq,
+                                            max_recv_wr=64)
+            recv_rings.append((yield from self._recv_ring(qp)))
+            yield from self._alloc_send_bufs(qp)
+            self._rd_qps.append(qp)
+        accept_done = {}
+
+        def acceptor(k, qp):
+            yield from iface.accept(listeners[k], qp)
+            accept_done[k] = True
+
+        procs = []
+        for k in range(rounds):
+            if k in listeners:
+                procs.append(self.sim.process(acceptor(k, self._rd_qps[k])))
+        yield self.sim.timeout(1000.0 + 100.0 * self.rank)
+        for k in range(rounds):
+            partner = self.rank ^ (1 << k)
+            if self.rank > partner:
+                yield from iface.connect(
+                    self._rd_qps[k],
+                    Endpoint(self.addrs[partner], self.spec.port + 1 + k))
+        for p in procs:
+            yield p
+        if len(accept_done) != len(listeners):
+            raise ReproError(f"rank {self.rank}: rd pair accept failed")
+        for qp, bufs in zip(self._rd_qps, recv_rings):
+            self.pump.add_qp(qp, bufs)
+
+    # -- framed send/recv ----------------------------------------------------
+
+    def _send_frame(self, qp, data: bytes, phase: str) -> Generator:
+        yield from self.pump.wait_send_slot(qp)
+        if self.pump.dead:
+            raise ReproError(f"rank {self.rank}: collective link broken")
+        idx = self._send_idx[qp.qp_num]
+        self._send_idx[qp.qp_num] = (idx + 1) % MAX_SENDS
+        buf = self._send_bufs[qp.qp_num][idx]
+        buf.write(data)
+        yield from self.iface.post_send(qp, [buf.sge(0, len(data))])
+        self.pump.note_send(qp)
+        self.stats.add_phase_bytes(phase, len(data))
+
+    def _recv_frame(self, qp, algo_code: int) -> Generator:
+        data = yield from self.pump.recv(qp)
+        if data is None:
+            raise ReproError(f"rank {self.rank}: collective link broken")
+        hdr, body = frames.decode_frame(data)
+        if hdr.group != self.group or hdr.algo != algo_code:
+            raise ReproError(
+                f"rank {self.rank}: unexpected collective frame {hdr}")
+        return hdr, body
+
+    def _data_frames(self, vector: Sequence[float], algo: int, phase: int,
+                     step: int, offset: int, count: int) -> List[bytes]:
+        out = []
+        done = 0
+        while done < count:
+            n = min(self._frame_elems, count - done)
+            off = offset + done
+            out.append(frames.encode_frame(
+                frames.KIND_DATA, algo, phase, self.group, 0, step, off, n,
+                pack_vector(vector[off:off + n])))
+            done += n
+        return out
+
+    # -- collectives ---------------------------------------------------------
+
+    def run(self, values: Optional[Sequence[float]] = None) -> Generator:
+        """Execute the spec's operation; returns the result vector
+        (allreduce/broadcast) or None (barrier)."""
+        spec = self.spec
+        if values is None and spec.algo != "barrier":
+            if spec.algo == "allreduce" or self.rank == spec.root:
+                values = rank_vector(self.rank, self.world, spec.vector_len,
+                                     spec.seed)
+            else:
+                values = [0.0] * spec.vector_len
+        t0 = self.sim.now
+        rec = obs.RECORDER
+        if rec is not None:
+            rec.event("coll", "coll.start", track=self._track(),
+                      group=self.group, seq=0, algo=spec.algo,
+                      rank=self.rank, nelems=spec.vector_len,
+                      engine="host")
+            rec.metrics.counter("coll.ops_started").add()
+        if spec.algo == "barrier":
+            result = None
+            yield from self._barrier()
+        elif spec.algo == "broadcast":
+            result = yield from self._broadcast(values)
+        elif spec.variant == "rd":
+            result = yield from self._allreduce_rd(values)
+        else:
+            result = yield from self._allreduce_ring(values)
+        self.stats.wall_time_us += self.sim.now - t0
+        if rec is not None:
+            rec.metrics.counter("coll.ops_completed").add()
+        return result
+
+    def _allreduce_ring(self, values: Sequence[float]) -> Generator:
+        world, rank = self.world, self.rank
+        acc = list(values)
+        if world == 1 or not acc:
+            return acc
+        algo = frames.ALGO_CODES["allreduce"]
+        bounds = chunk_bounds(len(acc), world)
+        total = 2 * (world - 1)
+        self._begin_span("collective.reduce_scatter")
+        for step in range(total):
+            rs = step < world - 1
+            s = step if rs else step - (world - 1)
+            phase_code = (frames.PHASE_REDUCE_SCATTER if rs
+                          else frames.PHASE_ALLGATHER)
+            phase = frames.PHASE_NAMES[phase_code]
+            send_fn = rs_send_chunk if rs else ag_send_chunk
+            recv_fn = rs_recv_chunk if rs else ag_recv_chunk
+            send_off, send_cnt = bounds[send_fn(rank, world, s)]
+            recv_off, recv_cnt = bounds[recv_fn(rank, world, s)]
+            for data in self._data_frames(acc, algo, phase_code, step,
+                                          send_off, send_cnt):
+                yield from self._send_frame(self.out_qp, data, phase)
+            got = 0
+            while got < recv_cnt:
+                hdr, body = yield from self._recv_frame(self.in_qp, algo)
+                incoming = unpack_vector(body)
+                if rs:
+                    yield self.host.cpu.submit(
+                        HOST_COMBINE_PER_BYTE * len(body), "collective")
+                    combine_into(acc, hdr.offset, incoming)
+                else:
+                    yield self.host.cpu.submit(
+                        self.host.copy_cost(len(body)), "collective")
+                    acc[hdr.offset:hdr.offset + len(incoming)] = incoming
+                got += hdr.count
+            self.stats.steps += 1
+            if step == world - 2:
+                self._end_span("collective.reduce_scatter")
+                self._begin_span("collective.allgather")
+        self._end_span("collective.allgather")
+        return acc
+
+    def _allreduce_rd(self, values: Sequence[float]) -> Generator:
+        world, rank = self.world, self.rank
+        acc = list(values)
+        if world == 1 or not acc:
+            return acc
+        n = len(acc)
+        algo = frames.ALGO_CODES["allreduce"]
+        self._begin_span("collective.allreduce")
+        k, step = 1, 0
+        while k < world:
+            qp = self._rd_qps[step]
+            # Snapshot before combining: the partner must see this
+            # round's *input*, not a half-combined vector.
+            outgoing = acc[:]
+            for data in self._data_frames(outgoing, algo, 0, step, 0, n):
+                yield from self._send_frame(qp, data, "rd_exchange")
+            got = 0
+            while got < n:
+                hdr, body = yield from self._recv_frame(qp, algo)
+                yield self.host.cpu.submit(
+                    HOST_COMBINE_PER_BYTE * len(body), "collective")
+                combine_into(acc, hdr.offset, unpack_vector(body))
+                got += hdr.count
+            self.stats.steps += 1
+            k <<= 1
+            step += 1
+        self._end_span("collective.allreduce")
+        return acc
+
+    def _broadcast(self, values: Sequence[float]) -> Generator:
+        world, rank, root = self.world, self.rank, self.spec.root
+        acc = list(values)
+        n = len(acc)
+        if world == 1 or n == 0:
+            return acc
+        algo = frames.ALGO_CODES["broadcast"]
+        right = (rank + 1) % world
+        self._begin_span("collective.broadcast")
+        if rank == root:
+            for data in self._data_frames(acc, algo, 0, 0, 0, n):
+                yield from self._send_frame(self.out_qp, data, "broadcast")
+                self.stats.steps += 1
+        else:
+            got = 0
+            while got < n:
+                hdr, body = yield from self._recv_frame(self.in_qp, algo)
+                yield self.host.cpu.submit(
+                    self.host.copy_cost(len(body)), "collective")
+                incoming = unpack_vector(body)
+                acc[hdr.offset:hdr.offset + len(incoming)] = incoming
+                got += hdr.count
+                self.stats.steps += 1
+                if right != root:
+                    yield from self._send_frame(
+                        self.out_qp, frames.encode_frame(
+                            frames.KIND_DATA, algo, 0, self.group, 0,
+                            hdr.step, hdr.offset, hdr.count, body),
+                        "broadcast")
+        self._end_span("collective.broadcast")
+        return acc
+
+    def _barrier(self) -> Generator:
+        if self.world == 1:
+            return
+        algo = frames.ALGO_CODES["barrier"]
+        self._begin_span("collective.barrier")
+        for round_ in range(2):
+            if self.rank == 0:
+                yield from self._send_frame(self.out_qp, frames.encode_frame(
+                    frames.KIND_TOKEN, algo, 0, self.group, 0, round_, 0, 0),
+                    "barrier")
+                yield from self._recv_frame(self.in_qp, algo)
+            else:
+                hdr, _ = yield from self._recv_frame(self.in_qp, algo)
+                yield from self._send_frame(self.out_qp, frames.encode_frame(
+                    frames.KIND_TOKEN, algo, 0, self.group, 0, hdr.step,
+                    0, 0), "barrier")
+            self.stats.steps += 1
+        self._end_span("collective.barrier")
+        rec = obs.RECORDER
+        if rec is not None:
+            rec.event("coll", "collective.barrier_release",
+                      track=self._track(), group=self.group, seq=0,
+                      rank=self.rank)
+
+    # -- observability -------------------------------------------------------
+
+    def _track(self) -> str:
+        return f"{self.iface.fw.nic.attachment.name}.coll"
+
+    def _span_key(self, name: str):
+        return ("coll-host", self.iface.fw.nic.name, self.group, 0, name)
+
+    def _begin_span(self, name: str) -> None:
+        rec = obs.RECORDER
+        if rec is not None:
+            rec.begin("coll", name, self._span_key(name), track=self._track(),
+                      group=self.group, rank=self.rank, seq=0,
+                      algo=self.spec.algo, engine="host")
+
+    def _end_span(self, name: str) -> None:
+        rec = obs.RECORDER
+        if rec is not None:
+            rec.end(self._span_key(name))

@@ -82,6 +82,7 @@ class FwEndpoint:
         self._msg_ids = itertools.count()
         self.established_event: Optional[Event] = None
         self.listener: Optional["QpipListener"] = None
+        self.coll_unit = None            # set on collective-ring endpoints
         self.udp_endpoint = None
         self.close_pending = False     # disconnect waits for queued sends
         # RDMA extension state.
@@ -90,9 +91,12 @@ class FwEndpoint:
 
     def on_conn_created(self, conn) -> None:
         """Listener path: adopt the connection; window = posted WR credit
-        (zero until a QP is mated, which is exactly QPIP's semantics)."""
+        (zero until a QP is mated, which is exactly QPIP's semantics).
+        Collective-ring endpoints consume in SRAM instead, so they open
+        a standing window immediately."""
         self.conn = conn
-        conn.enable_credit_window(0)
+        conn.enable_credit_window(
+            RDMA_WINDOW_CREDIT if self.coll_unit is not None else 0)
 
     # --- TcpConnection context protocol (synchronous; we only queue work) --
 
@@ -163,6 +167,7 @@ class QpipFirmware:
         self.translation = TranslationTable(name=f"{nic.name}.tpt")
         self.endpoints: Dict[int, FwEndpoint] = {}       # qp_num -> endpoint
         self.listeners: Dict[int, QpipListener] = {}
+        self.collectives: Dict[int, object] = {}         # group -> CollectiveUnit
         self._listener_ids = itertools.count(1)
         self._tx_ring: Deque[FwEndpoint] = deque()
         self._actions: List[tuple] = []
@@ -299,6 +304,12 @@ class QpipFirmware:
 
     def _doorbell(self, token: Tuple[int, str]) -> None:
         qp_num, which = token
+        if which == "coll":
+            # Collective doorbell: the token names a group, not a QP.
+            unit = self.collectives.get(qp_num)
+            if unit is not None:
+                self._push_action(("coll_start", unit))
+            return
         ep = self.endpoints.get(qp_num)
         if ep is None:
             return
@@ -422,6 +433,19 @@ class QpipFirmware:
         listener.offer_qp(qp, done)
         return DEFERRED           # `done` fires when a connection is mated
 
+    def _mgmt_coll_create(self, config):
+        """Install a firmware-resident collective group (repro.collectives).
+
+        The unit owns its ring connections; the command's ``done`` event
+        fires once both neighbor links are established.
+        """
+        from ..collectives.nicoffload import CollectiveUnit
+        if config.group in self.collectives:
+            raise VerbsError(f"collective group {config.group} already exists")
+        self.collectives[config.group] = CollectiveUnit(
+            self, config, self._current_done)
+        return DEFERRED
+
     def _mgmt_bind_udp(self, qp: QueuePair, port: Optional[int]) -> int:
         ep = self._endpoint_of(qp)
         udp_ep = self.stack.udp.bind(port)
@@ -541,6 +565,8 @@ class QpipFirmware:
                     self._post_cqe(ep.qp.send_cq, Completion(
                         wr.wr_id, ep.qp.qp_num, wr.opcode,
                         byte_len=wr.length))
+            elif kind == "coll_start":
+                yield from action[1].start_next()
             elif kind == "established":
                 self._on_established(action[1])
             elif kind == "remote_fin":
@@ -561,6 +587,9 @@ class QpipFirmware:
                 self._actions.append(action)
 
     def _deliver_tcp(self, ep: FwEndpoint, payload: Payload):
+        if ep.coll_unit is not None:
+            yield from ep.coll_unit.on_deliver(ep, payload)
+            return
         if ep.qp is not None and ep.qp.rdma:
             yield from self._deliver_rdma(ep, payload)
             return
@@ -656,6 +685,8 @@ class QpipFirmware:
             yield from self._emit_read_response(ep)
         elif ep.qp is not None and ep.qp.send_queue and self._can_fetch(ep):
             yield from self._fetch_send_wr(ep)
+        elif ep.coll_unit is not None and self._coll_can_fetch(ep):
+            yield from ep.coll_unit.fetch_next(ep)
         if ep.conn is not None:
             yield from self._emit_one_segment(ep)
         if ep.close_pending and ep.qp is not None and not ep.qp.send_queue \
@@ -663,8 +694,13 @@ class QpipFirmware:
             ep.close_pending = False
             ep.conn.close()
         if (ep.conn is not None and ep.conn.has_output()) or ep.read_responses \
-                or (ep.qp is not None and ep.qp.send_queue and self._can_fetch(ep)):
+                or (ep.qp is not None and ep.qp.send_queue and self._can_fetch(ep)) \
+                or (ep.coll_unit is not None and self._coll_can_fetch(ep)):
             self._queue_tx(ep)
+
+    def _coll_can_fetch(self, ep: FwEndpoint) -> bool:
+        return (ep.conn is not None and ep.coll_unit.has_pending(ep)
+                and len(ep.conn._unsent) < 4)     # bounded SRAM staging
 
     def _can_fetch(self, ep: FwEndpoint) -> bool:
         if ep.qp.transport is QPTransport.UDP:
@@ -767,8 +803,10 @@ class QpipFirmware:
         desc = conn.next_descriptor()
         if desc is None:
             return
-        if desc.kind == "data" and desc.retransmit:
-            # Retransmission: the data must be fetched from host memory again.
+        if desc.kind == "data" and desc.retransmit and ep.coll_unit is None:
+            # Retransmission: the data must be fetched from host memory
+            # again.  Collective frames originate in NIC SRAM (the unit's
+            # accumulator), so they skip the host refetch.
             yield self.nic.stage("get_data", t.get_data)
             try:
                 dma = self.nic.dma_from_host(
@@ -1032,6 +1070,9 @@ class QpipFirmware:
     # -- endpoint lifecycle ------------------------------------------------------
 
     def _on_established(self, ep: FwEndpoint) -> None:
+        if ep.coll_unit is not None:
+            ep.coll_unit.on_established(ep)
+            return
         if ep.qp is not None:
             ep.qp.state = QPState.CONNECTED
             rec = obs.RECORDER
@@ -1061,6 +1102,9 @@ class QpipFirmware:
         qp.wr_dequeued("recv")
 
     def _on_closed(self, ep: FwEndpoint, exc: Optional[Exception]) -> None:
+        if ep.coll_unit is not None:
+            ep.coll_unit.on_closed(ep, exc)
+            return
         if ep.qp is None:
             return
         qp = ep.qp

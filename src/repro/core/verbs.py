@@ -156,6 +156,24 @@ class QpipInterface:
     def disconnect(self, qp: QueuePair) -> Generator:
         yield from self._mgmt("disconnect", qp)
 
+    def coll_create(self, group: int, rank: int, world: int,
+                    right_addr, port: int, cq: CompletionQueue,
+                    eager_threshold: int = 4096,
+                    connect_delay_us: Optional[float] = None) -> Generator:
+        """Install a NIC-resident collective group (repro.collectives).
+
+        Returns once the firmware's ring connections to both neighbors
+        are established; completions for posted ops land on ``cq``.
+        """
+        from ..collectives.nicoffload import CONNECT_DELAY_US, CollGroupConfig
+        config = CollGroupConfig(
+            group=group, rank=rank, world=world, right_addr=right_addr,
+            port=port, eager_threshold=eager_threshold, cq=cq,
+            connect_delay_us=(CONNECT_DELAY_US if connect_delay_us is None
+                              else connect_delay_us))
+        result = yield from self._mgmt("coll_create", config)
+        return result
+
     def destroy_qp(self, qp: QueuePair) -> Generator:
         yield from self._mgmt("destroy_qp", qp)
 
@@ -214,6 +232,33 @@ class QpipInterface:
             cost, category="qpip-post",
             fn=lambda: self.fw.nic.ring_doorbell((qp.qp_num, which)))
         return wr.wr_id
+
+    def coll_post(self, group: int, algo: str, nelems: int = 0,
+                  sge: Optional[SGE] = None, root: int = 0,
+                  wr_id: Optional[int] = None) -> Generator:
+        """Post one collective op: a single doorbell, a single CQE.
+
+        This is the entire host-side cost of a NIC-offloaded collective —
+        the per-step forwarding and combining happens in firmware.
+        """
+        from ..collectives.nicoffload import CollOp
+        unit = self.fw.collectives.get(group)
+        if unit is None:
+            raise VerbsError(f"no collective group {group} on this interface")
+        if wr_id is None:
+            wr_id = next(self._wr_ids)
+        op = CollOp(wr_id, algo, unit.alloc_seq(), root, nelems, sge)
+        unit.host_ring.append(op)
+        rec = obs.RECORDER
+        if rec is not None:
+            rec.event("verbs", "coll.post", track=f"coll{group}.host",
+                      group=group, wr_id=wr_id, algo=algo, nelems=nelems)
+            rec.metrics.counter("verbs.coll_posted").add()
+        cost = self.timing.post_descriptor + self.timing.doorbell
+        yield self.host.cpu.submit(
+            cost, category="qpip-post",
+            fn=lambda: self.fw.nic.ring_doorbell((group, "coll")))
+        return wr_id
 
     def post_send(self, qp: QueuePair, sges: List[SGE],
                   dest: Optional[Endpoint] = None,

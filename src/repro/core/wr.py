@@ -21,6 +21,7 @@ class WROpcode(enum.Enum):
     RECV = "RECV"
     RDMA_WRITE = "RDMA_WRITE"     # extension: one-sided write (§2.1 model)
     RDMA_READ = "RDMA_READ"       # extension: one-sided read
+    COLLECTIVE = "COLLECTIVE"     # extension: NIC-offloaded collective op
 
 
 class WRStatus(enum.Enum):

@@ -12,6 +12,8 @@ from __future__ import annotations
 
 from typing import Dict, List
 
+from ..collectives.group import COLLECTIVE_FLOW_BASE
+from ..collectives.job import expected_digest
 from ..tools.inspect import (cqe_stream_digest, metrics_snapshot,
                              wire_trace_digest)
 from .spec import ScenarioSpec
@@ -81,6 +83,24 @@ def evaluate_invariants(spec: ScenarioSpec, result) -> List[str]:
                 violations.append(
                     f"flow {fs.flow_id}: finished at {done:g}us > "
                     f"completes_by_us={exp.completes_by_us:g}us")
+    collective = spec.workload.collective(spec.seed)
+    if collective is not None:
+        # Exactness is absolute: every rank must complete and hold the
+        # oracle's bits — faults may stretch time, never change values.
+        oracle = expected_digest(collective, spec.hosts)
+        for rank in range(spec.hosts):
+            record = result.flows.get(COLLECTIVE_FLOW_BASE + rank)
+            if record is None:
+                violations.append(f"collective rank {rank}: no record")
+                continue
+            if record.get("status") != "SUCCESS":
+                violations.append(f"collective rank {rank}: status="
+                                  f"{record.get('status')!r}")
+            got = record.get("result_digest")
+            if got != oracle:
+                violations.append(
+                    f"collective rank {rank}: result digest {got} != "
+                    f"oracle {oracle}")
     if exp.min_checksum_errors:
         got = _counter(result.metrics, "net.checksum_errors")
         if got < exp.min_checksum_errors:

@@ -18,6 +18,7 @@ from dataclasses import dataclass, field, fields as dataclass_fields
 from typing import Dict, List, Optional, Tuple
 
 from ..cluster.spec import ClusterSpec, FlowSpec, incast_flows, make_flows
+from ..collectives.group import CollectiveWorkSpec
 from ..errors import ConfigError, MissingDependency
 from ..faults.plan import FaultBinding
 
@@ -34,9 +35,10 @@ def _require_keys(data: Dict, allowed, what: str) -> None:
 
 @dataclass(frozen=True)
 class WorkloadSpec:
-    """What the hosts do: random pairs or an N→1 incast."""
+    """What the hosts do: random pairs, an N→1 incast, or one
+    collective op (every host is one rank)."""
 
-    pattern: str = "pairs"        # "pairs" | "incast"
+    pattern: str = "pairs"        # "pairs" | "incast" | "collective"
     kind: str = "ttcp"            # pairs: "ttcp" | "pingpong"
     count: int = 4                # pairs: number of flows
     senders: int = 4              # incast: fan-in degree
@@ -48,19 +50,37 @@ class WorkloadSpec:
     stagger: float = 200.0        # start-offset spread (us)
     queue_depth: int = 8          # ttcp sender pipeline depth
     verify: bool = True           # ttcp: seq-stamped payload audit
+    algo: str = "allreduce"       # collective: barrier|broadcast|allreduce
+    engine: str = "nic"           # collective: "host" | "nic"
+    variant: str = "ring"         # collective: "ring" | "rd"
+    vector_len: int = 1024        # collective: float64 elements per rank
+    root: int = 0                 # collective: broadcast root rank
+    eager_threshold: int = 4096   # collective: NIC rendezvous cutover
 
     def __post_init__(self):
-        if self.pattern not in ("pairs", "incast"):
+        if self.pattern not in ("pairs", "incast", "collective"):
             raise ConfigError(f"workload pattern {self.pattern!r} "
-                              f"not in ('pairs', 'incast')")
+                              f"not in ('pairs', 'incast', 'collective')")
         if self.kind not in ("ttcp", "pingpong"):
             raise ConfigError(f"workload kind {self.kind!r} "
                               f"not in ('ttcp', 'pingpong')")
         if self.verify and self.kind == "ttcp" and self.chunk < 8:
             raise ConfigError("verify needs chunk >= 8 (seq stamp)")
+        if self.pattern == "collective":
+            self.collective(seed=1)   # validate algo/engine/variant now
+
+    def collective(self, seed: int) -> Optional[CollectiveWorkSpec]:
+        if self.pattern != "collective":
+            return None
+        return CollectiveWorkSpec(
+            algo=self.algo, engine=self.engine, variant=self.variant,
+            vector_len=self.vector_len, root=self.root, seed=seed,
+            eager_threshold=self.eager_threshold)
 
     def flows(self, hosts: int, seed: int) -> Tuple[FlowSpec, ...]:
         from dataclasses import replace
+        if self.pattern == "collective":
+            return ()
         if self.pattern == "incast":
             return incast_flows(
                 self.senders, hosts, dst=self.dst,
@@ -164,6 +184,9 @@ class ScenarioSpec:
                           f"scenario {self.name}: tolerance")
 
     def cluster_spec(self) -> ClusterSpec:
+        collective = self.workload.collective(self.seed)
+        if collective is not None:
+            collective.validate_world(self.hosts)
         return ClusterSpec(
             topology=self.topology, hosts=self.hosts,
             hosts_per_edge=self.hosts_per_edge, spines=self.spines,
@@ -172,7 +195,7 @@ class ScenarioSpec:
             flows=self.workload.flows(self.hosts, self.seed),
             horizon=self.horizon, seed=self.seed, mtu=self.mtu,
             capture_hosts=self.capture_hosts, metrics=True,
-            faults=self.faults)
+            faults=self.faults, collective=collective)
 
     # -- serialisation ---------------------------------------------------
 

@@ -51,6 +51,13 @@ class LanaiTiming:
     rx_checksum_per_byte: float | None = None
     # Management command handling.
     mgmt_command: float = 10.0
+    # Collective offload engine (repro.collectives): per-frame handling
+    # and the firmware combine loop (µs per payload byte).  The combine
+    # rate is deliberately in the same league as the host's copy rate —
+    # the offload wins by eliminating per-step host WRs, doorbells and
+    # CQEs, not by magic arithmetic.
+    coll_frame: float = 2.0
+    coll_combine_per_byte: float = 0.004
     # Whether payload DMA overlaps firmware processing (Infiniband-class
     # hardware) or the firmware busy-waits on the DMA engines (prototype).
     overlap_dma: bool = False
@@ -71,7 +78,8 @@ def ib_class_timing() -> LanaiTiming:
         media_recv=0.1, ip_parse=0.1, tcp_parse_data=0.3, tcp_parse_ack=0.3,
         put_data=0.3, rx_update_data=0.1, rx_update_ack=0.2,
         build_udp_hdr=0.1, udp_parse=0.2, dma_setup=0.2,
-        rx_checksum_per_byte=None, mgmt_command=2.0, overlap_dma=True)
+        rx_checksum_per_byte=None, mgmt_command=2.0,
+        coll_frame=0.2, coll_combine_per_byte=0.001, overlap_dma=True)
 
 
 @dataclass(frozen=True)

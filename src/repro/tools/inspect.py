@@ -117,6 +117,50 @@ def merge_metrics_dumps(dumps: Iterable[Dict[str, dict]]):
     return merged
 
 
+def collective_records(flows: Dict[int, dict]) -> Dict[int, dict]:
+    """Extract ``rank -> record`` from a cluster result's flow map.
+
+    Collective rank records live under ``COLLECTIVE_FLOW_BASE + rank``
+    so they can share the map with ordinary flows.
+    """
+    from ..collectives.group import COLLECTIVE_FLOW_BASE
+    return {fid - COLLECTIVE_FLOW_BASE: rec for fid, rec in flows.items()
+            if fid >= COLLECTIVE_FLOW_BASE}
+
+
+def collective_report(records: Dict[int, dict]) -> str:
+    """Per-rank CollectiveStats table for one collective run.
+
+    ``records`` maps rank to the record written by the rank driver
+    (:func:`collective_records` extracts it from a cluster result).
+    Surfaces the honest accounting: schedule steps taken, bytes handed
+    to the transport split by phase, and the post-to-completion
+    sim-clock latency each rank observed.
+    """
+    if not records:
+        return "collective: no rank records"
+    first = records[min(records)]
+    lines = [
+        f"collective: {first['algo']} ({first['variant']}) "
+        f"engine={first['engine']} world={first['world']}",
+        f"{'rank':>6} {'status':>10} {'steps':>6} {'bytes':>10} "
+        f"{'wall us':>12}  digest",
+    ]
+    phase_totals: Dict[str, int] = {}
+    for rank in sorted(records):
+        rec = records[rank]
+        stats = rec["stats"]
+        lines.append(
+            f"{rank:>6} {rec['status']:>10} {stats['steps']:>6} "
+            f"{stats['bytes_sent']:>10,} {stats['wall_time_us']:>12,.1f}  "
+            f"{rec['result_digest']}")
+        for phase, nbytes in stats["phase_bytes"].items():
+            phase_totals[phase] = phase_totals.get(phase, 0) + nbytes
+    for phase, nbytes in sorted(phase_totals.items()):
+        lines.append(f"  phase {phase:16s} {nbytes:>12,} bytes")
+    return "\n".join(lines)
+
+
 def connection_report(conn: TcpConnection) -> str:
     """A netstat-style dump of one TCP connection."""
     s = conn.stats

@@ -79,6 +79,43 @@ class TestEquivalence:
         with pytest.raises(ClusterError, match="rx_bytes"):
             assert_equivalent(a, b)
 
+    @pytest.mark.parametrize("engine", ["host", "nic"])
+    def test_collective_shards_match_oracle(self, engine):
+        from repro.collectives import (COLLECTIVE_FLOW_BASE,
+                                       CollectiveWorkSpec, allreduce_oracle,
+                                       result_digest)
+        spec = ClusterSpec(
+            topology="fat-tree", hosts=8, hosts_per_edge=2, metrics=True,
+            horizon=10_000_000.0, seed=9,
+            collective=CollectiveWorkSpec(engine=engine, algo="allreduce",
+                                          vector_len=96, seed=9))
+        oracle = run_single(spec)
+        for workers in (2, 4):
+            sharded = run_cluster(spec, workers)
+            assert_equivalent(oracle, sharded)
+            assert sharded.trunk_msgs > 0, "ring never crossed the cut"
+        expected = result_digest(allreduce_oracle(8, 96, 9))
+        for rank in range(8):
+            record = oracle.flows[COLLECTIVE_FLOW_BASE + rank]
+            assert record["status"] == "SUCCESS"
+            assert record["result_digest"] == expected
+
+    def test_collective_rides_with_flows(self):
+        # A collective and ordinary flows share one fabric and stay
+        # bit-identical under sharding.
+        from repro.collectives import (COLLECTIVE_FLOW_BASE,
+                                       CollectiveWorkSpec)
+        spec = ttcp_spec(
+            hosts=8, flows=2, seed=7, horizon=10_000_000.0,
+            collective=CollectiveWorkSpec(engine="nic", algo="broadcast",
+                                          vector_len=64, seed=7))
+        oracle = run_single(spec)
+        assert_equivalent(oracle, run_cluster(spec, 2))
+        assert oracle.flows[0]["rx_bytes"] == 16384
+        digests = {oracle.flows[COLLECTIVE_FLOW_BASE + r]["result_digest"]
+                   for r in range(8)}
+        assert len(digests) == 1
+
 
 class TestFailureModes:
     def test_unfinished_flows_fail_loudly(self):

@@ -119,6 +119,32 @@ def _run_ttcp(enabled):
         }
 
 
+def _run_collective(enabled, engine):
+    """Ring allreduce (both engines) with a tap at rank 0's NIC."""
+    from repro.bench.configs import build_qpip_cluster
+    from repro.collectives import (CollectiveWorkSpec,
+                                   collective_rank_driver)
+    with fastpath.forced(enabled):
+        sim = Simulator()
+        nodes, _fabric = build_qpip_cluster(sim, 4)
+        tap = Wiretap(sim)
+        tap.attach_qpip_nic(nodes[0].nic)
+        spec = CollectiveWorkSpec(engine=engine, algo="allreduce",
+                                  vector_len=96, seed=17)
+        records = {rank: {} for rank in range(4)}
+        procs = [sim.process(collective_rank_driver(
+            sim, nodes[rank], rank, 4, spec, records[rank]))
+            for rank in range(4)]
+        sim.run(until=50_000_000)
+        for proc in procs:
+            assert proc.triggered and proc.ok
+        return {
+            "records": records,
+            "wire": _wire_trace(tap),
+            "now": sim.now,
+        }
+
+
 def _run_pingpong(enabled):
     """Fig. 3-style TCP-QP ping-pong with a tap at the client's NIC."""
     from repro.apps.pingpong import qpip_tcp_rtt
@@ -164,3 +190,15 @@ class TestGoldenDeterminism:
         assert fast["wire"] == slow["wire"]
         assert fast["now"] == slow["now"]
         assert len(fast["rtts"]) == 12
+
+    @pytest.mark.parametrize("engine", ["host", "nic"])
+    def test_collective_identical(self, engine):
+        fast = _run_collective(True, engine)
+        slow = _run_collective(False, engine)
+        assert fast["records"] == slow["records"]
+        assert fast["wire"] == slow["wire"]
+        assert fast["now"] == slow["now"]
+        digests = {rec["result_digest"]
+                   for rec in fast["records"].values()}
+        assert len(digests) == 1          # every rank holds the same bits
+        assert len(fast["wire"]) > 10

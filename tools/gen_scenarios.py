@@ -153,6 +153,40 @@ SCENARIOS = [
         expect=Expectation(min_retransmits=1,
                            min_fault={"host:h0:rx.drops": 1})),
 
+    # -- collectives -----------------------------------------------------
+    ScenarioSpec(
+        name="coll_allreduce_clean_16",
+        description="NIC-offloaded ring allreduce across a clean 16-host "
+                    "fat-tree; every rank must hold the oracle's bits",
+        hosts=16, seed=61, horizon=20_000_000.0,
+        workload=WorkloadSpec(pattern="collective", algo="allreduce",
+                              engine="nic", vector_len=512),
+        expect=Expectation()),
+    ScenarioSpec(
+        name="coll_allreduce_trunk_drop",
+        description="NIC-offloaded allreduce with loss on every trunk; "
+                    "retransmission must heal the ring with bit-exact "
+                    "results on all ranks",
+        hosts=8, seed=62, horizon=40_000_000.0,
+        workload=WorkloadSpec(pattern="collective", algo="allreduce",
+                              engine="nic", vector_len=512),
+        faults=tuple(_bind(f"trunk:{t}:{d}", E("drop", rate=0.08))
+                     for t in range(4) for d in ("a2b", "b2a")),
+        expect=Expectation(min_retransmits=1)),
+    ScenarioSpec(
+        name="coll_barrier_reorder",
+        description="host-engine barrier under a trunk reordering storm; "
+                    "token passing must stay exactly-once and release "
+                    "every rank",
+        hosts=8, seed=63, horizon=20_000_000.0,
+        workload=WorkloadSpec(pattern="collective", algo="barrier",
+                              engine="host"),
+        faults=tuple(
+            _bind(f"trunk:{t}:{d}",
+                  E("reorder", rate=0.3, delay=40.0, jitter=25.0))
+            for t in range(4) for d in ("a2b", "b2a")),
+        expect=Expectation()),
+
     # -- nightly tail ----------------------------------------------------
     ScenarioSpec(
         name="clean_fat_tree_wide",
